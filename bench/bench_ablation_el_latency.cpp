@@ -1,0 +1,60 @@
+// Ablation A: how fast must the Event Logger be to be useful?
+//
+// Sweeps the EL per-event service time on CG class A / 8 ranks (causal,
+// Vcausal strategy) and reports piggyback volume, mean ack latency and
+// application slowdown. The paper observes this cliff indirectly: on LU/16
+// "the Event Logger reaches a state where the time to acknowledge event
+// receptions becomes too high to remove all events before a new send
+// occurs" — a slow EL converges to no-EL behaviour while still costing EL
+// traffic, motivating the distributed-EL future work of §VI.
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header("Ablation A — Event Logger service-time sweep (CG A / 8 ranks)",
+               "slow EL converges to no-EL piggyback volume");
+  util::Table table({"EL service (us)", "pb % of app bytes", "ack latency (us)",
+                     "run time (s)", "EL peak queue"});
+  const Variant v{"Vcausal (EL)", runtime::ProtocolKind::kCausal,
+                  causal::StrategyKind::kVcausal, true};
+  for (const double service_us : {2.0, 6.0, 20.0, 60.0, 200.0, 600.0}) {
+    runtime::ClusterConfig cfg = variant_config(v, 8);
+    cfg.cost.el_service = sim::from_us(service_us);
+    workloads::NasConfig ncfg{workloads::NasKernel::kCG, workloads::NasClass::kA,
+                              8, 1.0};
+    auto result = std::make_shared<workloads::ChecksumResult>(8);
+    runtime::Cluster cluster(cfg);
+    runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
+    MPIV_CHECK(rep.completed, "ablation run did not complete");
+    const ftapi::RankStats t = rep.totals();
+    const double pct = 100.0 * static_cast<double>(t.pb_bytes_sent) /
+                       static_cast<double>(t.app_bytes_sent);
+    table.add_row({util::cell("%.0f", service_us), util::cell("%.3f", pct),
+                   util::cell("%.1f", t.el_ack_latency_us.mean()),
+                   util::cell("%.2f", sim::to_sec(rep.completion_time)),
+                   util::cell("%llu", static_cast<unsigned long long>(
+                                          rep.el_stats.peak_queue))});
+  }
+  table.print();
+
+  // Reference: the same run without any Event Logger.
+  {
+    Variant noel{"Vcausal (no EL)", runtime::ProtocolKind::kCausal,
+                 causal::StrategyKind::kVcausal, false};
+    NasOut out = run_nas(noel, workloads::NasKernel::kCG,
+                         workloads::NasClass::kA, 8, 1.0);
+    const ftapi::RankStats t = out.report.totals();
+    std::printf("\nno-EL reference: pb %.3f%% of app bytes, run time %.2f s\n",
+                100.0 * static_cast<double>(t.pb_bytes_sent) /
+                    static_cast<double>(t.app_bytes_sent),
+                sim::to_sec(out.report.completion_time));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,48 @@
+// Ablation C: wire-format factoring (paper §III-C).
+//
+// Vcausal/Manetho factor events by creator rank ({rid, nb, events}); the
+// LogOn partial order forbids factoring, so every event carries its own
+// creator+sequence and is wider. For tiny piggybacks the factored block
+// header dominates and the per-event format is actually smaller — the
+// paper's "LU benchmark for four nodes highlights the case where no
+// factoring can be accomplished". This bench reports measured bytes/event
+// for Manetho (factored) vs LogOn (per-event) at both ends of the spectrum.
+#include "bench/fig78_common.hpp"
+#include "src/causal/wire.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header("Ablation C — factored vs per-event piggyback encoding (LU A)",
+               "LogOn wider per event, except when blocks are tiny (LU/4)");
+  util::Table table({"#procs", "variant", "events", "pb bytes", "bytes/event"});
+  const Fig78Config lu{workloads::NasKernel::kLU, workloads::NasClass::kA,
+                       {4, 16}, 0.12};
+  for (const int procs : lu.procs) {
+    for (const Variant& v : causal_variants()) {
+      if (v.event_logger) continue;  // volumes are biggest without the EL
+      const Fig78Cell cell = run_fig78_cell(v, lu, procs);
+      const ftapi::RankStats t = cell.report.totals();
+      if (t.pb_events_sent == 0) continue;
+      table.add_row({util::cell("%d", procs), v.label,
+                     util::cell("%llu", static_cast<unsigned long long>(t.pb_events_sent)),
+                     util::cell("%llu", static_cast<unsigned long long>(t.pb_bytes_sent)),
+                     util::cell("%.2f", static_cast<double>(t.pb_bytes_sent) /
+                                            static_cast<double>(t.pb_events_sent))});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nFormat constants: factored block = %llu B header + %llu B/event;\n"
+      "per-event (LogOn) = %llu B/event flat.\n",
+      static_cast<unsigned long long>(causal::wire::kFactoredBlockHeader),
+      static_cast<unsigned long long>(causal::wire::kFactoredPerEvent),
+      static_cast<unsigned long long>(causal::wire::kPlainPerEvent));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,119 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper and
+// prints the simulated values next to the paper's published numbers, so
+// shape agreement (who wins, by what factor, where crossovers fall) can be
+// eyeballed directly; EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+#include "util/table.hpp"
+#include "workloads/apps.hpp"
+#include "workloads/nas.hpp"
+
+namespace mpiv::bench {
+
+/// One protocol variant of the paper's evaluation.
+struct Variant {
+  const char* label;
+  runtime::ProtocolKind protocol;
+  causal::StrategyKind strategy = causal::StrategyKind::kVcausal;
+  bool event_logger = true;
+};
+
+/// The full Fig. 6/9 lineup.
+inline const std::vector<Variant>& paper_variants() {
+  static const std::vector<Variant> v = {
+      {"MPICH-P4", runtime::ProtocolKind::kP4},
+      {"MPICH-Vdummy", runtime::ProtocolKind::kVdummy},
+      {"Vcausal (EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kVcausal, true},
+      {"Manetho (EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kManetho, true},
+      {"LogOn (EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kLogOn, true},
+      {"Vcausal (no EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kVcausal, false},
+      {"Manetho (no EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kManetho, false},
+      {"LogOn (no EL)", runtime::ProtocolKind::kCausal,
+       causal::StrategyKind::kLogOn, false},
+  };
+  return v;
+}
+
+/// The six causal variants of Fig. 7/8.
+inline std::vector<Variant> causal_variants() {
+  std::vector<Variant> v(paper_variants().begin() + 2, paper_variants().end());
+  return v;
+}
+
+inline runtime::ClusterConfig variant_config(const Variant& v, int nranks) {
+  runtime::ClusterConfig cfg;
+  cfg.nranks = nranks;
+  cfg.protocol = v.protocol;
+  cfg.strategy = v.strategy;
+  cfg.event_logger = v.event_logger;
+  return cfg;
+}
+
+struct NetpipeOut {
+  workloads::PingPongResult points;
+  runtime::ClusterReport report;
+};
+
+inline NetpipeOut run_netpipe(const Variant& v, std::vector<std::uint64_t> sizes,
+                              int reps) {
+  runtime::ClusterConfig cfg = variant_config(v, 2);
+  auto result = std::make_shared<workloads::PingPongResult>();
+  runtime::Cluster cluster(cfg);
+  runtime::ClusterReport rep =
+      cluster.run(workloads::make_pingpong_app(std::move(sizes), reps, result));
+  MPIV_CHECK(rep.completed, "netpipe run did not complete (%s)", v.label);
+  return {*result, rep};
+}
+
+struct NasOut {
+  runtime::ClusterReport report;
+  double flops = 0;
+  double mops() const {
+    return report.completion_time > 0
+               ? flops / sim::to_sec(report.completion_time) / 1e6
+               : 0.0;
+  }
+};
+
+inline NasOut run_nas(const Variant& v, workloads::NasKernel kernel,
+                      workloads::NasClass klass, int nranks, double scale,
+                      runtime::ClusterConfig* base = nullptr) {
+  runtime::ClusterConfig cfg =
+      base ? *base : runtime::ClusterConfig{};
+  if (!base) cfg = variant_config(v, nranks);
+  cfg.nranks = nranks;
+  cfg.protocol = v.protocol;
+  cfg.strategy = v.strategy;
+  cfg.event_logger = v.event_logger;
+  workloads::NasConfig ncfg{kernel, klass, nranks, scale};
+  auto result = std::make_shared<workloads::ChecksumResult>(nranks);
+  runtime::Cluster cluster(cfg);
+  NasOut out;
+  out.report = cluster.run(workloads::make_nas_app(ncfg, result));
+  out.flops = workloads::nas_scaled_flops(ncfg);
+  MPIV_CHECK(out.report.completed, "%s %c/%d under %s did not complete",
+             workloads::nas_kernel_name(kernel),
+             workloads::nas_class_letter(klass), nranks, v.label);
+  return out;
+}
+
+inline void print_header(const char* what, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(paper reference: %s)\n", what, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace mpiv::bench

@@ -1,0 +1,73 @@
+// Fig. 10: time (ms) to recover all events to replay when restarting rank 0
+// at the middle of its execution, Vcausal protocol, with vs without the
+// Event Logger.
+//
+// Paper values (ms):
+//   BT A  (4,9,16,25):  EL {9.6, 16.6, 21.2, 32.4}   no EL {32.5, 97.3, 183.5, 330.9}
+//   CG B  (2,4,8,16):   EL {78.7, 81.7, 93.3, 92.8}  no EL {80.8, 118.6, 510.9, 832.2}
+//   LU A  (2,4,8,16):   EL {37.6, 76.8, 58.6, 42.6}  no EL {42.5, 219.1, 360.2, 505.5}
+// Shape: with the EL the events come in one transfer and recovery time
+// barely grows with the cluster; without it every survivor ships its whole
+// copy of the failed rank's history and the time explodes with #procs
+// (paper: CG +18.7% from 1 to 15 peers with EL, +930.6% without).
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+struct Config {
+  workloads::NasKernel kernel;
+  workloads::NasClass klass;
+  std::vector<int> procs;
+  double scale;
+};
+
+double recover_ms(const Config& c, int procs, bool el) {
+  Variant v{"Vcausal", runtime::ProtocolKind::kCausal,
+            causal::StrategyKind::kVcausal, el};
+  // Fault-free run to find mid-execution.
+  NasOut ref = run_nas(v, c.kernel, c.klass, procs, c.scale);
+  // Same run, killing rank 0 mid-way. No checkpoints: the full determinant
+  // history must be recovered (the paper's "middle of correct execution").
+  runtime::ClusterConfig cfg = variant_config(v, procs);
+  cfg.faults.push_back(runtime::FaultSpec{ref.report.completion_time / 2, 0});
+  workloads::NasConfig ncfg{c.kernel, c.klass, procs, c.scale};
+  auto result = std::make_shared<workloads::ChecksumResult>(procs);
+  runtime::Cluster cluster(cfg);
+  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
+  MPIV_CHECK(rep.completed, "fig10 run did not complete");
+  MPIV_CHECK(rep.faults_injected == 1, "fig10: expected 1 fault, got %llu",
+             static_cast<unsigned long long>(rep.faults_injected));
+  return sim::to_ms(rep.rank_stats[0].recovery_collect_time);
+}
+
+int run() {
+  using workloads::NasClass;
+  using workloads::NasKernel;
+  print_header("Fig. 10 — time to recover all events to replay (ms), Vcausal",
+               "EL: one transfer, flat in #procs; no EL: all survivors ship copies");
+  const std::vector<Config> configs = {
+      {NasKernel::kBT, NasClass::kA, {4, 9, 16, 25}, 0.15},
+      {NasKernel::kCG, NasClass::kB, {2, 4, 8, 16}, 0.2},
+      {NasKernel::kLU, NasClass::kA, {2, 4, 8, 16}, 0.12},
+  };
+  for (const Config& c : configs) {
+    std::printf("\n-- %s class %c --\n", workloads::nas_kernel_name(c.kernel),
+                workloads::nas_class_letter(c.klass));
+    util::Table table({"#procs", "with EL (ms)", "without EL (ms)", "ratio"});
+    for (const int procs : c.procs) {
+      const double with_el = recover_ms(c, procs, true);
+      const double without_el = recover_ms(c, procs, false);
+      table.add_row({util::cell("%d", procs), util::cell("%.3f", with_el),
+                     util::cell("%.3f", without_el),
+                     util::cell("%.1fx", without_el / std::max(0.001, with_el))});
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

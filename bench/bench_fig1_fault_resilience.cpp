@@ -1,0 +1,99 @@
+// Fig. 1: fault resilience — execution slowdown of a BT-class run on 25
+// nodes as the fault frequency grows, comparing coordinated checkpointing
+// (Chandy-Lamport), pessimistic message logging and causal message logging
+// (both sender-based, with Event Logger).
+//
+// Shape to reproduce: all protocols near 100% at zero faults; coordinated
+// checkpointing degrades steeply (every fault rolls the whole cluster back
+// to the last global snapshot and restart storms hit the shared checkpoint
+// server) and approaches a vertical slope by ~2/3 faults/minute; the two
+// message-logging protocols degrade gracefully because only the failed
+// rank replays.
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+struct Proto {
+  const char* label;
+  runtime::ProtocolKind kind;
+};
+
+double run_once(const Proto& p, double faults_per_minute, std::uint64_t seed) {
+  runtime::ClusterConfig cfg;
+  cfg.nranks = 25;
+  cfg.protocol = p.kind;
+  cfg.strategy = causal::StrategyKind::kManetho;
+  cfg.event_logger = true;
+  cfg.seed = seed;
+  cfg.faults_per_minute = faults_per_minute;
+  cfg.ckpt_interval = p.kind == runtime::ProtocolKind::kCoordinated
+                          ? 120 * sim::kSecond
+                          : 5 * sim::kSecond;  // round-robin: ~125 s per rank
+  cfg.ckpt_policy = p.kind == runtime::ProtocolKind::kCoordinated
+                        ? ckpt::Policy::kAllAtOnce
+                        : ckpt::Policy::kRoundRobin;
+  cfg.max_sim_time = 3 * 3600LL * sim::kSecond;  // beyond ~10x: "no progress"
+  workloads::NasConfig ncfg{workloads::NasKernel::kBT, workloads::NasClass::kA,
+                            cfg.nranks, 40.0};
+  auto result = std::make_shared<workloads::ChecksumResult>(cfg.nranks);
+  runtime::Cluster cluster(cfg);
+  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
+  if (!rep.completed) return -1.0;  // no progress before the time budget
+  return sim::to_sec(rep.completion_time);
+}
+
+/// Mean over seeds (Poisson fault arrivals are seed-dependent); any
+/// no-progress seed makes the whole point "no progress".
+double run_rate(const Proto& p, double rate, int seeds) {
+  double sum = 0;
+  for (int s = 0; s < seeds; ++s) {
+    const double t = run_once(p, rate, 1 + static_cast<std::uint64_t>(s));
+    if (t < 0) return -1.0;
+    sum += t;
+  }
+  return sum / seeds;
+}
+
+int run() {
+  print_header(
+      "Fig. 1 — slowdown vs fault frequency, BT-class on 25 nodes (in % of "
+      "fault-free execution)",
+      "coordinated hits a vertical slope by ~2/3 faults/min; logging degrades "
+      "gracefully");
+  const std::vector<Proto> protos = {
+      {"Coordinated (Chandy-Lamport)", runtime::ProtocolKind::kCoordinated},
+      {"Pessimistic (sender-based, EL)", runtime::ProtocolKind::kPessimistic},
+      {"Causal (sender-based, EL)", runtime::ProtocolKind::kCausal},
+  };
+  const std::vector<std::pair<const char*, double>> rates = {
+      {"0", 0.0}, {"1/6", 1.0 / 6}, {"1/3", 1.0 / 3}, {"1/2", 0.5}, {"2/3", 2.0 / 3}};
+
+  std::vector<std::string> headers = {"faults/min"};
+  for (const Proto& p : protos) headers.push_back(p.label);
+  util::Table table(headers);
+
+  std::vector<double> base(protos.size(), 0);
+  for (std::size_t i = 0; i < protos.size(); ++i) {
+    base[i] = run_once(protos[i], 0.0, 1);
+  }
+  for (const auto& [label, rate] : rates) {
+    std::vector<std::string> row = {label};
+    for (std::size_t i = 0; i < protos.size(); ++i) {
+      const double t = rate == 0.0 ? base[i] : run_rate(protos[i], rate, 2);
+      if (t < 0) {
+        row.push_back("no progress");
+      } else {
+        row.push_back(util::cell("%.0f%%", 100.0 * t / base[i]));
+      }
+    }
+    table.add_row(row);
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,48 @@
+// Fig. 6(a): NetPIPE 1-byte latency over Fast Ethernet for MPICH-P4,
+// MPICH-Vdummy, and the three causal protocols with and without the Event
+// Logger. Paper values (us): P4 99.56, Vdummy 134.84, EL {156.92, 156.80,
+// 155.83}, no EL {165.17, 173.15, 172.80}.
+//
+// Shape to reproduce: P4 < Vdummy < causal+EL (all three nearly equal)
+// < Vcausal no-EL < graph-based no-EL; without the EL the antecedence graph
+// keeps growing, so the no-EL variants get slower with run length.
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+struct PaperRow {
+  const char* label;
+  double paper_us;
+};
+const PaperRow kPaper[] = {
+    {"MPICH-P4", 99.56},      {"MPICH-Vdummy", 134.84},
+    {"Vcausal (EL)", 156.92}, {"Manetho (EL)", 156.80},
+    {"LogOn (EL)", 155.83},   {"Vcausal (no EL)", 165.17},
+    {"Manetho (no EL)", 173.15}, {"LogOn (no EL)", 172.80},
+};
+
+int run() {
+  print_header("Fig. 6(a) — NetPIPE 1-byte latency (us), Ethernet 100 Mb/s",
+               "P4 99.56 | Vdummy 134.84 | EL ~156 | noEL 165-173");
+  util::Table table({"variant", "latency (us)", "paper (us)", "empty piggybacks",
+                     "messages"});
+  // The paper's NetPIPE run exchanged 4999 messages at the 1-byte point.
+  const int reps = 2500;
+  for (std::size_t i = 0; i < paper_variants().size(); ++i) {
+    const Variant& v = paper_variants()[i];
+    NetpipeOut out = run_netpipe(v, {1}, reps);
+    const ftapi::RankStats t = out.report.totals();
+    table.add_row({v.label, util::cell("%.2f", out.points.points[0].latency_us),
+                   util::cell("%.2f", kPaper[i].paper_us),
+                   util::cell("%llu", static_cast<unsigned long long>(t.pb_empty_msgs)),
+                   util::cell("%llu", static_cast<unsigned long long>(t.app_msgs_sent))});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

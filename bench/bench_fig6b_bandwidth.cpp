@@ -1,0 +1,63 @@
+// Fig. 6(b): NetPIPE ping-pong bandwidth vs message size over Fast
+// Ethernet, for RAW TCP (analytic), MPICH-P4, MPICH-Vdummy and the causal
+// variants with/without the Event Logger.
+//
+// Shape to reproduce: raw TCP tops near ~89 Mb/s, P4 slightly below Vdummy
+// at large sizes (Vdummy exploits full duplex), causal variants a further
+// step below (sender-based payload copy), and all causal curves essentially
+// identical — in ping-pong every variant piggybacks the same single event.
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header("Fig. 6(b) — NetPIPE bandwidth (Mb/s) vs message size",
+               "raw TCP ~89 peak; Vdummy > P4 at large sizes; causal ~7-10% below");
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1; s <= (8u << 20); s *= 4) sizes.push_back(s);
+
+  const std::vector<Variant> shown = {
+      paper_variants()[0],  // P4
+      paper_variants()[1],  // Vdummy
+      paper_variants()[2],  // Vcausal (EL)
+      paper_variants()[3],  // Manetho (EL)
+      paper_variants()[7],  // LogOn (no EL)
+  };
+
+  std::vector<std::string> headers = {"bytes", "RAW TCP"};
+  for (const Variant& v : shown) headers.push_back(v.label);
+  util::Table table(headers);
+
+  // Measured curves.
+  std::vector<workloads::PingPongResult> results;
+  for (const Variant& v : shown) {
+    std::vector<std::uint64_t> sweep = sizes;
+    int reps = 50;
+    results.push_back(run_netpipe(v, sweep, reps).points);
+  }
+
+  const net::CostModel cost;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(util::cell("%llu", static_cast<unsigned long long>(sizes[i])));
+    // Analytic raw TCP: one-way = serialization + wire latency.
+    const double oneway_us =
+        sim::to_us(cost.tx_time(sizes[i] + 66) + cost.wire_latency);
+    row.push_back(util::cell("%.2f", static_cast<double>(sizes[i]) * 8.0 / oneway_us));
+    for (const auto& r : results) {
+      row.push_back(util::cell("%.2f", r.points[i].bandwidth_mbps));
+    }
+    table.add_row(row);
+  }
+  table.print();
+  std::printf("\nNote: causal curves coincide in ping-pong (same single-event\n"
+              "piggyback); the sender-based payload copy causes the drop below\n"
+              "Vdummy, the half-duplex ch_p4 protocol the P4 deficit.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,44 @@
+// Fig. 7: amount of piggybacked data exchanged during BT/CG/LU class A as a
+// percentage of total application data, for the three reduction strategies
+// with and without the Event Logger.
+//
+// Paper values (%), per kernel at its largest size in this sweep:
+//   BT/16:  EL {0.141, 0.138, 0.154}  no EL {7.04, 3.01, 5.9}
+//   CG/16:  EL {0.492, 0.433, 0.482}  no EL {11.8, 3.95, 4.97}
+//   LU/16:  EL {13.6, 7.19, 13.8}     no EL {50.3, 13.1, 39.8}
+// Shape: the EL shrinks piggyback volume by one to two orders of magnitude
+// for every strategy; without it Vcausal piggybacks the most and the graph
+// strategies reduce further; LU/16 saturates the single EL so even with it
+// the volume stays high.
+#include "bench/fig78_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header("Fig. 7 — piggybacked data, % of application data exchanged",
+               "EL cuts volume 10-100x; Vcausal worst w/o EL; LU/16 stresses the EL");
+  for (const Fig78Config& c : fig78_configs()) {
+    if (c.kernel == workloads::NasKernel::kFT) continue;  // Fig. 7 shows BT/CG/LU
+    std::printf("\n-- %s class %c --\n", workloads::nas_kernel_name(c.kernel),
+                workloads::nas_class_letter(c.klass));
+    std::vector<std::string> headers = {"#procs"};
+    for (const Variant& v : causal_variants()) headers.push_back(v.label);
+    util::Table table(headers);
+    for (const int procs : c.procs) {
+      std::vector<std::string> row = {util::cell("%d", procs)};
+      for (const Variant& v : causal_variants()) {
+        const Fig78Cell cell = run_fig78_cell(v, c, procs);
+        row.push_back(util::cell("%.3f", cell.pb_pct));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

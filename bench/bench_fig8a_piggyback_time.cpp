@@ -1,0 +1,43 @@
+// Fig. 8(a): cumulative time spent preparing causality information to
+// piggyback (send side) and merging received piggybacks (receive side), for
+// BT/CG/LU/FT class A across process counts and the six causal variants.
+//
+// Shape to reproduce (paper): Vcausal's simple sequences outperform both
+// graph strategies; LogOn pays more on SEND (reordering), Manetho more on
+// RECEIVE (graph re-crossing); without the EL every strategy's time
+// explodes because the structures keep growing; on FT (all-to-all) Manetho
+// is the worst, on LU (many messages) LogOn's serialization suffers.
+#include "bench/fig78_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header(
+      "Fig. 8(a) — cumulative piggyback management time (seconds, send+recv)",
+      "Vcausal << graphs; LogOn send-heavy, Manetho recv-heavy; no EL explodes");
+  for (const Fig78Config& c : fig78_configs()) {
+    std::printf("\n-- %s class %c  (cells: send / recv seconds) --\n",
+                workloads::nas_kernel_name(c.kernel),
+                workloads::nas_class_letter(c.klass));
+    std::vector<std::string> headers = {"#procs"};
+    for (const Variant& v : causal_variants()) headers.push_back(v.label);
+    util::Table table(headers);
+    for (const int procs : c.procs) {
+      std::vector<std::string> row = {util::cell("%d", procs)};
+      for (const Variant& v : causal_variants()) {
+        const Fig78Cell cell = run_fig78_cell(v, c, procs);
+        row.push_back(
+            util::cell("%.4f / %.4f", cell.send_cpu_s, cell.recv_cpu_s));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,42 @@
+// Fig. 8(b): causality-information computation cost as a percentage of
+// total execution time.
+//
+// Paper values (%), largest size per kernel:
+//   BT/16:  EL {0.7, 1.3, 1.2}    no EL {7.8, 11.8, 12.5}
+//   CG/16:  EL {2.4, 6.6, 4.0}    no EL {18, 26.1, 25.6}
+//   LU/16:  EL {10.6, 19.1, 13.5} no EL {26, 30.2, 41.5}
+//   FT/16:  EL {0.3, 0.6, 0.4}    no EL {2.2, 5.2, 1.8}
+// Shape: negligible for low communication ratios (BT, FT), dominant for LU
+// without an EL — up to ~40% of the execution burned on piggyback
+// management.
+#include "bench/fig78_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+int run() {
+  print_header("Fig. 8(b) — piggyback computation, % of total execution time",
+               "BT/FT ~0-1% w/ EL; LU up to ~40% w/o EL");
+  for (const Fig78Config& c : fig78_configs()) {
+    std::printf("\n-- %s class %c --\n", workloads::nas_kernel_name(c.kernel),
+                workloads::nas_class_letter(c.klass));
+    std::vector<std::string> headers = {"#procs"};
+    for (const Variant& v : causal_variants()) headers.push_back(v.label);
+    util::Table table(headers);
+    for (const int procs : c.procs) {
+      std::vector<std::string> row = {util::cell("%d", procs)};
+      for (const Variant& v : causal_variants()) {
+        const Fig78Cell cell = run_fig78_cell(v, c, procs);
+        row.push_back(util::cell("%.2f%%", cell.cpu_pct));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,59 @@
+// Fig. 9: NAS benchmark performance (total Mop/s) for MPICH-P4,
+// MPICH-Vdummy and the causal variants with/without the Event Logger.
+//
+// Shape to reproduce: all protocols scale together; the causal variants sit
+// a little below Vdummy; the EL improves every causal protocol on every
+// benchmark (the improvement exceeds the difference between the two graph
+// strategies); without the EL, Vcausal trails the graph strategies,
+// especially for high communication/computation ratios (LU/16).
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+namespace {
+
+struct Panel {
+  workloads::NasKernel kernel;
+  workloads::NasClass klass;
+  std::vector<int> procs;
+  double scale;
+};
+
+int run() {
+  using workloads::NasClass;
+  using workloads::NasKernel;
+  print_header("Fig. 9 — NAS benchmark total Mop/s per protocol",
+               "EL > no EL everywhere; causal ~Vdummy at coarse grain; LU/16 separates");
+  const std::vector<Panel> panels = {
+      {NasKernel::kCG, NasClass::kA, {2, 4, 8, 16}, 1.0},
+      {NasKernel::kCG, NasClass::kB, {2, 4, 8, 16}, 0.2},
+      {NasKernel::kMG, NasClass::kA, {2, 4, 8, 16}, 1.0},
+      {NasKernel::kBT, NasClass::kA, {4, 9, 16}, 0.15},
+      {NasKernel::kBT, NasClass::kB, {4, 9, 16}, 0.05},
+      {NasKernel::kSP, NasClass::kA, {4, 9, 16}, 0.05},
+      {NasKernel::kLU, NasClass::kA, {2, 4, 8, 16}, 0.12},
+      {NasKernel::kFT, NasClass::kA, {2, 4, 8, 16}, 1.0},
+  };
+  for (const Panel& p : panels) {
+    std::printf("\n-- %s, Class %c (Mop/s total) --\n",
+                workloads::nas_kernel_name(p.kernel),
+                workloads::nas_class_letter(p.klass));
+    std::vector<std::string> headers = {"#procs"};
+    for (const Variant& v : paper_variants()) headers.push_back(v.label);
+    util::Table table(headers);
+    for (const int procs : p.procs) {
+      std::vector<std::string> row = {util::cell("%d", procs)};
+      for (const Variant& v : paper_variants()) {
+        NasOut out = run_nas(v, p.kernel, p.klass, procs, p.scale);
+        row.push_back(util::cell("%.0f", out.mops()));
+      }
+      table.add_row(row);
+    }
+    table.print();
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mpiv::bench
+
+int main() { return mpiv::bench::run(); }

@@ -1,0 +1,55 @@
+// Shared runner for Fig. 7 (piggyback volume) and Fig. 8 (piggyback
+// management time): one sweep over the NAS kernels x process counts x the
+// six causal variants, reused by the three bench binaries.
+#pragma once
+
+#include "bench/bench_common.hpp"
+
+namespace mpiv::bench {
+
+struct Fig78Config {
+  workloads::NasKernel kernel;
+  workloads::NasClass klass;
+  std::vector<int> procs;
+  double scale;
+};
+
+inline const std::vector<Fig78Config>& fig78_configs() {
+  using workloads::NasClass;
+  using workloads::NasKernel;
+  static const std::vector<Fig78Config> cfgs = {
+      {NasKernel::kBT, NasClass::kA, {4, 9, 16}, 0.15},
+      {NasKernel::kCG, NasClass::kA, {2, 4, 8, 16}, 1.0},
+      {NasKernel::kLU, NasClass::kA, {2, 4, 8, 16}, 0.12},
+      {NasKernel::kFT, NasClass::kA, {2, 4, 8, 16}, 1.0},
+  };
+  return cfgs;
+}
+
+struct Fig78Cell {
+  runtime::ClusterReport report;
+  double pb_pct = 0;          // piggyback bytes, % of app bytes (Fig. 7)
+  double send_cpu_s = 0;      // cumulative piggyback send time (Fig. 8a)
+  double recv_cpu_s = 0;      // cumulative piggyback receive time (Fig. 8a)
+  double cpu_pct = 0;         // piggyback time, % of execution time (Fig. 8b)
+};
+
+inline Fig78Cell run_fig78_cell(const Variant& v, const Fig78Config& c, int procs) {
+  NasOut out = run_nas(v, c.kernel, c.klass, procs, c.scale);
+  Fig78Cell cell;
+  cell.report = out.report;
+  const ftapi::RankStats t = out.report.totals();
+  cell.pb_pct = t.app_bytes_sent
+                    ? 100.0 * static_cast<double>(t.pb_bytes_sent) /
+                          static_cast<double>(t.app_bytes_sent)
+                    : 0.0;
+  cell.send_cpu_s = sim::to_sec(t.pb_send_cpu);
+  cell.recv_cpu_s = sim::to_sec(t.pb_recv_cpu);
+  // CPU fraction: cumulative piggyback time across ranks over the total
+  // CPU time (wall x ranks) — the paper's "percent of total execution".
+  const double exec = sim::to_sec(out.report.completion_time) * procs;
+  cell.cpu_pct = exec > 0 ? 100.0 * (cell.send_cpu_s + cell.recv_cpu_s) / exec : 0.0;
+  return cell;
+}
+
+}  // namespace mpiv::bench

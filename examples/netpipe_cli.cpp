@@ -1,0 +1,67 @@
+// NetPIPE-style CLI: measure ping-pong latency/bandwidth for any protocol
+// variant.
+//
+//   $ ./netpipe_cli [p4|vdummy|vcausal|manetho|logon] [el|noel] [max_kb]
+//
+// Mirrors the paper's Fig. 6 experiments interactively.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "runtime/cluster.hpp"
+#include "workloads/apps.hpp"
+
+using namespace mpiv;
+
+int main(int argc, char** argv) {
+  const char* proto = argc > 1 ? argv[1] : "vcausal";
+  const bool el = argc > 2 ? std::strcmp(argv[2], "el") == 0 : true;
+  const std::uint64_t max_kb = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
+
+  runtime::ClusterConfig cfg;
+  cfg.nranks = 2;
+  if (std::strcmp(proto, "p4") == 0) {
+    cfg.protocol = runtime::ProtocolKind::kP4;
+  } else if (std::strcmp(proto, "vdummy") == 0) {
+    cfg.protocol = runtime::ProtocolKind::kVdummy;
+  } else {
+    cfg.protocol = runtime::ProtocolKind::kCausal;
+    cfg.event_logger = el;
+    if (std::strcmp(proto, "manetho") == 0) {
+      cfg.strategy = causal::StrategyKind::kManetho;
+    } else if (std::strcmp(proto, "logon") == 0) {
+      cfg.strategy = causal::StrategyKind::kLogOn;
+    } else {
+      cfg.strategy = causal::StrategyKind::kVcausal;
+    }
+  }
+
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1; s <= max_kb * 1024; s *= 2) sizes.push_back(s);
+
+  auto result = std::make_shared<workloads::PingPongResult>();
+  runtime::Cluster cluster(cfg);
+  std::printf("protocol: %s\n\n", cluster.protocol_label().c_str());
+  runtime::ClusterReport rep =
+      cluster.run(workloads::make_pingpong_app(sizes, 100, result));
+  if (!rep.completed) {
+    std::fprintf(stderr, "run did not complete\n");
+    return 1;
+  }
+  std::printf("%12s %14s %14s\n", "bytes", "latency (us)", "bw (Mb/s)");
+  for (const auto& p : result->points) {
+    std::printf("%12llu %14.2f %14.2f\n",
+                static_cast<unsigned long long>(p.bytes), p.latency_us,
+                p.bandwidth_mbps);
+  }
+  const ftapi::RankStats t = rep.totals();
+  if (cfg.protocol == runtime::ProtocolKind::kCausal) {
+    std::printf("\npiggyback: %llu events, %llu bytes over %llu messages "
+                "(%llu empty)\n",
+                static_cast<unsigned long long>(t.pb_events_sent),
+                static_cast<unsigned long long>(t.pb_bytes_sent),
+                static_cast<unsigned long long>(t.app_msgs_sent),
+                static_cast<unsigned long long>(t.pb_empty_msgs));
+  }
+  return 0;
+}

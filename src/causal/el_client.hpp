@@ -1,0 +1,130 @@
+// Node-side Event Logger client.
+//
+// Each reception determinant is sent asynchronously to the EL; the EL's
+// acknowledgements carry the global stable-clock vector ("the last event
+// stored for each process"), which lets the node discard its own and other
+// processes' determinant copies — the garbage-collection effect whose
+// impact the paper measures. The client also measures ack latency (how long
+// a determinant stays piggybackable) and serves the pessimistic protocol's
+// wait-until-stable gate.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "ftapi/determinant.hpp"
+#include "ftapi/services.hpp"
+#include "sim/sync.hpp"
+
+namespace mpiv::causal {
+
+class ElClient {
+ public:
+  using StableFn = std::function<void(const std::vector<std::uint64_t>&)>;
+
+  void attach(const ftapi::RankServices& svc, StableFn on_stable) {
+    svc_ = svc;
+    on_stable_ = std::move(on_stable);
+    stable_.assign(static_cast<std::size_t>(svc.nranks), 0);
+    own_waiters_ = std::make_unique<sim::WaitQueue>(*svc.eng);
+    fetch_done_ = std::make_unique<sim::OneShot>(*svc.eng);
+  }
+
+  /// Asynchronously ships a local determinant to the Event Logger.
+  void submit(const ftapi::Determinant& d) {
+    pending_.emplace(d.seq, svc_.eng->now());
+    net::Message m;
+    m.kind = net::MsgKind::kElEvent;
+    m.src_rank = svc_.rank;
+    m.body.put_u32(1);
+    d.serialize(m.body);
+    svc_.send_ctl(svc_.layout.el_node_for_rank(svc_.rank), std::move(m));
+  }
+
+  /// Handles a stable-clock acknowledgement from the EL.
+  void on_ack(net::Message&& m) {
+    std::vector<std::uint64_t> vec(stable_.size());
+    for (std::uint64_t& v : vec) v = m.body.get_u64();
+    // Ack latency: time from determinant creation to coverage by an ack.
+    const std::uint64_t own = vec[static_cast<std::size_t>(svc_.rank)];
+    for (auto it = pending_.begin(); it != pending_.end() && it->first <= own;) {
+      svc_.stats->el_ack_latency_us.add(sim::to_us(svc_.eng->now() - it->second));
+      it = pending_.erase(it);
+    }
+    apply_stable(vec);
+  }
+
+  void apply_stable(const std::vector<std::uint64_t>& vec) {
+    bool advanced = false;
+    for (std::size_t c = 0; c < stable_.size(); ++c) {
+      if (vec[c] > stable_[c]) {
+        stable_[c] = vec[c];
+        advanced = true;
+      }
+    }
+    if (advanced) {
+      if (on_stable_) on_stable_(stable_);
+      own_waiters_->wake_all();
+    }
+  }
+
+  const std::vector<std::uint64_t>& stable() const { return stable_; }
+  std::uint64_t own_stable() const {
+    return stable_[static_cast<std::size_t>(svc_.rank)];
+  }
+
+  /// Pessimistic gate: waits until all own determinants up to `seq` are
+  /// safely stored at the EL.
+  sim::Task<void> wait_own_stable(std::uint64_t seq) {
+    while (own_stable() < seq) co_await own_waiters_->wait();
+  }
+
+  /// Recovery: fetches every determinant of this rank stored at the EL.
+  sim::Task<ftapi::DeterminantList> fetch_mine() {
+    fetch_done_->reset();
+    fetched_.clear();
+    net::Message m;
+    m.kind = net::MsgKind::kElRecoveryReq;
+    m.src_rank = svc_.rank;
+    m.arg = static_cast<std::uint64_t>(svc_.rank);
+    svc_.send_ctl(svc_.layout.el_node_for_rank(svc_.rank), std::move(m));
+    co_await fetch_done_->wait();
+    co_return std::move(fetched_);
+  }
+  void on_recovery_resp(net::Message&& m) {
+    // Resync the stable vector from the EL's authoritative copy.
+    std::vector<std::uint64_t> vec(stable_.size());
+    for (std::uint64_t& v : vec) v = m.body.get_u64();
+    apply_stable(vec);
+    const std::uint32_t n = m.body.get_u32();
+    fetched_.clear();
+    fetched_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      fetched_.push_back(ftapi::Determinant::deserialize(m.body));
+    }
+    fetch_done_->set();
+  }
+
+  void serialize(util::Buffer& b) const {
+    for (const std::uint64_t v : stable_) b.put_u64(v);
+  }
+  void restore(util::Buffer& b) {
+    for (std::uint64_t& v : stable_) v = b.get_u64();
+  }
+  void reset() {
+    std::fill(stable_.begin(), stable_.end(), 0);
+    pending_.clear();
+  }
+
+ private:
+  ftapi::RankServices svc_{};
+  StableFn on_stable_;
+  std::vector<std::uint64_t> stable_;
+  std::map<std::uint64_t, sim::Time> pending_;
+  std::unique_ptr<sim::WaitQueue> own_waiters_;
+  std::unique_ptr<sim::OneShot> fetch_done_;
+  ftapi::DeterminantList fetched_;
+};
+
+}  // namespace mpiv::causal

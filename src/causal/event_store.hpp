@@ -1,0 +1,156 @@
+// Per-creator determinant knowledge held by one rank.
+//
+// Causal logging replicates determinants: besides its own reception events,
+// a rank accumulates events created by others (learned from piggybacks) so
+// that any crashed process can reassemble its reception history from the
+// survivors. Knowledge per creator is (mostly) a prefix of that creator's
+// event sequence; events below the Event Logger's stable watermark are
+// pruned — that pruning is precisely the EL benefit the paper measures.
+//
+// A holder's set may contain holes *below another holder's stable point*
+// (a sender only piggybacks its unstable suffix, so a receiver can learn
+// (10..15] while never seeing 6..10 that are already safely at the EL);
+// storage is therefore a sorted map, and recovery takes the union of the EL
+// prefix and every survivor's ranges — contiguity of that union is asserted
+// at the recovery site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ftapi/determinant.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace mpiv::causal {
+
+class EventStore {
+ public:
+  explicit EventStore(int nranks)
+      : per_(static_cast<std::size_t>(nranks)) {}
+
+  int nranks() const { return static_cast<int>(per_.size()); }
+
+  /// Records a determinant. Returns true if it was new.
+  bool add(const ftapi::Determinant& d) {
+    Per& p = at(d.creator);
+    if (d.seq <= p.stable) return false;
+    auto [it, inserted] = p.dets.emplace(d.seq, d);
+    (void)it;
+    if (d.seq > p.known) p.known = d.seq;
+    return inserted;
+  }
+
+  /// Highest event sequence of `creator` this rank has heard of.
+  std::uint64_t known(std::uint32_t creator) const { return at(creator).known; }
+  /// Stable watermark (acknowledged by the Event Logger).
+  std::uint64_t stable(std::uint32_t creator) const { return at(creator).stable; }
+
+  const ftapi::Determinant* find(std::uint32_t creator, std::uint64_t seq) const {
+    const Per& p = at(creator);
+    auto it = p.dets.find(seq);
+    return it == p.dets.end() ? nullptr : &it->second;
+  }
+
+  /// Advances stability and prunes covered determinants (the EL's garbage
+  /// collection effect on computing nodes).
+  void set_stable(const std::vector<std::uint64_t>& stable) {
+    MPIV_CHECK(stable.size() == per_.size(), "stable vector size %zu vs %zu",
+               stable.size(), per_.size());
+    for (std::size_t c = 0; c < per_.size(); ++c) {
+      Per& p = per_[c];
+      if (stable[c] <= p.stable) continue;
+      p.stable = stable[c];
+      p.dets.erase(p.dets.begin(), p.dets.upper_bound(p.stable));
+    }
+  }
+
+  /// All held determinants created by `creator` (for recovery collection).
+  void collect(std::uint32_t creator, ftapi::DeterminantList& out) const {
+    for (const auto& [seq, d] : at(creator).dets) out.push_back(d);
+  }
+
+  /// Iterates held determinants of `creator` in (lo, hi], in seq order.
+  template <class Fn>
+  void for_range(std::uint32_t creator, std::uint64_t lo, std::uint64_t hi,
+                 Fn&& fn) const {
+    const Per& p = at(creator);
+    for (auto it = p.dets.upper_bound(lo); it != p.dets.end() && it->first <= hi;
+         ++it) {
+      fn(it->second);
+    }
+  }
+
+  std::size_t held_count() const {
+    std::size_t n = 0;
+    for (const Per& p : per_) n += p.dets.size();
+    return n;
+  }
+
+  void serialize(util::Buffer& b) const {
+    for (const Per& p : per_) {
+      b.put_u64(p.stable);
+      b.put_u64(p.known);
+      b.put_u32(static_cast<std::uint32_t>(p.dets.size()));
+      for (const auto& [seq, d] : p.dets) {
+        d.serialize(b);
+        b.put_u16(static_cast<std::uint16_t>(
+            d.dep_creator == UINT32_MAX ? 0xFFFF : d.dep_creator));
+        b.put_u64(d.dep_seq);
+      }
+    }
+  }
+  void restore(util::Buffer& b) {
+    for (Per& p : per_) {
+      p.dets.clear();
+      p.stable = b.get_u64();
+      p.known = b.get_u64();
+      const std::uint32_t n = b.get_u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        ftapi::Determinant d = ftapi::Determinant::deserialize(b);
+        const std::uint16_t dc = b.get_u16();
+        d.dep_creator = dc == 0xFFFF ? UINT32_MAX : dc;
+        d.dep_seq = b.get_u64();
+        p.dets.emplace(d.seq, d);
+      }
+    }
+  }
+  void reset() {
+    for (Per& p : per_) {
+      p.stable = 0;
+      p.known = 0;
+      p.dets.clear();
+    }
+  }
+
+  /// Knowledge vector (per-creator `known`), e.g. for restart clamping.
+  std::vector<std::uint64_t> known_vector() const {
+    std::vector<std::uint64_t> v(per_.size());
+    for (std::size_t c = 0; c < per_.size(); ++c) v[c] = per_[c].known;
+    return v;
+  }
+  std::vector<std::uint64_t> stable_vector() const {
+    std::vector<std::uint64_t> v(per_.size());
+    for (std::size_t c = 0; c < per_.size(); ++c) v[c] = per_[c].stable;
+    return v;
+  }
+
+ private:
+  struct Per {
+    std::uint64_t stable = 0;
+    std::uint64_t known = 0;
+    std::map<std::uint64_t, ftapi::Determinant> dets;
+  };
+  Per& at(std::uint32_t c) {
+    MPIV_CHECK(c < per_.size(), "bad creator %u", c);
+    return per_[c];
+  }
+  const Per& at(std::uint32_t c) const {
+    MPIV_CHECK(c < per_.size(), "bad creator %u", c);
+    return per_[c];
+  }
+  std::vector<Per> per_;
+};
+
+}  // namespace mpiv::causal

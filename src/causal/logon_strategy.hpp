@@ -1,0 +1,28 @@
+// LogOn piggyback reduction (Lee, Park, Yeom, Cho — SRDS'98; paper §III-B.2).
+//
+// Selects the same event set as Manetho (antecedence-graph pruning) but
+// emits it in a causal (topological) order: for any two piggybacked events
+// m_i, m_j with i < j, m_j is never in the causal past of m_i. The receiver
+// can then merge the piggyback in a single pass — every event's
+// antecedents are already in place — making receive cheap; the reordering
+// work moves to the send side, and the partial order forbids factoring, so
+// each event carries its creator and sequence (wider wire format).
+#pragma once
+
+#include "causal/manetho_strategy.hpp"
+
+namespace mpiv::causal {
+
+class LogOnStrategy final : public ManethoStrategy {
+ public:
+  const char* name() const override { return "LogOn"; }
+  Work build(int dst, util::Buffer& out, DepShadow& deps) override;
+  Work absorb(int src, util::Buffer& in, const DepShadow& deps) override;
+
+  /// Orders `events` topologically w.r.t. causal dependencies (ancestors
+  /// first). Exposed for the property tests.
+  static std::vector<ftapi::Determinant> causal_order(
+      std::vector<ftapi::Determinant> events);
+};
+
+}  // namespace mpiv::causal

@@ -1,0 +1,99 @@
+// Sender-based payload logging (paper §III): every sent message's payload
+// is kept in the sender's volatile memory until the receiver's checkpoint
+// covers its delivery; a restarting receiver asks senders to re-send.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace mpiv::causal {
+
+class SenderLog {
+ public:
+  explicit SenderLog(int nranks) : per_(static_cast<std::size_t>(nranks)) {}
+
+  struct Entry {
+    std::uint64_t ssn = 0;
+    std::int32_t tag = 0;
+    net::Payload payload;
+  };
+
+  void log(int dst, std::uint64_t ssn, std::int32_t tag,
+           const net::Payload& payload) {
+    auto [it, inserted] = per_[idx(dst)].emplace(ssn, Entry{ssn, tag, payload});
+    (void)it;
+    if (inserted) bytes_ += payload.bytes;
+  }
+
+  /// Receiver `dst` checkpointed: deliveries with arrival ssn <= `arr_ssn`
+  /// are covered by its image and their payloads can be dropped.
+  void gc(int dst, std::uint64_t arr_ssn) {
+    auto& m = per_[idx(dst)];
+    auto end = m.upper_bound(arr_ssn);
+    for (auto it = m.begin(); it != end; ++it) bytes_ -= it->second.payload.bytes;
+    m.erase(m.begin(), end);
+  }
+
+  /// Iterates logged messages to `dst` with ssn > `from_ssn` (resend set).
+  template <class Fn>
+  void for_pending(int dst, std::uint64_t from_ssn, Fn&& fn) const {
+    const auto& m = per_[idx(dst)];
+    for (auto it = m.upper_bound(from_ssn); it != m.end(); ++it) {
+      fn(it->second);
+    }
+  }
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::size_t entries() const {
+    std::size_t n = 0;
+    for (const auto& m : per_) n += m.size();
+    return n;
+  }
+
+  void serialize(util::Buffer& b) const {
+    for (const auto& m : per_) {
+      b.put_u32(static_cast<std::uint32_t>(m.size()));
+      for (const auto& [ssn, e] : m) {
+        b.put_u64(e.ssn);
+        b.put_u32(static_cast<std::uint32_t>(e.tag));
+        b.put_u64(e.payload.bytes);
+        b.put_u64(e.payload.check);
+      }
+    }
+  }
+  void restore(util::Buffer& b) {
+    bytes_ = 0;
+    for (auto& m : per_) {
+      m.clear();
+      const std::uint32_t n = b.get_u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Entry e;
+        e.ssn = b.get_u64();
+        e.tag = static_cast<std::int32_t>(b.get_u32());
+        e.payload.bytes = b.get_u64();
+        e.payload.check = b.get_u64();
+        bytes_ += e.payload.bytes;
+        m.emplace(e.ssn, e);
+      }
+    }
+  }
+  void reset() {
+    for (auto& m : per_) m.clear();
+    bytes_ = 0;
+  }
+
+ private:
+  std::size_t idx(int dst) const {
+    MPIV_CHECK(dst >= 0 && dst < static_cast<int>(per_.size()), "bad dst %d", dst);
+    return static_cast<std::size_t>(dst);
+  }
+  std::vector<std::map<std::uint64_t, Entry>> per_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mpiv::causal

@@ -1,0 +1,33 @@
+#include "causal/logon_strategy.hpp"
+#include "causal/manetho_strategy.hpp"
+#include "causal/strategy.hpp"
+#include "causal/vcausal_strategy.hpp"
+#include "util/check.hpp"
+
+namespace mpiv::causal {
+
+const char* strategy_kind_name(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kVcausal:
+      return "Vcausal";
+    case StrategyKind::kManetho:
+      return "Manetho";
+    case StrategyKind::kLogOn:
+      return "LogOn";
+  }
+  MPIV_PANIC("bad strategy kind %d", static_cast<int>(k));
+}
+
+std::unique_ptr<Strategy> make_strategy(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::kVcausal:
+      return std::make_unique<VcausalStrategy>();
+    case StrategyKind::kManetho:
+      return std::make_unique<ManethoStrategy>();
+    case StrategyKind::kLogOn:
+      return std::make_unique<LogOnStrategy>();
+  }
+  MPIV_PANIC("bad strategy kind %d", static_cast<int>(k));
+}
+
+}  // namespace mpiv::causal

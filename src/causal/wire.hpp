@@ -1,0 +1,42 @@
+// Piggyback wire formats (paper §III-C).
+//
+// Vcausal and Manetho factor events by the rank that created them ("the
+// receiver rank of the event"): a block carries {creator, count, first_seq}
+// once, then per-event {src, ssn, tag}. LogOn's partial order forbids
+// factoring — events from different creators interleave — so every event
+// carries its creator and sequence explicitly, making each event wider:
+// "for the same number of events to piggyback, the actual size in bytes of
+// data added to the message is higher for LogOn". For very small piggybacks
+// the factored block header dominates and LogOn is the smaller format (the
+// paper's LU/4-nodes observation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ftapi/determinant.hpp"
+#include "util/buffer.hpp"
+
+namespace mpiv::causal::wire {
+
+// Factored format sizes.
+constexpr std::uint64_t kFactoredHeader = 2;              // u16 block count
+constexpr std::uint64_t kFactoredBlockHeader = 2 + 2 + 8; // creator,count,first
+constexpr std::uint64_t kFactoredPerEvent = 2 + 8 + 4;    // src,ssn,tag
+// Per-event (LogOn) format sizes.
+constexpr std::uint64_t kPlainHeader = 2;                  // u16 event count
+constexpr std::uint64_t kPlainPerEvent = 2 + 8 + 2 + 8 + 4;// creator,seq,src,ssn,tag
+
+/// Serializes events factored by creator. `events` must be grouped by
+/// creator with contiguous seq runs inside a group (the builder emits runs).
+void factored_serialize(const std::vector<ftapi::Determinant>& events,
+                        util::Buffer& out);
+/// Parses a factored piggyback (inverse of factored_serialize).
+std::vector<ftapi::Determinant> factored_parse(util::Buffer& in);
+
+/// Serializes events one-by-one preserving their order (LogOn format).
+void plain_serialize(const std::vector<ftapi::Determinant>& events,
+                     util::Buffer& out);
+std::vector<ftapi::Determinant> plain_parse(util::Buffer& in);
+
+}  // namespace mpiv::causal::wire

@@ -1,0 +1,94 @@
+// Checkpoint scheduler (paper §IV-B.3): decides when each rank checkpoints.
+// Message-logging protocols take uncoordinated checkpoints — round-robin
+// maximizes sender-log garbage collection; coordinated checkpointing
+// requests a synchronized wave from every rank at once.
+#pragma once
+
+#include <cstdint>
+
+#include "ftapi/services.hpp"
+#include "mpi/rank_runtime.hpp"
+#include "net/service_port.hpp"
+#include "util/rng.hpp"
+
+namespace mpiv::ckpt {
+
+enum class Policy : std::uint8_t {
+  kNone,        // never checkpoint
+  kRoundRobin,  // one rank per tick, cycling
+  kRandom,      // one random rank per tick
+  kAllAtOnce,   // every rank per tick (coordinated wave trigger)
+};
+
+inline const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kNone: return "none";
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kRandom: return "random";
+    case Policy::kAllAtOnce: return "all-at-once";
+  }
+  return "?";
+}
+
+class CheckpointScheduler {
+ public:
+  CheckpointScheduler(net::Network& net, const ftapi::NodeLayout& layout,
+                      Policy policy, sim::Time interval, std::uint64_t seed)
+      : layout_(layout),
+        port_(net, layout.dispatcher_node()),
+        policy_(policy),
+        interval_(interval),
+        rng_(seed ^ 0xC4E1'2005ULL) {}
+
+  void start() {
+    if (policy_ == Policy::kNone || interval_ <= 0) return;
+    running_ = true;
+    port_.engine().after(interval_, [this] { tick(); });
+  }
+  void stop() { running_ = false; }
+  std::uint64_t requests_sent() const { return requests_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    ++wave_;
+    switch (policy_) {
+      case Policy::kNone:
+        return;
+      case Policy::kRoundRobin:
+        request(next_);
+        next_ = (next_ + 1) % layout_.nranks;
+        break;
+      case Policy::kRandom:
+        request(static_cast<int>(
+            rng_.next_below(static_cast<std::uint64_t>(layout_.nranks))));
+        break;
+      case Policy::kAllAtOnce:
+        for (int r = 0; r < layout_.nranks; ++r) request(r);
+        break;
+    }
+    port_.engine().after(interval_, [this] { tick(); });
+  }
+
+  void request(int rank) {
+    net::Message m;
+    m.kind = net::MsgKind::kControl;
+    m.tag = static_cast<std::int32_t>(mpi::CtlSub::kCkptRequest);
+    m.arg = wave_;  // wave number (used by coordinated checkpointing)
+    m.dst = layout_.rank_node(rank);
+    ++requests_;
+    port_.send_after(0, std::move(m));
+  }
+
+  ftapi::NodeLayout layout_;
+  net::ServicePort port_;
+  Policy policy_;
+  sim::Time interval_;
+  util::Rng rng_;
+  bool running_ = false;
+  int next_ = 0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t wave_ = 0;
+};
+
+}  // namespace mpiv::ckpt

@@ -1,0 +1,266 @@
+// Coordinated checkpointing with an aligned Chandy-Lamport flush wave (the
+// MPICH-Vcl baseline of the paper's Fig. 1).
+//
+// Application-assisted checkpoints can only be taken at checkpoint sites,
+// so a wave must park every rank at the *same* site index — parking at
+// "whatever site comes next" deadlocks as soon as one rank's progress to
+// its site depends on a message a parked rank would only send later (e.g.
+// a ring token). The wave therefore runs in phases:
+//
+//   1. join    — the scheduler announces wave W; at its next site each rank
+//                reports its current site index to the coordinator;
+//   2. agree   — the coordinator picks S* = max(reported) + margin and
+//                broadcasts it; every rank keeps running until site S*;
+//   3. flush   — at site S* a rank sends a marker on every channel and
+//                waits for all markers; FIFO channels guarantee that every
+//                message sent before a peer parked has arrived (delivered
+//                or captured in the unexpected queue, which is serialized
+//                into the image);
+//   4. store   — the rank stores its image under version W and reports;
+//   5. resume  — when all ranks stored, the coordinator releases the wave.
+//                A rank that raced past S* before learning it aborts the
+//                wave; the coordinator cancels it (nobody can have stored,
+//                because the aborting rank never sent its marker).
+//
+// Recovery is global: ANY fault rolls EVERY rank back to the last complete
+// snapshot — the reason coordinated checkpointing collapses at high fault
+// frequency (Fig. 1).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "ftapi/vprotocol.hpp"
+#include "mpi/rank_runtime.hpp"
+#include "sim/sync.hpp"
+
+namespace mpiv::coord {
+
+/// Control subtags (offsets above mpi::CtlSub::kProtocol).
+enum class CoordSub : std::int32_t {
+  kMarker = 16,      // rank -> rank: arg = wave
+  kWaveJoin = 17,    // rank -> coordinator: arg = wave, ssn = my site index
+  kWaveAt = 18,      // coordinator -> rank: arg = wave, ssn = aligned site S*
+  kWaveDone = 19,    // rank -> coordinator: arg = wave (image stored)
+  kWaveAbort = 20,   // rank -> coordinator: arg = wave (raced past S*)
+  kWaveResume = 21,  // coordinator -> rank: arg = wave, ssn = 1 if completed
+};
+
+class CoordinatedProtocol final : public ftapi::VProtocol {
+ public:
+  const char* name() const override { return "Coordinated"; }
+
+  void bind(const ftapi::RankServices& svc) override {
+    ftapi::VProtocol::bind(svc);
+    wake_ = std::make_unique<sim::WaitQueue>(*svc.eng);
+  }
+
+  sim::Task<void> at_checkpoint_site(ftapi::ICheckpointOps& ops,
+                                     const util::Buffer& app_state) override {
+    ++site_count_;
+    // Phase 1: join a newly announced wave.
+    if (ops.checkpoint_requested()) ops.clear_checkpoint_request();
+    if (announced_ > joined_) {
+      joined_ = announced_;
+      net::Message j;
+      j.kind = net::MsgKind::kControl;
+      j.tag = static_cast<std::int32_t>(CoordSub::kWaveJoin);
+      j.src_rank = svc_.rank;
+      j.arg = joined_;
+      j.ssn = site_count_;
+      svc_.send_ctl(svc_.layout.dispatcher_node(), std::move(j));
+    }
+    // Phase 2/3: park when the agreed site is reached.
+    if (joined_ <= completed_ || park_wave_ != joined_) co_return;
+    if (site_count_ > park_site_) {
+      // Raced past the agreed site before kWaveAt arrived: abort the wave.
+      net::Message a;
+      a.kind = net::MsgKind::kControl;
+      a.tag = static_cast<std::int32_t>(CoordSub::kWaveAbort);
+      a.src_rank = svc_.rank;
+      a.arg = joined_;
+      svc_.send_ctl(svc_.layout.dispatcher_node(), std::move(a));
+      completed_ = joined_;  // locally give up on this wave
+      co_return;
+    }
+    if (site_count_ < park_site_) co_return;  // keep running until S*
+
+    const std::uint64_t wave = joined_;
+    // Phase 3: flush — markers out, wait for everyone's marker (or cancel).
+    for (int peer = 0; peer < svc_.nranks; ++peer) {
+      if (peer == svc_.rank) continue;
+      net::Message m;
+      m.kind = net::MsgKind::kControl;
+      m.tag = static_cast<std::int32_t>(CoordSub::kMarker);
+      m.src_rank = svc_.rank;
+      m.arg = wave;
+      svc_.send_ctl_to_rank(peer, std::move(m));
+    }
+    while (markers_[wave] < static_cast<std::size_t>(svc_.nranks - 1) &&
+           cancelled_ < wave) {
+      co_await wake_->wait();
+    }
+    markers_.erase(wave);
+    if (cancelled_ >= wave) {
+      completed_ = std::max(completed_, wave);
+      co_return;  // wave cancelled before anyone stored
+    }
+
+    // Phase 4: store under version = wave number (global rollback target).
+    co_await ops.store_checkpoint(app_state, wave);
+    net::Message done;
+    done.kind = net::MsgKind::kControl;
+    done.tag = static_cast<std::int32_t>(CoordSub::kWaveDone);
+    done.src_rank = svc_.rank;
+    done.arg = wave;
+    svc_.send_ctl(svc_.layout.dispatcher_node(), std::move(done));
+
+    // Phase 5: park until the coordinator releases the wave (sending app
+    // data before that could cross the cut).
+    while (resumed_ < wave) co_await wake_->wait();
+    completed_ = std::max(completed_, wave);
+  }
+
+  void on_ctl(net::Message&& m) override {
+    if (m.kind != net::MsgKind::kControl) return;
+    switch (static_cast<mpi::CtlSub>(m.tag)) {
+      case mpi::CtlSub::kCkptRequest:
+        // Scheduler wave announcement (the runtime also sets the request
+        // flag; the wave number travels in arg).
+        announced_ = std::max(announced_, m.arg);
+        return;
+      default:
+        break;
+    }
+    switch (static_cast<CoordSub>(m.tag)) {
+      case CoordSub::kMarker:
+        ++markers_[m.arg];
+        wake_->wake_all();
+        return;
+      case CoordSub::kWaveAt:
+        if (m.arg == joined_) {
+          park_wave_ = m.arg;
+          park_site_ = m.ssn;
+        }
+        return;
+      case CoordSub::kWaveResume:
+        resumed_ = std::max(resumed_, m.arg);
+        if (m.ssn == 0) cancelled_ = std::max(cancelled_, m.arg);
+        wake_->wake_all();
+        return;
+      default:
+        return;
+    }
+  }
+
+  void serialize(util::Buffer& b) const override {
+    b.put_u64(site_count_);
+    b.put_u64(completed_);
+  }
+  void restore(util::Buffer& b) override {
+    site_count_ = b.get_u64();
+    completed_ = b.get_u64();
+    joined_ = completed_;
+    announced_ = completed_;
+    resumed_ = completed_;
+    cancelled_ = completed_;
+    park_wave_ = 0;
+    park_site_ = UINT64_MAX;
+  }
+  void reset() override {
+    site_count_ = 0;
+    announced_ = joined_ = completed_ = resumed_ = cancelled_ = 0;
+    park_wave_ = 0;
+    park_site_ = UINT64_MAX;
+    markers_.clear();
+  }
+
+ private:
+  std::uint64_t site_count_ = 0;
+  std::uint64_t announced_ = 0;  // highest wave the scheduler announced
+  std::uint64_t joined_ = 0;     // highest wave we joined
+  std::uint64_t completed_ = 0;  // highest wave finished (stored or given up)
+  std::uint64_t resumed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t park_wave_ = 0;
+  std::uint64_t park_site_ = UINT64_MAX;
+  std::map<std::uint64_t, std::size_t> markers_;
+  std::unique_ptr<sim::WaitQueue> wake_;
+};
+
+/// Dispatcher-side wave coordinator: collects joins, picks the aligned
+/// site, collects done/abort reports, releases or cancels the wave, and
+/// tracks the last globally-complete snapshot for rollback.
+class WaveCoordinator {
+ public:
+  WaveCoordinator(net::Network& net, const ftapi::NodeLayout& layout)
+      : layout_(layout), port_(net, layout.dispatcher_node()) {}
+
+  /// Margin added over the highest reported site index; covers the sites a
+  /// fast rank passes while the agreement round is in flight.
+  static constexpr std::uint64_t kAlignMargin = 2;
+
+  /// Returns true if the frame was a coordination report (consumed).
+  bool on_ctl(const net::Message& m) {
+    if (m.kind != net::MsgKind::kControl) return false;
+    switch (static_cast<CoordSub>(m.tag)) {
+      case CoordSub::kWaveJoin: {
+        Wave& w = waves_[m.arg];
+        w.max_site = std::max(w.max_site, m.ssn);
+        if (++w.joins == static_cast<std::size_t>(layout_.nranks) && !w.dead) {
+          broadcast(CoordSub::kWaveAt, m.arg, w.max_site + kAlignMargin);
+        }
+        return true;
+      }
+      case CoordSub::kWaveDone: {
+        Wave& w = waves_[m.arg];
+        if (++w.dones == static_cast<std::size_t>(layout_.nranks) && !w.dead) {
+          complete_ = std::max(complete_, m.arg);
+          broadcast(CoordSub::kWaveResume, m.arg, 1);
+          waves_.erase(m.arg);
+        }
+        return true;
+      }
+      case CoordSub::kWaveAbort: {
+        Wave& w = waves_[m.arg];
+        if (!w.dead) {
+          w.dead = true;
+          broadcast(CoordSub::kWaveResume, m.arg, 0);  // cancel
+        }
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  /// Last wave for which every rank committed an image.
+  std::uint64_t last_complete() const { return complete_; }
+
+ private:
+  struct Wave {
+    std::size_t joins = 0;
+    std::size_t dones = 0;
+    std::uint64_t max_site = 0;
+    bool dead = false;
+  };
+
+  void broadcast(CoordSub sub, std::uint64_t wave, std::uint64_t ssn) {
+    for (int r = 0; r < layout_.nranks; ++r) {
+      net::Message m;
+      m.kind = net::MsgKind::kControl;
+      m.tag = static_cast<std::int32_t>(sub);
+      m.arg = wave;
+      m.ssn = ssn;
+      m.dst = layout_.rank_node(r);
+      port_.send_after(0, std::move(m));
+    }
+  }
+
+  ftapi::NodeLayout layout_;
+  net::ServicePort port_;
+  std::map<std::uint64_t, Wave> waves_;
+  std::uint64_t complete_ = 0;
+};
+
+}  // namespace mpiv::coord

@@ -1,0 +1,179 @@
+// The Event Logger (paper §IV-B.4): a single-threaded reliable server that
+// stores reception determinants and acknowledges with the stable-clock
+// vector — "the last event stored for each process".
+//
+// It is deliberately a single select-loop service with a per-event service
+// cost and one 100 Mb/s NIC: when every rank streams determinants at it
+// (LU, 16 ranks), its ingress and service queue saturate, acks lag, nodes
+// prune later and piggybacks grow — the bottleneck the paper observes and
+// proposes distributing in future work.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ftapi/determinant.hpp"
+#include "ftapi/services.hpp"
+#include "ftapi/stats.hpp"
+#include "mpi/rank_runtime.hpp"
+#include "net/service_port.hpp"
+
+namespace mpiv::elog {
+
+class EventLogger {
+ public:
+  /// `shard` selects which subset of ranks this instance serves (paper §VI:
+  /// "assigning a subset of the nodes to one Event Logger"). With more than
+  /// one shard, each periodically multicasts its local stable-clock array
+  /// to the others so that every ack can still carry the global view.
+  EventLogger(net::Network& net, const ftapi::NodeLayout& layout,
+              ftapi::ElStats* stats, int shard = 0)
+      : net_(net),
+        layout_(layout),
+        stats_(stats),
+        shard_(shard),
+        port_(net, layout.el_node(shard)),
+        per_(static_cast<std::size_t>(layout.nranks)) {
+    net.attach(layout.el_node(shard),
+               [this](net::Message&& m) { on_frame(std::move(m)); });
+    if (layout_.el_count > 1) {
+      net_.engine().after(kExchangeInterval, [this] { exchange_clocks(); });
+    }
+  }
+
+  /// Period of the shard-to-shard stable-clock multicast (paper §VI).
+  static constexpr sim::Time kExchangeInterval = 5 * sim::kMillisecond;
+
+  /// Stable watermark for `creator`: every determinant with seq <= watermark
+  /// is either stored (here or at the creator's shard) or covered by a
+  /// checkpoint image.
+  std::uint64_t stable(std::uint32_t creator) const {
+    return per_[creator].contiguous;
+  }
+  int shard() const { return shard_; }
+  bool owns_rank(int r) const { return layout_.el_shard_for_rank(r) == shard_; }
+  std::size_t stored_count() const {
+    std::size_t n = 0;
+    for (const Per& p : per_) n += p.dets.size();
+    return n;
+  }
+
+ private:
+  struct Per {
+    std::uint64_t contiguous = 0;
+    std::map<std::uint64_t, ftapi::Determinant> dets;
+  };
+
+  void on_frame(net::Message&& m) {
+    const net::CostModel& c = net_.cost();
+    switch (m.kind) {
+      case net::MsgKind::kElEvent: {
+        const std::uint32_t n = m.body.get_u32();
+        std::vector<ftapi::Determinant> dets;
+        dets.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) {
+          dets.push_back(ftapi::Determinant::deserialize(m.body));
+        }
+        stats_->bytes_in += m.wire_bytes;
+        const net::NodeId reply_to = m.src;
+        port_.charge_then(
+            static_cast<sim::Time>(n) * c.el_service, [this, dets, reply_to] {
+              for (const ftapi::Determinant& d : dets) store(d);
+              ack(reply_to);
+            });
+        ++pending_;
+        stats_->peak_queue = std::max(stats_->peak_queue, pending_);
+        return;
+      }
+      case net::MsgKind::kElRecoveryReq: {
+        const auto rank = static_cast<std::uint32_t>(m.arg);
+        const net::NodeId reply_to = m.src;
+        net::Message resp;
+        resp.kind = net::MsgKind::kElRecoveryResp;
+        resp.dst = reply_to;
+        // The current stable vector first: a restarting node must resync its
+        // stability knowledge (a restored image may lag the EL, and e.g. the
+        // pessimistic send gate depends on it).
+        for (const Per& q : per_) resp.body.put_u64(q.contiguous);
+        const Per& p = per_[rank];
+        resp.body.put_u32(static_cast<std::uint32_t>(p.dets.size()));
+        for (const auto& [seq, d] : p.dets) d.serialize(resp.body);
+        port_.send_after(
+            static_cast<sim::Time>(p.dets.size()) * c.el_recovery_read +
+                c.el_ack_build,
+            std::move(resp));
+        return;
+      }
+      case net::MsgKind::kControl:
+        switch (static_cast<mpi::CtlSub>(m.tag)) {
+          case mpi::CtlSub::kElGc: {
+            // Checkpoint of `src_rank` covers receptions <= arg: stability
+            // may advance and storage be pruned.
+            Per& p = per_[static_cast<std::uint32_t>(m.src_rank)];
+            p.contiguous = std::max(p.contiguous, m.arg);
+            p.dets.erase(p.dets.begin(), p.dets.upper_bound(m.arg));
+            return;
+          }
+          case mpi::CtlSub::kElShardClock: {
+            // Another shard's stable-clock array: merge the entries for the
+            // ranks it owns into our global view.
+            for (int r = 0; r < layout_.nranks; ++r) {
+              const std::uint64_t v = m.body.get_u64();
+              if (!owns_rank(r)) {
+                per_[static_cast<std::uint32_t>(r)].contiguous = std::max(
+                    per_[static_cast<std::uint32_t>(r)].contiguous, v);
+              }
+            }
+            return;
+          }
+          default:
+            return;
+        }
+      default:
+        return;
+    }
+  }
+
+  void store(const ftapi::Determinant& d) {
+    Per& p = per_[d.creator];
+    ++stats_->events_stored;
+    if (d.seq <= p.contiguous) return;  // duplicate (replayed resubmission)
+    p.dets.emplace(d.seq, d);
+    while (p.dets.count(p.contiguous + 1) != 0) ++p.contiguous;
+  }
+
+  void ack(net::NodeId to) {
+    if (pending_ > 0) --pending_;
+    net::Message a;
+    a.kind = net::MsgKind::kElAck;
+    a.dst = to;
+    for (const Per& p : per_) a.body.put_u64(p.contiguous);
+    ++stats_->acks_sent;
+    port_.send_after(net_.cost().el_ack_build, std::move(a));
+  }
+
+  void exchange_clocks() {
+    for (int other = 0; other < layout_.el_count; ++other) {
+      if (other == shard_) continue;
+      net::Message m;
+      m.kind = net::MsgKind::kControl;
+      m.tag = static_cast<std::int32_t>(mpi::CtlSub::kElShardClock);
+      m.dst = layout_.el_node(other);
+      // Send our whole view; receivers only merge the slots we own.
+      for (const Per& p : per_) m.body.put_u64(p.contiguous);
+      port_.send_after(net_.cost().el_ack_build, std::move(m));
+    }
+    net_.engine().after(kExchangeInterval, [this] { exchange_clocks(); });
+  }
+
+  net::Network& net_;
+  ftapi::NodeLayout layout_;
+  ftapi::ElStats* stats_;
+  int shard_;
+  net::ServicePort port_;
+  std::vector<Per> per_;
+  std::uint64_t pending_ = 0;
+};
+
+}  // namespace mpiv::elog

@@ -1,0 +1,66 @@
+// Node layout and the service bundle handed to fault-tolerance protocols.
+#pragma once
+
+#include <cstdint>
+
+#include "ftapi/stats.hpp"
+#include "net/cost_model.hpp"
+#include "net/daemon.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+
+namespace mpiv::ftapi {
+
+/// Cluster node numbering: ranks first, then the stable auxiliary servers
+/// (Fig. 5 of the paper: checkpoint server, Event Logger(s), dispatcher
+/// with its checkpoint scheduler). `el_count > 1` enables the distributed
+/// Event Logger of the paper's future work (§VI): ranks are assigned to
+/// shards round-robin and the shards exchange their stable-clock arrays.
+struct NodeLayout {
+  int nranks = 0;
+  int el_count = 1;
+
+  net::NodeId rank_node(int r) const { return static_cast<net::NodeId>(r); }
+  net::NodeId el_node(int shard = 0) const {
+    return static_cast<net::NodeId>(nranks + shard);
+  }
+  /// The EL shard responsible for rank `r`'s determinants.
+  int el_shard_for_rank(int r) const { return r % el_count; }
+  net::NodeId el_node_for_rank(int r) const {
+    return el_node(el_shard_for_rank(r));
+  }
+  net::NodeId ckpt_node() const {
+    return static_cast<net::NodeId>(nranks + el_count);
+  }
+  net::NodeId dispatcher_node() const {
+    return static_cast<net::NodeId>(nranks + el_count + 1);
+  }
+  std::uint32_t total_nodes() const {
+    return static_cast<std::uint32_t>(nranks + el_count + 2);
+  }
+  bool is_rank_node(net::NodeId n) const { return n < static_cast<net::NodeId>(nranks); }
+};
+
+/// Everything a V-protocol may use, owned by the rank runtime.
+struct RankServices {
+  sim::Engine* eng = nullptr;
+  net::Daemon* daemon = nullptr;
+  const net::CostModel* cost = nullptr;
+  int rank = -1;
+  int nranks = 0;
+  NodeLayout layout{};
+  bool el_enabled = false;
+  RankStats* stats = nullptr;
+
+  /// Sends a control frame from this rank's node.
+  void send_ctl(net::NodeId dst, net::Message&& m) const {
+    m.src = layout.rank_node(rank);
+    m.dst = dst;
+    daemon->submit_ctl(std::move(m));
+  }
+  void send_ctl_to_rank(int dst_rank, net::Message&& m) const {
+    send_ctl(layout.rank_node(dst_rank), std::move(m));
+  }
+};
+
+}  // namespace mpiv::ftapi

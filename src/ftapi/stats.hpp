@@ -1,0 +1,65 @@
+// Probes shared across the stack — the quantities the paper's evaluation
+// section reports (piggyback bytes, piggyback management time, recovery
+// timing, Event Logger behaviour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace mpiv::ftapi {
+
+struct RankStats {
+  // Application traffic.
+  std::uint64_t app_msgs_sent = 0;
+  std::uint64_t app_bytes_sent = 0;
+  // Piggyback volume (Fig. 7).
+  std::uint64_t pb_events_sent = 0;
+  std::uint64_t pb_bytes_sent = 0;
+  std::uint64_t pb_empty_msgs = 0;  // app messages that carried no events
+  // Piggyback management time (Fig. 8): simulated CPU charged.
+  sim::Time pb_send_cpu = 0;   // select + serialize on the send path
+  sim::Time pb_recv_cpu = 0;   // parse + merge on the receive path
+  // Determinants and the Event Logger.
+  std::uint64_t dets_created = 0;
+  util::Accumulator el_ack_latency_us;
+  // Recovery (Fig. 10).
+  sim::Time recovery_collect_time = 0;  // time to gather all events to replay
+  sim::Time recovery_total_time = 0;    // image fetch + events + replay
+  std::uint64_t recovery_events = 0;
+  std::uint64_t replayed_receptions = 0;
+  // Memory watermarks.
+  std::uint64_t sender_log_peak_bytes = 0;
+  std::uint64_t event_store_peak = 0;
+  std::uint64_t graph_peak_nodes = 0;
+
+  void merge(const RankStats& o) {
+    app_msgs_sent += o.app_msgs_sent;
+    app_bytes_sent += o.app_bytes_sent;
+    pb_events_sent += o.pb_events_sent;
+    pb_bytes_sent += o.pb_bytes_sent;
+    pb_empty_msgs += o.pb_empty_msgs;
+    pb_send_cpu += o.pb_send_cpu;
+    pb_recv_cpu += o.pb_recv_cpu;
+    dets_created += o.dets_created;
+    el_ack_latency_us.merge(o.el_ack_latency_us);
+    recovery_collect_time += o.recovery_collect_time;
+    recovery_total_time += o.recovery_total_time;
+    recovery_events += o.recovery_events;
+    replayed_receptions += o.replayed_receptions;
+    sender_log_peak_bytes = std::max(sender_log_peak_bytes, o.sender_log_peak_bytes);
+    event_store_peak = std::max(event_store_peak, o.event_store_peak);
+    graph_peak_nodes = std::max(graph_peak_nodes, o.graph_peak_nodes);
+  }
+};
+
+struct ElStats {
+  std::uint64_t events_stored = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t peak_queue = 0;
+};
+
+}  // namespace mpiv::ftapi

@@ -1,0 +1,130 @@
+#include "mpi/collectives.hpp"
+
+#include "util/check.hpp"
+
+namespace mpiv::mpi {
+
+namespace {
+int coll_tag(std::uint64_t seq, int round) {
+  return kCollTagBase + static_cast<int>(seq % 60000) * 32 + round;
+}
+}  // namespace
+
+sim::Task<void> barrier(Comm& c) {
+  const int size = c.size();
+  if (size <= 1) co_return;
+  const std::uint64_t seq = c.next_collective_seq();
+  const int rank = c.rank();
+  int round = 0;
+  for (int dist = 1; dist < size; dist <<= 1, ++round) {
+    const int to = (rank + dist) % size;
+    const int from = (rank - dist + size) % size;
+    co_await c.send(to, coll_tag(seq, round), 4, 0);
+    co_await c.recv(from, coll_tag(seq, round));
+  }
+}
+
+sim::Task<std::uint64_t> bcast(Comm& c, int root, std::uint64_t bytes,
+                               std::uint64_t check) {
+  const int size = c.size();
+  MPIV_CHECK(root >= 0 && root < size, "bcast: bad root %d", root);
+  if (size <= 1) co_return check;
+  const std::uint64_t seq = c.next_collective_seq();
+  const int rank = c.rank();
+  const int relative = (rank - root + size) % size;
+  std::uint64_t value = check;
+
+  // Binomial tree: receive from the parent...
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int src = (rank - mask + size) % size;
+      const RecvResult r = co_await c.recv(src, coll_tag(seq, 0));
+      value = r.check;
+      break;
+    }
+    mask <<= 1;
+  }
+  // ...then forward to the children.
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < size) {
+      const int dst = (rank + mask) % size;
+      co_await c.send(dst, coll_tag(seq, 0), bytes, value);
+    }
+    mask >>= 1;
+  }
+  co_return value;
+}
+
+sim::Task<std::uint64_t> reduce(Comm& c, int root, std::uint64_t bytes,
+                                std::uint64_t contrib) {
+  const int size = c.size();
+  MPIV_CHECK(root >= 0 && root < size, "reduce: bad root %d", root);
+  if (size <= 1) co_return contrib;
+  const std::uint64_t seq = c.next_collective_seq();
+  const int rank = c.rank();
+  const int relative = (rank - root + size) % size;
+  std::uint64_t acc = contrib;
+
+  int mask = 1;
+  while (mask < size) {
+    if (relative & mask) {
+      const int dst = (rank - mask + size) % size;
+      co_await c.send(dst, coll_tag(seq, 0), bytes, acc);
+      co_return 0;
+    }
+    if (relative + mask < size) {
+      const int src = (rank + mask) % size;
+      const RecvResult r = co_await c.recv(src, coll_tag(seq, 0));
+      acc += r.check;
+    }
+    mask <<= 1;
+  }
+  co_return acc;  // only the root reaches this point
+}
+
+sim::Task<std::uint64_t> allreduce(Comm& c, std::uint64_t bytes,
+                                   std::uint64_t contrib) {
+  const std::uint64_t total = co_await reduce(c, 0, bytes, contrib);
+  co_return co_await bcast(c, 0, bytes, total);
+}
+
+sim::Task<std::uint64_t> alltoall(Comm& c, std::uint64_t bytes_per_pair,
+                                  std::uint64_t contrib) {
+  const int size = c.size();
+  std::uint64_t acc = contrib;
+  if (size <= 1) co_return acc;
+  const std::uint64_t seq = c.next_collective_seq();
+  const int rank = c.rank();
+  for (int step = 1; step < size; ++step) {
+    const int to = (rank + step) % size;
+    const int from = (rank - step + size) % size;
+    co_await c.send(to, coll_tag(seq, step % 30), bytes_per_pair, contrib);
+    const RecvResult r = co_await c.recv(from, coll_tag(seq, step % 30));
+    acc += r.check;
+  }
+  co_return acc;
+}
+
+sim::Task<std::uint64_t> allgather(Comm& c, std::uint64_t bytes_per_rank,
+                                   std::uint64_t contrib) {
+  const int size = c.size();
+  std::uint64_t acc = contrib;
+  if (size <= 1) co_return acc;
+  const std::uint64_t seq = c.next_collective_seq();
+  const int rank = c.rank();
+  const int to = (rank + 1) % size;
+  const int from = (rank - 1 + size) % size;
+  // Ring: in step s we forward the block that originated s hops upstream.
+  std::uint64_t forward = contrib;
+  for (int step = 0; step < size - 1; ++step) {
+    co_await c.send(to, coll_tag(seq, step % 30), bytes_per_rank, forward);
+    const RecvResult r = co_await c.recv(from, coll_tag(seq, step % 30));
+    acc += r.check;
+    forward = r.check;
+  }
+  co_return acc;
+}
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,86 @@
+// The application-facing communication interface (mini-MPI).
+//
+// Workloads are coroutines over this interface: blocking-style send/recv,
+// compute charging, and cooperative checkpoint sites. `recv` with
+// src == kAnySource is the nondeterministic reception that message logging
+// exists to tame.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+
+namespace mpiv::mpi {
+
+constexpr int kAnySource = -1;
+
+struct RecvResult {
+  int src = -1;
+  int tag = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t check = 0;  // checksum word standing in for message content
+  std::uint64_t ssn = 0;
+};
+
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Sends `bytes` of payload carrying checksum word `check` to `dst`.
+  /// Completes when the message is handed to the communication daemon
+  /// (buffered send semantics).
+  virtual sim::Task<void> send(int dst, int tag, std::uint64_t bytes,
+                               std::uint64_t check) = 0;
+  /// Blocks until a matching message is delivered. `src` may be kAnySource.
+  virtual sim::Task<RecvResult> recv(int src, int tag) = 0;
+
+  /// Nonblocking receive: posts the request and returns immediately.
+  /// Outstanding requests must be completed with wait_recv() before the
+  /// next checkpoint site (quiescence requirement of application-assisted
+  /// checkpointing). Sends are buffered (complete at daemon handoff), so an
+  /// isend is just send().
+  struct RecvHandle {
+    std::uint64_t id = 0;
+  };
+  virtual RecvHandle irecv(int src, int tag) = 0;
+  /// Completes a posted request and returns its message.
+  virtual sim::Task<RecvResult> wait_recv(RecvHandle h) = 0;
+
+  /// Charges `cpu` of local computation.
+  virtual sim::Task<void> compute(sim::Time cpu) = 0;
+  /// Charges computation for `flops` floating-point operations.
+  virtual sim::Task<void> compute_flops(double flops) = 0;
+
+  /// Cooperative checkpoint site: the fault-tolerance protocol may take a
+  /// checkpoint here (or run its coordination wave). `app_state` must allow
+  /// resuming the application from this exact point.
+  virtual sim::Task<void> checkpoint_site(const util::Buffer& app_state) = 0;
+  /// Non-null when this incarnation restarted from a checkpoint: the
+  /// app_state blob to resume from.
+  virtual const util::Buffer* restart_state() const = 0;
+  /// Declares the logical size of the application state (beyond the blob),
+  /// charged when checkpoint images move to the checkpoint server.
+  virtual void set_logical_state_bytes(std::uint64_t bytes) = 0;
+
+  /// Deterministic per-rank RNG (seeded from the cluster seed and rank;
+  /// checkpoint its state in app_state if the workload uses it).
+  virtual util::Rng& rng() = 0;
+  virtual sim::Time now() const = 0;
+
+  /// Monotonically increasing collective-operation sequence number,
+  /// identical across ranks and preserved across restarts (used by the
+  /// collective algorithms for tag isolation).
+  virtual std::uint64_t next_collective_seq() = 0;
+};
+
+/// Creates (or re-creates, after a restart) the application coroutine.
+using AppFactory = std::function<sim::Task<void>(Comm&)>;
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,495 @@
+#include "mpi/rank_runtime.hpp"
+
+#include <algorithm>
+
+namespace mpiv::mpi {
+
+RankRuntime::RankRuntime(sim::Engine& eng, net::Network& net,
+                         const ftapi::NodeLayout& layout, int rank,
+                         net::ChannelKind channel,
+                         std::unique_ptr<ftapi::VProtocol> proto,
+                         ftapi::RankStats* stats, std::uint64_t seed)
+    : eng_(eng),
+      net_(net),
+      layout_(layout),
+      rank_(rank),
+      daemon_(std::make_unique<net::Daemon>(net, layout.rank_node(rank), channel)),
+      proto_(std::move(proto)),
+      stats_(stats),
+      rng_([&] {
+        std::uint64_t s = seed;
+        for (int i = 0; i <= rank; ++i) util::splitmix64(s);
+        return s;
+      }()),
+      send_ssn_(static_cast<std::size_t>(layout.nranks), 0),
+      arr_(static_cast<std::size_t>(layout.nranks)),
+      store_ack_(eng),
+      fetch_done_(eng) {
+  daemon_->attach_upper([this](net::Message&& m) { on_daemon_up(std::move(m)); });
+  ftapi::RankServices svc;
+  svc.eng = &eng_;
+  svc.daemon = daemon_.get();
+  svc.cost = &net_.cost();
+  svc.rank = rank_;
+  svc.nranks = layout_.nranks;
+  svc.layout = layout_;
+  svc.el_enabled = true;  // protocols that ignore the EL simply never use it
+  svc.stats = stats_;
+  proto_->bind(svc);
+}
+
+RankRuntime::~RankRuntime() = default;
+
+RankRuntime::PostedInfo RankRuntime::posted_front() const {
+  if (posted_.empty()) return PostedInfo{-99, -99};
+  return PostedInfo{posted_.front()->src, posted_.front()->tag};
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void RankRuntime::launch(AppFactory factory) {
+  MPIV_CHECK(proc_ != nullptr, "rank %d has no process", rank_);
+  app_finished_ = false;
+  proc_->start(app_main(std::move(factory)));
+}
+
+void RankRuntime::crash() {
+  MPIV_CHECK(proc_ != nullptr, "rank %d has no process", rank_);
+  net_.crash_node(layout_.rank_node(rank_));
+  proc_->kill();
+  daemon_->reset();
+  reset_volatile();
+  // Volatile protocol + matching state dies with the process; the
+  // checkpoint image (if any) is the only persistent state.
+  proto_->reset();
+  rsn_ = 0;
+  coll_seq_ = 0;
+  std::fill(send_ssn_.begin(), send_ssn_.end(), 0);
+  for (auto& a : arr_) a.reset();
+  unexpected_.clear();
+  restart_blob_.reset();
+}
+
+void RankRuntime::restart(AppFactory factory, std::uint64_t image_version) {
+  net_.restart_node(layout_.rank_node(rank_));
+  app_finished_ = false;
+  proc_->start(recovery_main(std::move(factory), image_version));
+}
+
+void RankRuntime::reset_volatile() {
+  posted_.clear();
+  pending_irecvs_.clear();
+  replay_.clear();
+  held_arrivals_.clear();
+  absorb_free_ = 0;
+  recovering_ = false;
+  ckpt_requested_ = false;
+  store_ack_.reset();
+  fetch_done_.reset();
+  fetch_resp_.reset();
+}
+
+sim::Task<void> RankRuntime::app_main(AppFactory factory) {
+  co_await factory(*this);
+  app_finished_ = true;
+  notify_dispatcher(CtlSub::kAppDone);
+}
+
+void RankRuntime::notify_dispatcher(CtlSub sub) {
+  net::Message m;
+  m.kind = net::MsgKind::kControl;
+  m.tag = static_cast<std::int32_t>(sub);
+  m.src_rank = rank_;
+  m.src = layout_.rank_node(rank_);
+  m.dst = layout_.dispatcher_node();
+  daemon_->submit_ctl(std::move(m));
+}
+
+sim::Task<std::optional<util::Buffer>> RankRuntime::fetch_image(
+    std::uint64_t image_version) {
+  net::Message req;
+  req.kind = net::MsgKind::kCkptFetchReq;
+  req.arg = static_cast<std::uint64_t>(rank_);
+  req.ssn = image_version;
+  req.src_rank = rank_;
+  req.src = layout_.rank_node(rank_);
+  req.dst = layout_.ckpt_node();
+  daemon_->submit_ctl(std::move(req));
+  co_await fetch_done_.wait();
+  fetch_done_.reset();
+  net::Message resp = std::move(*fetch_resp_);
+  fetch_resp_.reset();
+  if (resp.arg == 0) co_return std::nullopt;  // no image stored yet
+  co_return std::move(resp.body);
+}
+
+sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
+                                            std::uint64_t image_version) {
+  recovering_ = true;
+  const sim::Time t_start = eng_.now();
+  std::optional<util::Buffer> image = co_await fetch_image(image_version);
+  if (image) {
+    image->rewind();
+    restart_blob_ = image->get_bytes();
+    restore_matching(*image);
+    proto_->restore(*image);
+  }
+  if (proto_->is_message_logging()) {
+    const sim::Time t_events = eng_.now();
+    std::vector<std::uint64_t> arr_wm(arr_.size());
+    for (std::size_t s = 0; s < arr_.size(); ++s) arr_wm[s] = arr_[s].watermark();
+    if (getenv("MPIV_DEBUG_RECOVERY")) {
+      std::fprintf(stderr, "[dbg] rank %d restored: rsn=%llu unexpected=%zu arr_wm=[", rank_,
+                   (unsigned long long)rsn_, unexpected_.size());
+      for (auto w : arr_wm) std::fprintf(stderr, "%llu ", (unsigned long long)w);
+      std::fprintf(stderr, "]\n");
+      for (auto& u : unexpected_) std::fprintf(stderr, "[dbg]   unexp src=%d ssn=%llu tag=%d\n", u.src_rank, (unsigned long long)u.ssn, u.tag);
+    }
+    ftapi::DeterminantList dets = co_await proto_->recover(rsn_, arr_wm);
+    stats_->recovery_collect_time += eng_.now() - t_events;
+
+    // Keep determinants beyond the checkpoint; they must form a contiguous
+    // continuation of the reception sequence (causal logging guarantees the
+    // union of the EL prefix and survivors' knowledge has no holes).
+    std::sort(dets.begin(), dets.end(),
+              [](const ftapi::Determinant& a, const ftapi::Determinant& b) {
+                return a.seq < b.seq;
+              });
+    replay_.clear();
+    std::uint64_t expect = rsn_ + 1;
+    for (const ftapi::Determinant& d : dets) {
+      if (d.seq < expect) continue;  // duplicate / already covered
+      MPIV_CHECK(d.seq == expect,
+                 "rank %d: determinant gap at seq %llu (expected %llu)", rank_,
+                 static_cast<unsigned long long>(d.seq),
+                 static_cast<unsigned long long>(expect));
+      replay_.push_back(d);
+      ++expect;
+    }
+    stats_->recovery_events += replay_.size();
+    if (getenv("MPIV_DEBUG_RECOVERY")) {
+      std::fprintf(stderr, "[dbg] rank %d replay queue %zu: ", rank_, replay_.size());
+      for (auto& d : replay_) std::fprintf(stderr, "(s%u ssn%llu) ", d.src, (unsigned long long)d.ssn);
+      std::fprintf(stderr, "\n");
+    }
+  }
+  recovering_ = false;
+  stats_->recovery_total_time += eng_.now() - t_start;
+  notify_dispatcher(CtlSub::kRecoveryDone);
+  // Process app frames that arrived while we were recovering.
+  std::deque<net::Message> held;
+  held.swap(held_arrivals_);
+  for (net::Message& m : held) on_app_frame(std::move(m));
+  co_await app_main(std::move(factory));
+}
+
+// --- Comm ----------------------------------------------------------------------
+
+sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
+                                  std::uint64_t check) {
+  MPIV_CHECK(dst >= 0 && dst < layout_.nranks && dst != rank_,
+             "rank %d: bad send destination %d", rank_, dst);
+  co_await proto_->send_gate();
+  const std::uint64_t ssn = ++send_ssn_[static_cast<std::size_t>(dst)];
+  net::Payload payload{bytes, check};
+  ftapi::PiggybackOut pb = proto_->on_send(dst, ssn, payload, tag);
+  ++stats_->app_msgs_sent;
+  stats_->app_bytes_sent += bytes;
+  stats_->pb_bytes_sent += pb.bytes.size();
+  stats_->pb_events_sent += pb.events;
+  stats_->pb_send_cpu += pb.stats_cpu;
+  if (pb.events == 0) ++stats_->pb_empty_msgs;
+
+  const sim::Time handoff = daemon_->app_handoff_cost(bytes);
+  if (pb.cpu + handoff > 0) co_await eng_.sleep(pb.cpu + handoff);
+
+  net::Message m;
+  m.kind = net::MsgKind::kAppData;
+  m.src = layout_.rank_node(rank_);
+  m.dst = layout_.rank_node(dst);
+  m.src_rank = rank_;
+  m.dst_rank = dst;
+  m.tag = tag;
+  m.ssn = ssn;
+  m.payload = payload;
+  m.body = std::move(pb.bytes);
+  m.dep_shadow = std::move(pb.deps);
+  daemon_->submit_app(std::move(m));
+}
+
+sim::Task<RecvResult> RankRuntime::recv(int src, int tag) {
+  MPIV_CHECK(src == kAnySource || (src >= 0 && src < layout_.nranks),
+             "rank %d: bad recv source %d", rank_, src);
+  PostedRecv pr(eng_, src, tag);
+  posted_.push_back(&pr);
+  pump();
+  co_await pr.done.wait();
+  if (pr.deliver_cpu > 0) co_await eng_.sleep(pr.deliver_cpu);
+  co_return pr.result;
+}
+
+Comm::RecvHandle RankRuntime::irecv(int src, int tag) {
+  MPIV_CHECK(src == kAnySource || (src >= 0 && src < layout_.nranks),
+             "rank %d: bad irecv source %d", rank_, src);
+  auto pr = std::make_unique<PostedRecv>(eng_, src, tag);
+  PostedRecv* p = pr.get();
+  const std::uint64_t id = ++irecv_seq_;
+  pending_irecvs_.emplace(id, std::move(pr));
+  posted_.push_back(p);
+  pump();
+  return RecvHandle{id};
+}
+
+sim::Task<mpi::RecvResult> RankRuntime::wait_recv(RecvHandle h) {
+  auto it = pending_irecvs_.find(h.id);
+  MPIV_CHECK(it != pending_irecvs_.end(),
+             "rank %d: wait on unknown/completed request %llu", rank_,
+             static_cast<unsigned long long>(h.id));
+  PostedRecv* p = it->second.get();
+  co_await p->done.wait();
+  if (p->deliver_cpu > 0) co_await eng_.sleep(p->deliver_cpu);
+  const RecvResult result = p->result;
+  pending_irecvs_.erase(h.id);
+  co_return result;
+}
+
+sim::Task<void> RankRuntime::compute(sim::Time cpu) {
+  if (cpu > 0) co_await eng_.sleep(cpu);
+}
+
+sim::Task<void> RankRuntime::compute_flops(double flops) {
+  co_await compute(net_.cost().flops_time(flops));
+}
+
+sim::Task<void> RankRuntime::checkpoint_site(const util::Buffer& app_state) {
+  if (replaying() || recovering_) co_return;  // no checkpoints during recovery
+  co_await proto_->at_checkpoint_site(*this, app_state);
+}
+
+// --- checkpointing ---------------------------------------------------------------
+
+sim::Task<void> RankRuntime::store_checkpoint(const util::Buffer& app_state,
+                                              std::uint64_t version) {
+  MPIV_CHECK(replay_.empty(), "rank %d: checkpoint during replay", rank_);
+  MPIV_CHECK(pending_irecvs_.empty(),
+             "rank %d: outstanding irecv at checkpoint site (complete all "
+             "requests before the site)", rank_);
+  ckpt_version_ = version != 0 ? version : ckpt_version_ + 1;
+  util::Buffer image;
+  image.put_bytes(app_state);
+  serialize_matching(image);
+  proto_->serialize(image);
+
+  // Capture the GC horizon NOW: arrivals continue while the store is in
+  // flight, and a notice computed later would let senders prune payloads
+  // this image cannot replay.
+  std::vector<std::uint64_t> wm(arr_.size());
+  for (std::size_t s = 0; s < arr_.size(); ++s) wm[s] = arr_[s].watermark();
+  const std::uint64_t rsn_at_image = rsn_;
+
+  // Dumping the process image through the daemon costs a copy.
+  co_await eng_.sleep(net_.cost().memcpy_time(logical_state_bytes_));
+
+  net::Message m;
+  m.kind = net::MsgKind::kCkptStore;
+  m.arg = ckpt_version_;
+  m.src_rank = rank_;
+  m.payload.bytes = logical_state_bytes_;  // app memory beyond protocol state
+  m.body = std::move(image);
+  m.src = layout_.rank_node(rank_);
+  m.dst = layout_.ckpt_node();
+  daemon_->submit_ctl(std::move(m));
+  co_await store_ack_.wait();
+  store_ack_.reset();
+
+  // Sender-log GC notices: receptions up to arr watermark are now covered
+  // by this image, so peers may drop the corresponding logged payloads.
+  for (int peer = 0; peer < layout_.nranks; ++peer) {
+    if (peer == rank_) continue;
+    net::Message n;
+    n.kind = net::MsgKind::kControl;
+    n.tag = static_cast<std::int32_t>(CtlSub::kCkptNotify);
+    n.src_rank = rank_;
+    n.arg = wm[static_cast<std::size_t>(peer)];
+    n.src = layout_.rank_node(rank_);
+    n.dst = layout_.rank_node(peer);
+    daemon_->submit_ctl(std::move(n));
+  }
+  // The Event Logger may prune our determinants covered by the image.
+  net::Message gc;
+  gc.kind = net::MsgKind::kControl;
+  gc.tag = static_cast<std::int32_t>(CtlSub::kElGc);
+  gc.src_rank = rank_;
+  gc.arg = rsn_at_image;
+  gc.src = layout_.rank_node(rank_);
+  gc.dst = layout_.el_node_for_rank(rank_);
+  daemon_->submit_ctl(std::move(gc));
+}
+
+void RankRuntime::serialize_matching(util::Buffer& b) const {
+  b.put_u64(rsn_);
+  b.put_u64(coll_seq_);
+  b.put_u64(logical_state_bytes_);
+  b.put_u64(ckpt_version_);
+  for (const std::uint64_t s : send_ssn_) b.put_u64(s);
+  for (const ArrivalDedup& a : arr_) a.serialize(b);
+  b.put_u32(static_cast<std::uint32_t>(unexpected_.size()));
+  for (const StoredMsg& m : unexpected_) m.serialize(b);
+}
+
+void RankRuntime::restore_matching(util::Buffer& b) {
+  rsn_ = b.get_u64();
+  coll_seq_ = b.get_u64();
+  logical_state_bytes_ = b.get_u64();
+  ckpt_version_ = b.get_u64();
+  for (std::uint64_t& s : send_ssn_) s = b.get_u64();
+  for (ArrivalDedup& a : arr_) a.restore(b);
+  unexpected_.clear();
+  const std::uint32_t n = b.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    unexpected_.push_back(StoredMsg::deserialize(b));
+  }
+}
+
+// --- arrival path ------------------------------------------------------------------
+
+void RankRuntime::on_daemon_up(net::Message&& m) {
+  switch (m.kind) {
+    case net::MsgKind::kAppData:
+    case net::MsgKind::kPayloadResend:
+      if (recovering_) {
+        held_arrivals_.push_back(std::move(m));
+        return;
+      }
+      on_app_frame(std::move(m));
+      return;
+    case net::MsgKind::kCkptStoreAck:
+      store_ack_.set();
+      return;
+    case net::MsgKind::kCkptFetchResp:
+      fetch_resp_ = std::move(m);
+      fetch_done_.set();
+      return;
+    case net::MsgKind::kControl: {
+      const auto sub = static_cast<CtlSub>(m.tag);
+      if (sub == CtlSub::kCkptRequest) {
+        ckpt_requested_ = true;
+        // The wave number (arg) matters to coordinated checkpointing.
+        proto_->on_ctl(std::move(m));
+        return;
+      }
+      if (sub == CtlSub::kCkptNotify) {
+        proto_->on_peer_checkpoint(m.src_rank, m.arg);
+        return;
+      }
+      proto_->on_ctl(std::move(m));
+      return;
+    }
+    default:
+      proto_->on_ctl(std::move(m));
+      return;
+  }
+}
+
+void RankRuntime::on_app_frame(net::Message&& m) {
+  // Absorbing the piggyback costs CPU and is serialized on this rank
+  // (single protocol thread), which preserves arrival order.
+  const ftapi::VProtocol::PacketCost cost = proto_->on_packet(m);
+  stats_->pb_recv_cpu += cost.stats_cpu;
+  absorb_free_ = std::max(eng_.now(), absorb_free_) + cost.cpu;
+  if (absorb_free_ > eng_.now()) {
+    auto frame = std::make_shared<net::Message>(std::move(m));
+    eng_.at(absorb_free_, [this, frame] { accept_app_frame(std::move(*frame)); });
+  } else {
+    accept_app_frame(std::move(m));
+  }
+}
+
+void RankRuntime::accept_app_frame(net::Message&& m) {
+  if (!arr_[static_cast<std::size_t>(m.src_rank)].accept(m.ssn)) {
+    return;  // duplicate (recovery resend or replayed re-emission)
+  }
+  StoredMsg sm;
+  sm.src_rank = m.src_rank;
+  sm.tag = m.tag;
+  sm.ssn = m.ssn;
+  sm.payload = m.payload;
+  unexpected_.push_back(sm);
+  pump();
+}
+
+void RankRuntime::pump() {
+  if (replaying()) {
+    // Forced matching: reception k must consume exactly the message named
+    // by determinant k, regardless of arrival interleaving.
+    while (replaying() && !posted_.empty()) {
+      const ftapi::Determinant& head = replay_.front();
+      auto it = std::find_if(unexpected_.begin(), unexpected_.end(),
+                             [&head](const StoredMsg& s) {
+                               return static_cast<std::uint32_t>(s.src_rank) ==
+                                          head.src &&
+                                      s.ssn == head.ssn;
+                             });
+      if (it == unexpected_.end()) return;
+      // MPI semantics: the message matches the first compatible posted
+      // request in post order (several may be outstanding via irecv).
+      auto pit = std::find_if(posted_.begin(), posted_.end(),
+                              [&](PostedRecv* p) { return matches(*p, *it); });
+      MPIV_CHECK(pit != posted_.end(),
+                 "rank %d replay: determinant (src %u ssn %llu tag %d) "
+                 "matches no posted recv — nondeterministic re-execution",
+                 rank_, head.src, static_cast<unsigned long long>(head.ssn),
+                 it->tag);
+      MPIV_CHECK(rsn_ + 1 == head.seq, "rank %d replay: rsn %llu vs det %llu",
+                 rank_, static_cast<unsigned long long>(rsn_),
+                 static_cast<unsigned long long>(head.seq));
+      PostedRecv* pr = *pit;
+      const StoredMsg msg = *it;
+      unexpected_.erase(it);
+      posted_.erase(pit);
+      replay_.pop_front();
+      ++stats_->replayed_receptions;
+      deliver_to(*pr, msg);
+    }
+    return;
+  }
+  // Match posted requests in post order; with irecv several may be
+  // outstanding, and a later request may match even when an earlier one
+  // has no candidate yet.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto pit = posted_.begin(); pit != posted_.end(); ++pit) {
+      PostedRecv* pr = *pit;
+      auto it = std::find_if(
+          unexpected_.begin(), unexpected_.end(),
+          [pr](const StoredMsg& s) { return matches(*pr, s); });
+      if (it == unexpected_.end()) continue;
+      const StoredMsg msg = *it;
+      unexpected_.erase(it);
+      posted_.erase(pit);
+      deliver_to(*pr, msg);
+      progress = true;
+      break;  // restart: deliver_to may have changed both queues
+    }
+  }
+}
+
+void RankRuntime::deliver_to(PostedRecv& pr, const StoredMsg& m) {
+  ++rsn_;
+  ftapi::Determinant d;
+  d.creator = static_cast<std::uint32_t>(rank_);
+  d.seq = rsn_;
+  d.src = static_cast<std::uint32_t>(m.src_rank);
+  d.ssn = m.ssn;
+  d.tag = m.tag;
+  pr.deliver_cpu = proto_->on_deliver(d);
+  pr.result.src = m.src_rank;
+  pr.result.tag = m.tag;
+  pr.result.bytes = m.payload.bytes;
+  pr.result.check = m.payload.check;
+  pr.result.ssn = m.ssn;
+  pr.done.set();
+}
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,186 @@
+// Per-rank MPI runtime: the generic MPICH-V subsystem of the paper.
+//
+// One RankRuntime per MPI process. It owns the node's communication daemon,
+// implements the Comm interface for application coroutines, runs message
+// matching with determinant capture, and orchestrates checkpoint/restart:
+//
+//   app coroutine  <->  RankRuntime (matching, ssn/rsn, dedup, replay)
+//                              |        \ hooks (ftapi::VProtocol)
+//                         net::Daemon  <-> net::Network
+//
+// Crash/recovery protocol (message logging):
+//   1. dispatcher calls crash(): the coroutine frame dies mid-operation,
+//      the network drops in-flight frames toward the node;
+//   2. restart(): new incarnation fetches the checkpoint image, restores
+//      matching + protocol state, asks the protocol to collect the
+//      determinants to replay (Event Logger and/or survivors) and to
+//      trigger payload resends;
+//   3. matching enters replay mode: reception k only matches the message
+//      named by determinant k; when determinants run out, matching is live
+//      again and execution has provably passed the pre-crash state that the
+//      rest of the system observed.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ftapi/services.hpp"
+#include "ftapi/vprotocol.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/matching.hpp"
+#include "net/daemon.hpp"
+#include "net/network.hpp"
+#include "sim/sync.hpp"
+
+namespace mpiv::mpi {
+
+/// Control-frame subtypes (carried in Message.tag of kControl frames).
+enum class CtlSub : std::int32_t {
+  kCkptRequest = 1,  // checkpoint scheduler -> rank
+  kCkptNotify = 2,   // rank -> peers: sender-log GC notice (arg = arr ssn)
+  kElGc = 3,         // rank -> EL: prune my determinants with seq <= arg
+  kAppDone = 4,      // rank -> dispatcher
+  kRecoveryDone = 5, // rank -> dispatcher: determinant collection finished
+  kElShardClock = 6, // EL shard -> EL shard: stable-clock array exchange
+  kProtocol = 16,    // >= kProtocol: owned by the fault-tolerance protocol
+};
+
+class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
+ public:
+  RankRuntime(sim::Engine& eng, net::Network& net, const ftapi::NodeLayout& layout,
+              int rank, net::ChannelKind channel,
+              std::unique_ptr<ftapi::VProtocol> proto, ftapi::RankStats* stats,
+              std::uint64_t seed);
+  ~RankRuntime() override;
+
+  // --- lifecycle (driven by the dispatcher) --------------------------------
+  void set_process(sim::Process* p) { proc_ = p; }
+  sim::Process* process() const { return proc_; }
+  void launch(AppFactory factory);
+  /// Kills the process mid-run: coroutine frames destroyed, network epoch
+  /// bumped (in-flight frames dropped), volatile state lost.
+  void crash();
+  /// Starts a new incarnation that recovers and re-runs the application.
+  /// `image_version` selects the checkpoint image to restore (0 = latest);
+  /// coordinated rollback passes the last globally-complete snapshot.
+  void restart(AppFactory factory, std::uint64_t image_version = 0);
+  bool app_finished() const { return app_finished_; }
+
+  // --- checkpoint scheduler interface ---------------------------------------
+  void request_checkpoint() { ckpt_requested_ = true; }
+
+  // --- accessors -------------------------------------------------------------
+  ftapi::VProtocol& protocol() { return *proto_; }
+  net::Daemon& daemon() { return *daemon_; }
+  ftapi::RankStats& stats() { return *stats_; }
+  std::uint64_t rsn() const { return rsn_; }
+  bool replaying() const { return !replay_.empty(); }
+  bool recovering() const { return recovering_; }
+  // Introspection for tests and diagnostics.
+  std::size_t posted_count() const { return posted_.size(); }
+  std::size_t unexpected_count() const { return unexpected_.size(); }
+  std::size_t replay_count() const { return replay_.size(); }
+  const ftapi::Determinant* replay_head() const {
+    return replay_.empty() ? nullptr : &replay_.front();
+  }
+  const std::deque<StoredMsg>& unexpected_queue() const { return unexpected_; }
+  struct PostedInfo { int src; int tag; };
+  PostedInfo posted_front() const;
+
+  // --- Comm -------------------------------------------------------------------
+  int rank() const override { return rank_; }
+  int size() const override { return layout_.nranks; }
+  sim::Task<void> send(int dst, int tag, std::uint64_t bytes,
+                       std::uint64_t check) override;
+  sim::Task<RecvResult> recv(int src, int tag) override;
+  RecvHandle irecv(int src, int tag) override;
+  sim::Task<RecvResult> wait_recv(RecvHandle h) override;
+  sim::Task<void> compute(sim::Time cpu) override;
+  sim::Task<void> compute_flops(double flops) override;
+  sim::Task<void> checkpoint_site(const util::Buffer& app_state) override;
+  const util::Buffer* restart_state() const override {
+    return restart_blob_ ? &*restart_blob_ : nullptr;
+  }
+  void set_logical_state_bytes(std::uint64_t bytes) override {
+    logical_state_bytes_ = bytes;
+  }
+  util::Rng& rng() override { return rng_; }
+  sim::Time now() const override { return eng_.now(); }
+  std::uint64_t next_collective_seq() override { return coll_seq_++; }
+
+  // --- ICheckpointOps -----------------------------------------------------------
+  bool checkpoint_requested() const override { return ckpt_requested_; }
+  void clear_checkpoint_request() override { ckpt_requested_ = false; }
+  sim::Task<void> store_checkpoint(const util::Buffer& app_state,
+                                   std::uint64_t version) override;
+
+ private:
+  struct PostedRecv {
+    PostedRecv(sim::Engine& eng, int src, int tag)
+        : src(src), tag(tag), done(eng) {}
+    int src;
+    int tag;
+    RecvResult result;
+    sim::Time deliver_cpu = 0;
+    sim::OneShot done;
+  };
+
+  sim::Task<void> app_main(AppFactory factory);
+  sim::Task<void> recovery_main(AppFactory factory, std::uint64_t image_version);
+  sim::Task<std::optional<util::Buffer>> fetch_image(std::uint64_t image_version);
+  void notify_dispatcher(CtlSub sub);
+
+  void on_daemon_up(net::Message&& m);
+  void on_app_frame(net::Message&& m);
+  void accept_app_frame(net::Message&& m);  // after piggyback absorb + dedup
+  void pump();
+  void deliver_to(PostedRecv& pr, const StoredMsg& m);
+  static bool matches(const PostedRecv& pr, const StoredMsg& m) {
+    return (pr.src == kAnySource || pr.src == m.src_rank) && pr.tag == m.tag;
+  }
+
+  void serialize_matching(util::Buffer& b) const;
+  void restore_matching(util::Buffer& b);
+  void reset_volatile();
+
+  sim::Engine& eng_;
+  net::Network& net_;
+  ftapi::NodeLayout layout_;
+  int rank_;
+  std::unique_ptr<net::Daemon> daemon_;
+  std::unique_ptr<ftapi::VProtocol> proto_;
+  ftapi::RankStats* stats_;
+  sim::Process* proc_ = nullptr;
+  util::Rng rng_;
+
+  // Matching state (serialized into checkpoint images).
+  std::uint64_t rsn_ = 0;
+  std::uint64_t coll_seq_ = 0;
+  std::vector<std::uint64_t> send_ssn_;  // per destination rank
+  std::vector<ArrivalDedup> arr_;        // per source rank
+  std::deque<StoredMsg> unexpected_;
+
+  // Volatile state.
+  std::deque<PostedRecv*> posted_;
+  std::map<std::uint64_t, std::unique_ptr<PostedRecv>> pending_irecvs_;
+  std::uint64_t irecv_seq_ = 0;
+  std::deque<ftapi::Determinant> replay_;
+  std::deque<net::Message> held_arrivals_;  // app frames arriving mid-recovery
+  sim::Time absorb_free_ = 0;               // serializes piggyback parsing
+  bool recovering_ = false;
+  bool app_finished_ = false;
+  bool ckpt_requested_ = false;
+  std::uint64_t logical_state_bytes_ = 1 << 20;
+  std::uint64_t ckpt_version_ = 0;
+
+  // Checkpoint client rendezvous.
+  sim::OneShot store_ack_;
+  sim::OneShot fetch_done_;
+  std::optional<net::Message> fetch_resp_;
+  std::optional<util::Buffer> restart_blob_;
+};
+
+}  // namespace mpiv::mpi

@@ -1,0 +1,103 @@
+// Calibrated cost model: converts protocol work into simulated time.
+//
+// All constants model the paper's testbed — AthlonXP 2800+ nodes on
+// 100 Mbit/s switched Fast Ethernet, MPICH 1.2.5 — and are calibrated so
+// the NetPIPE microbenchmark (Fig. 6a/6b of the paper) lands near the
+// published latencies: P4 99.56 us, Vdummy 134.84 us, causal+EL ~156 us,
+// causal without EL ~165-173 us. Protocol *work* (events serialized, graph
+// nodes visited, bytes copied) is computed by executing the real
+// algorithms; this struct only prices that work.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mpiv::net {
+
+struct CostModel {
+  // --- Network fabric ----------------------------------------------------
+  double bandwidth_bps = 100e6;   // Fast Ethernet
+  sim::Time wire_latency = 32 * sim::kMicrosecond;  // propagation + switch
+  // Per-frame (1500B MTU) framing overhead on the wire: headers, preamble,
+  // interframe gap and the TCP ack share (calibrated to the paper's ~89
+  // Mb/s raw-TCP NetPIPE peak).
+  double frame_overhead = 1.12;
+  bool full_duplex = true;        // the V daemon exploits full duplex...
+  bool p4_half_duplex = true;     // ...while ch_p4's protocol does not
+
+  // Per-frame protocol headers (eth+ip+tcp + MPICH envelope).
+  std::uint64_t header_bytes = 78;
+
+  // --- Software path, per message ----------------------------------------
+  // MPICH-P4 direct channel: user-space stack cost on each side, plus an
+  // extra staging copy per byte (ch_p4 cannot overlap its copies the way
+  // the V daemon pipeline does — Fig. 6b shows Vdummy above P4 at large
+  // sizes).
+  sim::Time p4_per_msg = 30 * sim::kMicrosecond;
+  double p4_extra_copy_ns_per_byte = 3.0;
+  // MPICH-V generic layer: MPI lib cost + pipe crossing + context switch
+  // + daemon select-loop handling, per side.
+  sim::Time v_per_msg = 28 * sim::kMicrosecond;
+  sim::Time pipe_cross = 20 * sim::kMicrosecond;  // app<->daemon pipe + switch
+  // Control frames originate inside the daemon (no pipe crossing): one
+  // select-loop iteration.
+  sim::Time ctl_per_msg = 8 * sim::kMicrosecond;
+  // Copies (pipe transfer): DDR-era memcpy.
+  double memcpy_ns_per_byte = 0.9;  // ~1.1 GB/s effective
+  // Sender-based payload logging: copy + allocator pressure per byte.
+  double slog_ns_per_byte = 4.5;
+
+  // --- Message protocol layer ---------------------------------------------
+  std::uint64_t eager_threshold = 128 * 1024;  // bytes; above: rendezvous
+
+  // --- Message logging fixed costs ------------------------------------------
+  // Envelope bookkeeping, sender-based log insertion, determinant plumbing:
+  // charged per message on each side by every message-logging protocol
+  // (calibrated so causal+EL ping-pong lands at the paper's ~156 us).
+  sim::Time mlog_send_fixed = 8 * sim::kMicrosecond;
+  sim::Time mlog_recv_fixed = 6 * sim::kMicrosecond;
+
+  // --- Causal protocol work pricing ---------------------------------------
+  sim::Time det_create = 2 * sim::kMicrosecond;    // determinant creation
+  sim::Time ev_serialize = 550;                    // ns per event packed
+  sim::Time ev_deserialize = 500;                  // ns per event parsed
+  sim::Time graph_visit = 8;                       // ns per graph vertex visited
+  sim::Time graph_insert = 600;                    // ns per graph node+edges added
+  sim::Time logon_reorder = 420;                   // ns per event reordered (send)
+  sim::Time logon_fastmerge = 220;                 // ns per event merged (receive)
+  sim::Time seq_append = 90;                       // ns per event appended (Vcausal)
+  // Vcausal per-send scan over the held (unstable) event sequences; with an
+  // EL the sequences stay short, without one this grows with run length.
+  double vc_scan_ns_per_held = 2.4;
+
+  // --- Event Logger --------------------------------------------------------
+  sim::Time el_service = 25 * sim::kMicrosecond;   // per event record stored
+  sim::Time el_ack_build = 2 * sim::kMicrosecond;  // per ack message
+  // Bulk read-out of a stored determinant log at recovery (sequential scan,
+  // much cheaper than the per-event online path).
+  sim::Time el_recovery_read = 1 * sim::kMicrosecond;
+
+  // --- Checkpoint server ----------------------------------------------------
+  double ckpt_disk_bps = 25e6 * 8;  // IDE ATA100 effective ~25 MB/s
+  sim::Time ckpt_txn_overhead = 3 * sim::kMillisecond;
+
+  // --- Node compute ---------------------------------------------------------
+  double node_gflops = 0.55;  // AthlonXP 2800+ sustained on NAS kernels
+
+  // Serialization time of `bytes` on the wire at `bandwidth_bps`,
+  // including per-frame framing overhead.
+  sim::Time tx_time(std::uint64_t bytes) const {
+    return static_cast<sim::Time>(static_cast<double>(bytes) * frame_overhead *
+                                  8.0 * 1e9 / bandwidth_bps);
+  }
+  sim::Time memcpy_time(std::uint64_t bytes) const {
+    return static_cast<sim::Time>(static_cast<double>(bytes) *
+                                  memcpy_ns_per_byte);
+  }
+  sim::Time flops_time(double flops) const {
+    return static_cast<sim::Time>(flops / (node_gflops * 1e9) * 1e9);
+  }
+};
+
+}  // namespace mpiv::net

@@ -1,0 +1,113 @@
+#include "net/daemon.hpp"
+
+#include <algorithm>
+
+namespace mpiv::net {
+
+sim::Time Daemon::app_handoff_cost(std::uint64_t payload_bytes) const {
+  const CostModel& c = cost();
+  if (channel_ == ChannelKind::kP4) {
+    return c.p4_per_msg + c.memcpy_time(payload_bytes) +
+           static_cast<sim::Time>(static_cast<double>(payload_bytes) *
+                                  c.p4_extra_copy_ns_per_byte);
+  }
+  return c.pipe_cross + c.memcpy_time(payload_bytes);
+}
+
+void Daemon::charge_then(sim::Time cpu, std::function<void()> fn) {
+  sim::Engine& eng = net_.engine();
+  const sim::Time start = std::max(eng.now(), cpu_free_);
+  cpu_free_ = start + cpu;
+  eng.at(cpu_free_, std::move(fn));
+}
+
+void Daemon::inject(Message&& m) {
+  m.wire_bytes = cost().header_bytes + m.payload.bytes + m.body.size();
+  wire_bytes_sent_ += m.wire_bytes;
+  net_.send(std::move(m));
+}
+
+void Daemon::submit_app(Message&& m) {
+  ++app_msgs_sent_;
+  app_bytes_sent_ += m.payload.bytes;
+  const CostModel& c = cost();
+  // ch_p4 has no separate daemon process: the whole send-side software cost
+  // is the app handoff already charged by the caller.
+  const sim::Time per_msg = channel_ == ChannelKind::kP4 ? 0 : c.v_per_msg;
+  if (channel_ == ChannelKind::kV && m.payload.bytes > c.eager_threshold) {
+    // Rendezvous: park the payload, ask the receiver for clearance.
+    const std::uint64_t cookie = ++rdv_cookie_;
+    Message rts;
+    rts.src = m.src;
+    rts.dst = m.dst;
+    rts.kind = MsgKind::kRendezvousRts;
+    rts.arg = cookie;
+    rdv_pending_.emplace_back(cookie, std::move(m));
+    charge_then(per_msg, [this, rts = std::move(rts)]() mutable {
+      inject(std::move(rts));
+    });
+    return;
+  }
+  charge_then(per_msg, [this, m = std::move(m)]() mutable { inject(std::move(m)); });
+}
+
+void Daemon::submit_ctl(Message&& m) {
+  charge_then(cost().ctl_per_msg, [this, m = std::move(m)]() mutable {
+    inject(std::move(m));
+  });
+}
+
+void Daemon::reset() {
+  rdv_pending_.clear();
+  cpu_free_ = 0;
+}
+
+void Daemon::on_frame(Message&& m) {
+  const CostModel& c = cost();
+  switch (m.kind) {
+    case MsgKind::kRendezvousRts: {
+      // Grant clearance immediately (receive buffers are the daemon's).
+      Message cts;
+      cts.src = node_;
+      cts.dst = m.src;
+      cts.kind = MsgKind::kRendezvousCts;
+      cts.arg = m.arg;
+      charge_then(c.ctl_per_msg, [this, cts = std::move(cts)]() mutable {
+        inject(std::move(cts));
+      });
+      return;
+    }
+    case MsgKind::kRendezvousCts: {
+      const std::uint64_t cookie = m.arg;
+      auto it = std::find_if(rdv_pending_.begin(), rdv_pending_.end(),
+                             [cookie](const auto& p) { return p.first == cookie; });
+      if (it == rdv_pending_.end()) return;  // stale (peer restarted)
+      Message data = std::move(it->second);
+      rdv_pending_.erase(it);
+      charge_then(c.v_per_msg, [this, data = std::move(data)]() mutable {
+        inject(std::move(data));
+      });
+      return;
+    }
+    default:
+      break;
+  }
+  // Inbound delivery to the rank runtime: daemon handling + pipe crossing
+  // for application data; control frames skip the pipe.
+  const bool app_path =
+      m.kind == MsgKind::kAppData || m.kind == MsgKind::kPayloadResend;
+  sim::Time cpu;
+  if (channel_ == ChannelKind::kP4) {
+    cpu = c.p4_per_msg + c.memcpy_time(m.payload.bytes);
+  } else if (app_path) {
+    cpu = c.v_per_msg + c.pipe_cross + c.memcpy_time(m.payload.bytes);
+  } else {
+    cpu = c.ctl_per_msg;
+  }
+  charge_then(cpu, [this, m = std::move(m)]() mutable {
+    MPIV_CHECK(static_cast<bool>(up_), "daemon %u has no upper layer", node_);
+    up_(std::move(m));
+  });
+}
+
+}  // namespace mpiv::net

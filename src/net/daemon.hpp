@@ -1,0 +1,92 @@
+// MPICH-V communication daemon (the "Vdaemon" of the paper, Fig. 4/5).
+//
+// Each compute node runs the MPI process and a separate communication
+// daemon connected by a pair of pipes; the daemon owns all network I/O.
+// This file models that structure's costs and mechanics:
+//  - per-message software cost on each side (v_per_msg),
+//  - pipe crossings with per-byte copy cost (the ~35 us latency the paper
+//    attributes to the daemon separation, cf. Fig. 6a P4 vs Vdummy),
+//  - a single daemon CPU serializing message handling (select loop),
+//  - the short/eager/rendezvous protocol layer,
+//  - the alternative ch_p4 direct channel (no daemon, half-duplex NIC use).
+//
+// Fault-tolerance protocols live *above* the daemon (see ftapi); the daemon
+// also carries their control frames (Event Logger records, checkpoints) at
+// select-loop cost, without pipe crossings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/network.hpp"
+
+namespace mpiv::net {
+
+enum class ChannelKind : std::uint8_t {
+  kP4,  // MPICH-P4 reference channel: direct, no daemon, no fault tolerance
+  kV,   // MPICH-V channel: communication daemon + hooks
+};
+
+class Daemon {
+ public:
+  /// Upcall delivering a fully received message to the rank runtime.
+  using UpFn = std::function<void(Message&&)>;
+
+  Daemon(Network& net, NodeId node, ChannelKind channel)
+      : net_(net), node_(node), channel_(channel) {
+    if (channel_ == ChannelKind::kP4 && net_.cost().p4_half_duplex) {
+      net_.set_half_duplex(node, true);
+    }
+    net_.attach(node, [this](Message&& m) { on_frame(std::move(m)); });
+  }
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  NodeId node() const { return node_; }
+  ChannelKind channel() const { return channel_; }
+  Network& network() { return net_; }
+  const CostModel& cost() const { return net_.cost(); }
+
+  void attach_upper(UpFn fn) { up_ = std::move(fn); }
+
+  /// Sender-side cost charged to the *application* coroutine before the
+  /// message is handed to the daemon (pipe write + copy), in ns.
+  sim::Time app_handoff_cost(std::uint64_t payload_bytes) const;
+
+  /// Submits an application message (payload + protocol body already
+  /// attached). Handles eager/rendezvous. The caller has already charged
+  /// app_handoff_cost to the sending coroutine.
+  void submit_app(Message&& m);
+
+  /// Submits a protocol/control frame (EL records, checkpoints, recovery,
+  /// dispatcher control). No pipe crossing; select-loop cost only.
+  void submit_ctl(Message&& m);
+
+  /// Crash/restart: drop rendezvous state held for the old incarnation.
+  void reset();
+
+  // --- Stats ---------------------------------------------------------------
+  std::uint64_t app_msgs_sent() const { return app_msgs_sent_; }
+  std::uint64_t app_bytes_sent() const { return app_bytes_sent_; }
+  std::uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+
+ private:
+  void on_frame(Message&& m);
+  /// Occupies the daemon CPU for `cpu` and runs `fn` when done.
+  void charge_then(sim::Time cpu, std::function<void()> fn);
+  void inject(Message&& m);
+
+  Network& net_;
+  NodeId node_;
+  ChannelKind channel_;
+  UpFn up_;
+  sim::Time cpu_free_ = 0;
+  std::uint64_t app_msgs_sent_ = 0;
+  std::uint64_t app_bytes_sent_ = 0;
+  std::uint64_t wire_bytes_sent_ = 0;
+  std::uint64_t rdv_cookie_ = 0;
+  // Messages parked waiting for a rendezvous CTS, keyed by cookie.
+  std::vector<std::pair<std::uint64_t, Message>> rdv_pending_;
+};
+
+}  // namespace mpiv::net

@@ -1,0 +1,61 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace mpiv::net {
+
+void Network::send(Message&& m) {
+  Node& src = at(m.src);
+  Node& dst = at(m.dst);
+  MPIV_CHECK(m.wire_bytes > 0, "frame without wire size (%u -> %u kind %d)",
+             m.src, m.dst, static_cast<int>(m.kind));
+  if (!src.up) return;  // a dead node emits nothing
+
+  ++frames_sent_;
+  bytes_sent_ += m.wire_bytes;
+
+  const sim::Time now = eng_.now();
+  const sim::Time tx = cost_.tx_time(m.wire_bytes);
+
+  // Egress serialization at the source NIC.
+  sim::Time start = std::max(now, src.egress_free);
+  if (src.half_duplex) start = std::max(start, src.ingress_free);
+  const sim::Time egress_done = start + tx;
+  src.egress_free = egress_done;
+  if (src.half_duplex) src.ingress_free = std::max(src.ingress_free, egress_done);
+
+  // The switch forwards frame by frame (cut-through at MTU granularity):
+  // the message starts arriving at the destination one wire latency after
+  // the first frame leaves, and the ingress NIC is occupied for one
+  // serialization time ending no earlier than that.
+  const sim::Time first_frame_at_dst = start + cost_.wire_latency;
+  const NodeId dst_id = m.dst;
+  const std::uint64_t dst_epoch = dst.epoch;
+
+  auto frame = std::make_shared<Message>(std::move(m));
+  eng_.at(first_frame_at_dst, [this, frame, tx, dst_id, dst_epoch] {
+    Node& d = at(dst_id);
+    if (!d.up || d.epoch != dst_epoch) {
+      ++frames_dropped_;  // connection reset: receiver crashed in flight
+      return;
+    }
+    sim::Time start2 = std::max(eng_.now(), d.ingress_free);
+    if (d.half_duplex) start2 = std::max(start2, d.egress_free);
+    const sim::Time done = start2 + tx;
+    d.ingress_free = done;
+    if (d.half_duplex) d.egress_free = std::max(d.egress_free, done);
+
+    eng_.at(done, [this, frame, dst_id, dst_epoch] {
+      Node& dd = at(dst_id);
+      if (!dd.up || dd.epoch != dst_epoch) {
+        ++frames_dropped_;
+        return;
+      }
+      MPIV_CHECK(static_cast<bool>(dd.deliver), "node %u has no daemon", dst_id);
+      dd.deliver(std::move(*frame));
+    });
+  });
+}
+
+}  // namespace mpiv::net

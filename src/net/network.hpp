@@ -1,0 +1,95 @@
+// Switched-Ethernet network model.
+//
+// Topology: every node has one NIC connected to a single store-and-forward
+// switch (the paper's 32-port Fast Ethernet switch). A frame:
+//   1. queues on the source NIC egress serializer (bytes at line rate),
+//   2. crosses the fabric after a fixed wire latency,
+//   3. queues on the destination NIC ingress serializer — this is where a
+//      single Event Logger node saturates when every rank streams
+//      determinants at it, reproducing the paper's LU/16 observation,
+//   4. is handed to the destination node's deliver callback.
+// Full duplex gives each NIC independent egress/ingress serializers;
+// half-duplex (the ch_p4 emulation) shares one.
+//
+// Crash semantics: each node has an epoch. Frames are stamped with the
+// destination epoch at *arrival* time; crashing a node bumps its epoch so
+// frames still in flight toward it are dropped (TCP reset), while frames it
+// emitted before dying are still delivered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/cost_model.hpp"
+#include "net/message.hpp"
+#include "sim/engine.hpp"
+
+namespace mpiv::net {
+
+class Network {
+ public:
+  using DeliverFn = std::function<void(Message&&)>;
+
+  Network(sim::Engine& eng, std::uint32_t nodes, CostModel cost)
+      : eng_(eng), cost_(cost), nodes_(nodes) {}
+
+  sim::Engine& engine() { return eng_; }
+  const CostModel& cost() const { return cost_; }
+  std::uint32_t node_count() const { return static_cast<std::uint32_t>(nodes_.size()); }
+
+  /// Installs the ingress handler for a node (its communication daemon).
+  void attach(NodeId node, DeliverFn fn) {
+    MPIV_CHECK(node < nodes_.size(), "attach: bad node %u", node);
+    nodes_[node].deliver = std::move(fn);
+  }
+
+  /// Marks a node half-duplex (shared egress/ingress serializer), used to
+  /// emulate the ch_p4 channel behaviour.
+  void set_half_duplex(NodeId node, bool half) { nodes_[node].half_duplex = half; }
+
+  /// Injects a frame. `wire_bytes` must already be set by the sender.
+  void send(Message&& m);
+
+  /// Crash: bump epoch (drops in-flight frames toward the node) and mark down.
+  void crash_node(NodeId node) {
+    Node& n = at(node);
+    ++n.epoch;
+    n.up = false;
+  }
+  /// Restart: node accepts traffic again (new epoch already in effect).
+  void restart_node(NodeId node) { at(node).up = true; }
+  bool node_up(NodeId node) const { return nodes_[node].up; }
+  std::uint64_t node_epoch(NodeId node) const { return nodes_[node].epoch; }
+
+  // --- Introspection / stats ----------------------------------------------
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Earliest time the egress serializer of `node` is free (for tests).
+  sim::Time egress_free(NodeId node) const { return nodes_[node].egress_free; }
+
+ private:
+  struct Node {
+    DeliverFn deliver;
+    bool up = true;
+    bool half_duplex = false;
+    std::uint64_t epoch = 0;
+    sim::Time egress_free = 0;
+    sim::Time ingress_free = 0;
+  };
+
+  Node& at(NodeId node) {
+    MPIV_CHECK(node < nodes_.size(), "bad node %u", node);
+    return nodes_[node];
+  }
+
+  sim::Engine& eng_;
+  CostModel cost_;
+  std::vector<Node> nodes_;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace mpiv::net

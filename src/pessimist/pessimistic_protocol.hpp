@@ -1,0 +1,67 @@
+// Pessimistic sender-based message logging (MPICH-V2 style, paper Fig. 1
+// baseline): every reception determinant is sent to the Event Logger and a
+// process may not send until all of its own determinants are safely stored
+// — the synchronous wait that causal logging exists to avoid. No piggyback;
+// recovery takes the determinant prefix straight from the EL and payloads
+// from the survivors' sender logs.
+#pragma once
+
+#include "causal/msg_log_protocol.hpp"
+
+namespace mpiv::pessimist {
+
+class PessimisticProtocol final : public causal::MsgLogProtocolBase {
+ public:
+  PessimisticProtocol() : causal::MsgLogProtocolBase(/*use_el=*/true) {}
+
+  const char* name() const override { return "Pessimistic"; }
+
+  sim::Task<void> send_gate() override {
+    // Block until every reception event so far is acknowledged stable.
+    co_await el_.wait_own_stable(my_dets_);
+  }
+
+  ftapi::PiggybackOut on_send(int dst_rank, std::uint64_t ssn,
+                              const net::Payload& payload,
+                              std::int32_t tag) override {
+    slog_->log(dst_rank, ssn, tag, payload);
+    ftapi::PiggybackOut out;
+    out.cpu = svc_.cost->mlog_send_fixed +
+              static_cast<sim::Time>(static_cast<double>(payload.bytes) *
+                                     svc_.cost->slog_ns_per_byte);
+    svc_.stats->sender_log_peak_bytes =
+        std::max(svc_.stats->sender_log_peak_bytes, slog_->bytes());
+    return out;
+  }
+
+  PacketCost on_packet(net::Message& m) override {
+    (void)m;
+    return {svc_.cost->mlog_recv_fixed, 0};
+  }
+
+  sim::Time on_deliver(const ftapi::Determinant& d) override {
+    ++my_dets_;
+    store_->add(d);
+    ++svc_.stats->dets_created;
+    el_.submit(d);
+    return svc_.cost->det_create;
+  }
+
+  void serialize(util::Buffer& b) const override {
+    causal::MsgLogProtocolBase::serialize(b);
+    b.put_u64(my_dets_);
+  }
+  void restore(util::Buffer& b) override {
+    causal::MsgLogProtocolBase::restore(b);
+    my_dets_ = b.get_u64();
+  }
+  void reset() override {
+    causal::MsgLogProtocolBase::reset();
+    my_dets_ = 0;
+  }
+
+ private:
+  std::uint64_t my_dets_ = 0;
+};
+
+}  // namespace mpiv::pessimist

@@ -1,0 +1,108 @@
+#include "runtime/cluster.hpp"
+
+#include "causal/causal_protocol.hpp"
+#include "coord/coordinated_protocol.hpp"
+#include "ftapi/vprotocol.hpp"
+#include "pessimist/pessimistic_protocol.hpp"
+
+namespace mpiv::runtime {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      layout_{cfg.nranks, cfg.el_shards},
+      net_(eng_, layout_.total_nodes(), cfg.cost),
+      stats_(static_cast<std::size_t>(cfg.nranks)) {
+  MPIV_CHECK(cfg.nranks >= 1 && cfg.nranks <= 4096, "bad nranks %d", cfg.nranks);
+  MPIV_CHECK(cfg.el_shards >= 1 && cfg.el_shards <= cfg.nranks,
+             "bad el_shards %d", cfg.el_shards);
+  MPIV_CHECK(cfg.protocol != ProtocolKind::kP4 || cfg.faults.empty(),
+             "MPICH-P4 is not fault tolerant");
+  if (cfg_.protocol == ProtocolKind::kCoordinated &&
+      cfg_.ckpt_policy != ckpt::Policy::kNone) {
+    // Coordinated checkpointing is a global wave by construction.
+    cfg_.ckpt_policy = ckpt::Policy::kAllAtOnce;
+  }
+
+  const net::ChannelKind channel = cfg.protocol == ProtocolKind::kP4
+                                       ? net::ChannelKind::kP4
+                                       : net::ChannelKind::kV;
+  for (int r = 0; r < cfg.nranks; ++r) {
+    ranks_.push_back(std::make_unique<mpi::RankRuntime>(
+        eng_, net_, layout_, r, channel, make_protocol(),
+        &stats_[static_cast<std::size_t>(r)], cfg.seed));
+    ranks_.back()->set_process(
+        &eng_.create_process("rank" + std::to_string(r)));
+  }
+  for (int shard = 0; shard < cfg.el_shards; ++shard) {
+    els_.push_back(
+        std::make_unique<elog::EventLogger>(net_, layout_, &el_stats_, shard));
+  }
+  ckpt_ = std::make_unique<ckpt::CheckpointServer>(net_, layout_);
+  sched_ = std::make_unique<ckpt::CheckpointScheduler>(
+      net_, layout_, cfg.ckpt_policy, cfg.ckpt_interval, cfg.seed);
+}
+
+Cluster::~Cluster() = default;
+
+std::unique_ptr<ftapi::VProtocol> Cluster::make_protocol() const {
+  switch (cfg_.protocol) {
+    case ProtocolKind::kP4:
+    case ProtocolKind::kVdummy:
+      return std::make_unique<ftapi::Vdummy>();
+    case ProtocolKind::kCausal:
+      return std::make_unique<causal::CausalProtocol>(cfg_.strategy,
+                                                      cfg_.event_logger);
+    case ProtocolKind::kPessimistic:
+      return std::make_unique<pessimist::PessimisticProtocol>();
+    case ProtocolKind::kCoordinated:
+      return std::make_unique<coord::CoordinatedProtocol>();
+  }
+  MPIV_PANIC("bad protocol kind %d", static_cast<int>(cfg_.protocol));
+}
+
+std::string Cluster::protocol_label() const {
+  switch (cfg_.protocol) {
+    case ProtocolKind::kP4:
+      return "MPICH-P4";
+    case ProtocolKind::kVdummy:
+      return "MPICH-Vdummy";
+    case ProtocolKind::kCausal:
+      return std::string(causal::strategy_kind_name(cfg_.strategy)) +
+             (cfg_.event_logger ? " (EL)" : " (no EL)");
+    case ProtocolKind::kPessimistic:
+      return "Pessimistic";
+    case ProtocolKind::kCoordinated:
+      return "Coordinated (Chandy-Lamport)";
+  }
+  return "?";
+}
+
+ClusterReport Cluster::run(mpi::AppFactory factory) {
+  dispatcher_ = std::make_unique<Dispatcher>(
+      net_, layout_, [this] {
+        std::vector<mpi::RankRuntime*> v;
+        for (auto& r : ranks_) v.push_back(r.get());
+        return v;
+      }(),
+      factory, cfg_.protocol == ProtocolKind::kCoordinated,
+      cfg_.detection_delay);
+  dispatcher_->arm_faults(cfg_.faults, cfg_.faults_per_minute, cfg_.seed);
+  sched_->start();
+  dispatcher_->launch_all();
+
+  if (cfg_.max_sim_time > 0) {
+    eng_.run_until(cfg_.max_sim_time);
+  } else {
+    eng_.run();
+  }
+
+  ClusterReport rep;
+  rep.completed = dispatcher_->all_done();
+  rep.completion_time = dispatcher_->completion_time();
+  rep.faults_injected = dispatcher_->faults_injected();
+  rep.rank_stats = stats_;
+  rep.el_stats = el_stats_;
+  return rep;
+}
+
+}  // namespace mpiv::runtime

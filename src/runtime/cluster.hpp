@@ -1,0 +1,112 @@
+// Cluster: one self-contained MPICH-V deployment (Fig. 5 of the paper) —
+// N compute nodes (MPI process + communication daemon each), the Event
+// Logger, the checkpoint server, and the dispatcher with its checkpoint
+// scheduler, all on one simulated Fast Ethernet switch.
+//
+// This is the top-level entry point of the library: configure, call run()
+// with an application factory, read the report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint_server.hpp"
+#include "ckpt/scheduler.hpp"
+#include "causal/strategy.hpp"
+#include "elog/event_logger.hpp"
+#include "ftapi/stats.hpp"
+#include "mpi/rank_runtime.hpp"
+#include "runtime/dispatcher.hpp"
+
+namespace mpiv::runtime {
+
+enum class ProtocolKind : std::uint8_t {
+  kP4,           // MPICH-P4 reference: direct channel, no fault tolerance
+  kVdummy,       // MPICH-V framework without fault tolerance
+  kCausal,       // causal message logging (strategy selects the reduction)
+  kPessimistic,  // MPICH-V2-style pessimistic logging
+  kCoordinated,  // Chandy-Lamport coordinated checkpointing
+};
+
+struct ClusterConfig {
+  int nranks = 4;
+  ProtocolKind protocol = ProtocolKind::kVdummy;
+  causal::StrategyKind strategy = causal::StrategyKind::kVcausal;
+  bool event_logger = true;
+  /// Number of Event Logger shards (paper §VI future work: > 1 distributes
+  /// determinant logging; shards exchange their stable-clock arrays).
+  int el_shards = 1;
+  net::CostModel cost{};
+  std::uint64_t seed = 1;
+
+  ckpt::Policy ckpt_policy = ckpt::Policy::kNone;
+  sim::Time ckpt_interval = 0;
+
+  std::vector<FaultSpec> faults;
+  double faults_per_minute = 0.0;
+  sim::Time detection_delay = 250 * sim::kMillisecond;
+
+  /// Safety net for runaway simulations (0 = unlimited).
+  sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
+};
+
+struct ClusterReport {
+  bool completed = false;
+  sim::Time completion_time = 0;
+  std::uint64_t faults_injected = 0;
+  std::vector<ftapi::RankStats> rank_stats;
+  ftapi::ElStats el_stats;
+
+  ftapi::RankStats totals() const {
+    ftapi::RankStats t;
+    for (const ftapi::RankStats& r : rank_stats) t.merge(r);
+    return t;
+  }
+  /// Piggybacked bytes as a percentage of total application bytes (Fig. 7).
+  double piggyback_pct() const {
+    const ftapi::RankStats t = totals();
+    return t.app_bytes_sent == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(t.pb_bytes_sent) /
+                     static_cast<double>(t.app_bytes_sent);
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return eng_; }
+  net::Network& network() { return net_; }
+  mpi::RankRuntime& rank(int r) { return *ranks_[static_cast<std::size_t>(r)]; }
+  elog::EventLogger& event_logger(int shard = 0) { return *els_[static_cast<std::size_t>(shard)]; }
+  ckpt::CheckpointServer& checkpoint_server() { return *ckpt_; }
+  const ClusterConfig& config() const { return cfg_; }
+
+  /// Human-readable protocol tag ("Manetho (no EL)", "MPICH-P4", ...).
+  std::string protocol_label() const;
+
+  /// Runs `factory` on every rank to completion (or until max_sim_time).
+  ClusterReport run(mpi::AppFactory factory);
+
+ private:
+  std::unique_ptr<ftapi::VProtocol> make_protocol() const;
+
+  ClusterConfig cfg_;
+  sim::Engine eng_;
+  ftapi::NodeLayout layout_;
+  net::Network net_;
+  std::vector<ftapi::RankStats> stats_;
+  ftapi::ElStats el_stats_;
+  std::vector<std::unique_ptr<mpi::RankRuntime>> ranks_;
+  std::vector<std::unique_ptr<elog::EventLogger>> els_;
+  std::unique_ptr<ckpt::CheckpointServer> ckpt_;
+  std::unique_ptr<ckpt::CheckpointScheduler> sched_;
+  std::unique_ptr<Dispatcher> dispatcher_;
+};
+
+}  // namespace mpiv::runtime

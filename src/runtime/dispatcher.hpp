@@ -1,0 +1,172 @@
+// The MPICH-V dispatcher (paper §IV-B.1): launches the runtime, monitors
+// the execution, detects faults and relaunches crashed MPI processes.
+//
+// In the simulator it additionally owns the fault injector (deterministic
+// schedule and/or a Poisson process at the paper's faults-per-minute rates)
+// and serializes recoveries: a fault that strikes while another rank is
+// still collecting its determinants is queued until that recovery finishes,
+// so survivors are always available to answer recovery requests.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "coord/coordinated_protocol.hpp"
+#include "ftapi/services.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/rank_runtime.hpp"
+#include "net/service_port.hpp"
+#include "util/rng.hpp"
+
+namespace mpiv::runtime {
+
+struct FaultSpec {
+  sim::Time at = 0;
+  int rank = 0;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(net::Network& net, const ftapi::NodeLayout& layout,
+             std::vector<mpi::RankRuntime*> ranks, mpi::AppFactory factory,
+             bool coordinated, sim::Time detection_delay)
+      : net_(net),
+        layout_(layout),
+        port_(net, layout.dispatcher_node()),
+        ranks_(std::move(ranks)),
+        factory_(std::move(factory)),
+        coordinated_(coordinated),
+        detection_delay_(detection_delay),
+        coordinator_(net, layout) {
+    net.attach(layout.dispatcher_node(),
+               [this](net::Message&& m) { on_frame(std::move(m)); });
+  }
+
+  /// Starts every rank's application process.
+  void launch_all() {
+    for (mpi::RankRuntime* r : ranks_) r->launch(factory_);
+  }
+
+  /// Arms the deterministic fault schedule and/or a Poisson fault process
+  /// with the given rate (faults per minute over the whole cluster).
+  void arm_faults(const std::vector<FaultSpec>& faults, double faults_per_minute,
+                  std::uint64_t seed) {
+    rng_.reseed(seed ^ 0xFA17'2005ULL);
+    for (const FaultSpec& f : faults) {
+      port_.engine().at(f.at, [this, f] { fault(f.rank); });
+    }
+    if (faults_per_minute > 0) {
+      poisson_mean_ns_ = 60.0 * 1e9 / faults_per_minute;
+      arm_next_poisson();
+    }
+  }
+
+  bool all_done() const { return done_.size() == ranks_.size(); }
+  sim::Time completion_time() const { return completion_time_; }
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  const coord::WaveCoordinator& coordinator() const { return coordinator_; }
+
+ private:
+  void arm_next_poisson() {
+    const sim::Time dt =
+        static_cast<sim::Time>(rng_.next_exponential(poisson_mean_ns_));
+    port_.engine().after(dt, [this] {
+      if (all_done()) return;
+      // Victim: a uniformly random, not-yet-finished rank.
+      std::vector<int> alive;
+      for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        if (done_.count(static_cast<int>(r)) == 0) alive.push_back(static_cast<int>(r));
+      }
+      if (!alive.empty()) {
+        fault(alive[rng_.next_below(alive.size())]);
+      }
+      arm_next_poisson();
+    });
+  }
+
+  void fault(int rank) {
+    if (getenv("MPIV_DEBUG_RECOVERY")) {
+      std::fprintf(stderr, "[dbg] fault(%d) at %.3fs: all_done=%d done=%zu busy=%d\n",
+                   rank, sim::to_sec(port_.engine().now()), all_done(), done_.size(),
+                   recovery_busy_);
+    }
+    if (all_done() || done_.count(rank) != 0) return;
+    if (recovery_busy_) {
+      pending_faults_.push_back(rank);
+      return;
+    }
+    execute_fault(rank);
+  }
+
+  void execute_fault(int rank) {
+    ++faults_injected_;
+    recovery_busy_ = true;
+    if (coordinated_) {
+      // Global rollback: every rank dies and restarts from the last
+      // globally-complete snapshot.
+      const std::uint64_t snapshot = coordinator_.last_complete();
+      done_.clear();
+      for (mpi::RankRuntime* r : ranks_) r->crash();
+      port_.engine().after(detection_delay_, [this, snapshot] {
+        recoveries_outstanding_ = ranks_.size();
+        for (mpi::RankRuntime* r : ranks_) r->restart(factory_, snapshot);
+      });
+      return;
+    }
+    ranks_[static_cast<std::size_t>(rank)]->crash();
+    done_.erase(rank);
+    port_.engine().after(detection_delay_, [this, rank] {
+      recoveries_outstanding_ = 1;
+      ranks_[static_cast<std::size_t>(rank)]->restart(factory_, 0);
+    });
+  }
+
+  void on_frame(net::Message&& m) {
+    if (m.kind != net::MsgKind::kControl) return;
+    if (coordinator_.on_ctl(m)) return;
+    switch (static_cast<mpi::CtlSub>(m.tag)) {
+      case mpi::CtlSub::kAppDone:
+        done_.insert(m.src_rank);
+        if (all_done()) {
+          completion_time_ = port_.engine().now();
+          port_.engine().stop();
+        }
+        return;
+      case mpi::CtlSub::kRecoveryDone:
+        if (recoveries_outstanding_ > 0) --recoveries_outstanding_;
+        if (recoveries_outstanding_ == 0) {
+          recovery_busy_ = false;
+          if (!pending_faults_.empty()) {
+            const int next = pending_faults_.front();
+            pending_faults_.pop_front();
+            fault(next);
+          }
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  net::Network& net_;
+  ftapi::NodeLayout layout_;
+  net::ServicePort port_;
+  std::vector<mpi::RankRuntime*> ranks_;
+  mpi::AppFactory factory_;
+  bool coordinated_;
+  sim::Time detection_delay_;
+  coord::WaveCoordinator coordinator_;
+  util::Rng rng_;
+
+  std::set<int> done_;
+  sim::Time completion_time_ = 0;
+  bool recovery_busy_ = false;
+  std::size_t recoveries_outstanding_ = 0;
+  std::deque<int> pending_faults_;
+  std::uint64_t faults_injected_ = 0;
+  double poisson_mean_ns_ = 0;
+};
+
+}  // namespace mpiv::runtime

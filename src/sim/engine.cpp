@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+namespace mpiv::sim {
+
+namespace {
+// The driver coroutine owns the user task; destroying the driver frame
+// (kill) destroys the whole chain. `proc` is set right after creation.
+RootCoro run_root(Process* proc, Task<void> main) {
+  co_await main;
+  proc->on_main_done();
+}
+}  // namespace
+
+std::suspend_always RootCoro::promise_type::final_suspend() const noexcept {
+  return {};
+}
+
+void Process::start(Task<void> main) { start_at(eng_.now(), std::move(main)); }
+
+void Process::start_at(Time at, Task<void> main) {
+  MPIV_CHECK(!running(), "process %s already running", name_.c_str());
+  destroy_frame();
+  finished_ = false;
+  RootCoro rc = run_root(this, std::move(main));
+  rc.handle.promise().proc = this;
+  root_ = rc.handle;
+  eng_.schedule_resume(token(), root_, at);
+}
+
+void Process::kill() {
+  MPIV_CHECK(eng_.current_process() != this,
+             "process %s cannot kill itself", name_.c_str());
+  ++incarnation_;
+  destroy_frame();
+  finished_ = false;
+}
+
+void Process::destroy_frame() {
+  if (root_) {
+    root_.destroy();
+    root_ = {};
+  }
+}
+
+void Engine::schedule_resume(ProcToken tok, std::coroutine_handle<> h, Time t) {
+  at(t, [this, tok, h] {
+    if (!token_alive(tok)) return;  // stale incarnation: frame is gone
+    resume_in_process(procs_[tok.pid].get(), h);
+  });
+}
+
+std::uint64_t Engine::run() { return run_until(INT64_MAX); }
+
+std::uint64_t Engine::run_until(Time t) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!queue_.empty() && !stopped_) {
+    const Ev& top = queue_.top();
+    if (top.t > t) break;
+    // Move the callback out before popping so it can schedule new events.
+    std::function<void()> fn = std::move(const_cast<Ev&>(top).fn);
+    now_ = top.t;
+    queue_.pop();
+    fn();
+    ++n;
+    ++executed_;
+  }
+  if (t != INT64_MAX && now_ < t && !stopped_) now_ = t;
+  return n;
+}
+
+}  // namespace mpiv::sim

@@ -1,0 +1,133 @@
+// Lazy coroutine task with symmetric transfer.
+//
+// This is the execution vehicle for every simulated MPI rank: application
+// code is written in blocking style (`co_await comm.recv(...)`) and the
+// whole call chain suspends into the discrete-event engine. Tasks are lazy
+// (started when first awaited) and single-owner; destroying a Task destroys
+// the (possibly suspended) coroutine frame, which recursively destroys any
+// child Task held in that frame — the property the fault injector relies on
+// to kill a process mid-operation.
+#pragma once
+
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace mpiv::sim {
+
+template <class T>
+class Task;
+
+namespace detail {
+
+struct TaskPromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <class P>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<P> h) const noexcept {
+      return h.promise().continuation;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  FinalAwaiter final_suspend() const noexcept { return {}; }
+  // Simulated protocol code reports errors by value; an exception escaping a
+  // simulation coroutine is a library bug.
+  void unhandled_exception() noexcept { std::abort(); }
+};
+
+template <class T>
+struct TaskPromise final : TaskPromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  template <class U = T>
+  void return_value(U&& v) {
+    value.emplace(std::forward<U>(v));
+  }
+};
+
+template <>
+struct TaskPromise<void> final : TaskPromiseBase {
+  Task<void> get_return_object() noexcept;
+  void return_void() const noexcept {}
+};
+
+}  // namespace detail
+
+template <class T = void>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::TaskPromise<T>;
+
+  Task() noexcept = default;
+  explicit Task(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const noexcept { return static_cast<bool>(h_); }
+  bool done() const noexcept { return h_ && h_.done(); }
+
+  /// Awaiting starts the (lazy) task with the awaiting coroutine as its
+  /// continuation; on completion control transfers straight back.
+  auto operator co_await() const noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> h;
+      bool await_ready() const noexcept { return !h || h.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) const noexcept {
+        h.promise().continuation = parent;
+        return h;
+      }
+      T await_resume() const {
+        if constexpr (!std::is_void_v<T>) {
+          return std::move(*h.promise().value);
+        }
+      }
+    };
+    return Awaiter{h_};
+  }
+
+  std::coroutine_handle<promise_type> handle() const noexcept { return h_; }
+  /// Transfers frame ownership to the caller (used by the root driver).
+  std::coroutine_handle<promise_type> release() noexcept {
+    return std::exchange(h_, {});
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+namespace detail {
+
+template <class T>
+Task<T> TaskPromise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<TaskPromise<T>>::from_promise(*this));
+}
+
+inline Task<void> TaskPromise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<TaskPromise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace mpiv::sim

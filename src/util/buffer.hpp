@@ -1,0 +1,101 @@
+// Byte buffer with little-endian primitive serialization.
+//
+// All protocol wire formats (determinant piggybacks, Event Logger records,
+// checkpoint images) are serialized through this type so that the simulator
+// counts real bytes, not estimates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mpiv::util {
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  void clear() {
+    bytes_.clear();
+    cursor_ = 0;
+  }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  // --- Writing ---------------------------------------------------------
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v) { put_raw(&v, sizeof v); }
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+  void put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+  void put_bytes(const Buffer& other) {
+    put_u32(static_cast<std::uint32_t>(other.size()));
+    put_raw(other.bytes_.data(), other.size());
+  }
+
+  // --- Reading (sequential cursor) --------------------------------------
+  std::size_t cursor() const { return cursor_; }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+  void rewind() { cursor_ = 0; }
+
+  std::uint8_t get_u8() { return bytes_[take(1)]; }
+  std::uint16_t get_u16() { return get_raw<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_raw<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_raw<std::uint64_t>(); }
+  std::int64_t get_i64() { return get_raw<std::int64_t>(); }
+  double get_f64() { return get_raw<double>(); }
+  std::string get_string() {
+    const std::uint32_t n = get_u32();
+    const std::size_t at = take(n);
+    return std::string(reinterpret_cast<const char*>(bytes_.data() + at), n);
+  }
+  Buffer get_bytes() {
+    const std::uint32_t n = get_u32();
+    const std::size_t at = take(n);
+    return Buffer(
+        std::vector<std::uint8_t>(bytes_.begin() + static_cast<std::ptrdiff_t>(at),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(at + n)));
+  }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.bytes_ == b.bytes_;
+  }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+  template <class T>
+  T get_raw() {
+    T v;
+    const std::size_t at = take(sizeof(T));
+    std::memcpy(&v, bytes_.data() + at, sizeof(T));
+    return v;
+  }
+  std::size_t take(std::size_t n) {
+    MPIV_CHECK(cursor_ + n <= bytes_.size(),
+               "buffer underrun: need %zu at %zu of %zu", n, cursor_,
+               bytes_.size());
+    const std::size_t at = cursor_;
+    cursor_ += n;
+    return at;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace mpiv::util

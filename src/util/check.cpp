@@ -1,0 +1,32 @@
+#include "util/check.hpp"
+
+#include <cstdarg>
+
+namespace mpiv::util {
+
+namespace {
+[[noreturn]] void vpanic(const char* file, int line, const char* prefix,
+                         const char* fmt, va_list ap) {
+  std::fprintf(stderr, "\n[mpiv panic] %s:%d: %s", file, line, prefix);
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+}  // namespace
+
+[[noreturn]] void panic(const char* file, int line, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  vpanic(file, line, "", fmt, ap);
+}
+
+[[noreturn]] void panic_check(const char* file, int line, const char* cond,
+                              const char* fmt, ...) {
+  std::fprintf(stderr, "\n[mpiv panic] check failed: %s\n", cond);
+  va_list ap;
+  va_start(ap, fmt);
+  vpanic(file, line, "", fmt, ap);
+}
+
+}  // namespace mpiv::util

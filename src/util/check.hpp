@@ -1,0 +1,46 @@
+// Lightweight invariant checking for the MPIV-EL library.
+//
+// MPIV_CHECK is active in all build types: a violated invariant in a
+// protocol simulator silently corrupts every downstream measurement, so we
+// always pay the (cheap) predicate cost. MPIV_DCHECK compiles out in NDEBUG
+// builds and is reserved for hot-path assertions.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mpiv::util {
+
+[[noreturn]] void panic(const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+[[noreturn]] void panic_check(const char* file, int line, const char* cond,
+                              const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+}  // namespace mpiv::util
+
+#define MPIV_PANIC(...) ::mpiv::util::panic(__FILE__, __LINE__, __VA_ARGS__)
+
+// Usage: MPIV_CHECK(cond, "context %d", x). The message is mandatory; a
+// check without context is a check the next maintainer cannot act on.
+#define MPIV_CHECK(cond, ...)                                                \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::mpiv::util::panic_check(__FILE__, __LINE__, #cond, __VA_ARGS__);     \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define MPIV_DCHECK(cond, ...) \
+  do {                         \
+  } while (0)
+#else
+#define MPIV_DCHECK(cond, ...) MPIV_CHECK(cond, __VA_ARGS__)
+#endif

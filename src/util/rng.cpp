@@ -1,0 +1,16 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mpiv::util {
+
+double Rng::next_exponential(double mean) {
+  MPIV_CHECK(mean > 0.0, "exponential mean must be positive, got %f", mean);
+  // 1 - u is in (0, 1], so log() never sees zero.
+  const double u = next_double();
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace mpiv::util

@@ -1,0 +1,70 @@
+// Minimal fixed-width table printer for the benchmark harness output.
+//
+// Every bench binary prints the same rows/series the paper reports; this
+// keeps those tables aligned and greppable without pulling in a formatting
+// dependency.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpiv::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : empty_;
+        std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|',
+                     static_cast<int>(width[c]) + 1, s.c_str());
+      }
+      std::fprintf(out, "|\n");
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::fprintf(out, "|%s", std::string(width[c] + 3, '-').c_str());
+    }
+    std::fprintf(out, "|\n");
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// printf-style helper producing a std::string cell.
+inline std::string cell(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+inline std::string cell(const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  return std::string(buf);
+}
+
+}  // namespace mpiv::util

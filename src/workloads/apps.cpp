@@ -1,0 +1,170 @@
+#include "workloads/apps.hpp"
+
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace mpiv::workloads {
+
+namespace {
+struct AppState {
+  std::uint32_t iter = 0;
+  std::uint64_t chk = 0;
+};
+util::Buffer pack_state(std::uint32_t iter, std::uint64_t chk) {
+  util::Buffer b;
+  b.put_u32(iter);
+  b.put_u64(chk);
+  return b;
+}
+AppState unpack_state(const util::Buffer* blob, std::uint64_t chk0) {
+  AppState st{0, chk0};
+  if (blob) {
+    util::Buffer copy = *blob;
+    copy.rewind();
+    st.iter = copy.get_u32();
+    st.chk = copy.get_u64();
+  }
+  return st;
+}
+}  // namespace
+
+sim::Task<void> ring_app(mpi::Comm& c, int laps, std::uint64_t token_bytes,
+                         std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int size = c.size();
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  AppState st = unpack_state(c.restart_state(), word(0x51, rank, 0));
+  c.set_logical_state_bytes(64 * 1024);
+
+  for (int lap = static_cast<int>(st.iter); lap < laps; ++lap) {
+    if (rank == 0) {
+      co_await c.send(next, 7, token_bytes, st.chk);
+      const mpi::RecvResult r = co_await c.recv(prev, 7);
+      st.chk = mix64(st.chk ^ r.check);  // order-sensitive
+    } else {
+      const mpi::RecvResult r = co_await c.recv(prev, 7);
+      st.chk = mix64(st.chk ^ r.check);
+      co_await c.send(next, 7, token_bytes, st.chk);
+    }
+    co_await c.compute(50 * sim::kMicrosecond);
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(lap + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> random_any_app(mpi::Comm& c, int iterations, std::uint64_t seed,
+                               std::uint64_t bytes,
+                               std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int size = c.size();
+  AppState st = unpack_state(c.restart_state(), word(seed, 0xA11, rank));
+  c.set_logical_state_bytes(64 * 1024);
+
+  for (int it = static_cast<int>(st.iter); it < iterations; ++it) {
+    // Stateless pseudo-random assignment: everyone can compute everyone's
+    // target, so each rank knows how many messages to expect.
+    int expected = 0;
+    int my_target = -1;
+    for (int s = 0; s < size; ++s) {
+      const int target =
+          (s + 1 + static_cast<int>(word(seed, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(s)) %
+                                    static_cast<std::uint64_t>(size - 1))) %
+          size;
+      if (s == rank) my_target = target;
+      if (target == rank && s != rank) ++expected;
+    }
+    co_await c.send(my_target, 9, bytes, word(st.chk, rank, static_cast<std::uint64_t>(it)));
+    for (int k = 0; k < expected; ++k) {
+      const mpi::RecvResult r = co_await c.recv(mpi::kAnySource, 9);
+      // Order-sensitive mix: only exact replay reproduces this.
+      st.chk = st.chk * 0x100000001b3ULL + r.check;
+    }
+    co_await mpi::barrier(c);
+    co_await c.compute(20 * sim::kMicrosecond);
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> random_then_ring_app(mpi::Comm& c, int rand_iters,
+                                     int ring_laps, std::uint64_t seed,
+                                     std::uint64_t bytes,
+                                     std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int size = c.size();
+  const int next = (rank + 1) % size;
+  const int prev = (rank - 1 + size) % size;
+  AppState st = unpack_state(c.restart_state(), word(seed, 0x2B, rank));
+  c.set_logical_state_bytes(64 * 1024);
+  const int total = rand_iters + ring_laps;
+
+  for (int it = static_cast<int>(st.iter); it < total; ++it) {
+    if (it < rand_iters) {
+      // Wildcard storm (as in random_any_app).
+      int expected = 0;
+      int my_target = -1;
+      for (int s = 0; s < size; ++s) {
+        const int target =
+            (s + 1 +
+             static_cast<int>(
+                 word(seed, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(s)) %
+                 static_cast<std::uint64_t>(size - 1))) %
+            size;
+        if (s == rank) my_target = target;
+        if (target == rank && s != rank) ++expected;
+      }
+      co_await c.send(my_target, 9, bytes, word(st.chk, rank, static_cast<std::uint64_t>(it)));
+      for (int k = 0; k < expected; ++k) {
+        const mpi::RecvResult r = co_await c.recv(mpi::kAnySource, 9);
+        st.chk = st.chk * 0x100000001b3ULL + r.check;  // order-sensitive
+      }
+      co_await mpi::barrier(c);
+    } else {
+      // Deterministic ring.
+      if (rank == 0) {
+        co_await c.send(next, 7, bytes, st.chk);
+        const mpi::RecvResult r = co_await c.recv(prev, 7);
+        st.chk = mix64(st.chk ^ r.check);
+      } else {
+        const mpi::RecvResult r = co_await c.recv(prev, 7);
+        st.chk = mix64(st.chk ^ r.check);
+        co_await c.send(next, 7, bytes, st.chk);
+      }
+      co_await c.compute(80 * sim::kMicrosecond);
+    }
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> pingpong_app(mpi::Comm& c, std::vector<std::uint64_t> sizes,
+                             int reps, std::shared_ptr<PingPongResult> out) {
+  MPIV_CHECK(c.size() >= 2, "ping-pong needs 2 ranks, got %d", c.size());
+  const int rank = c.rank();
+  if (rank > 1) co_return;
+  c.set_logical_state_bytes(1 << 20);
+  for (const std::uint64_t bytes : sizes) {
+    const sim::Time t0 = c.now();
+    for (int i = 0; i < reps; ++i) {
+      if (rank == 0) {
+        co_await c.send(1, 3, bytes, word(bytes, static_cast<std::uint64_t>(i), 0));
+        co_await c.recv(1, 4);
+      } else {
+        const mpi::RecvResult r = co_await c.recv(0, 3);
+        co_await c.send(0, 4, bytes, r.check);
+      }
+    }
+    if (rank == 0) {
+      const double round_trips = static_cast<double>(reps);
+      const double elapsed_us = sim::to_us(c.now() - t0);
+      PingPongResult::Point p;
+      p.bytes = bytes;
+      p.latency_us = elapsed_us / (2.0 * round_trips);
+      p.bandwidth_mbps = static_cast<double>(bytes) * 8.0 / (p.latency_us);
+      out->points.push_back(p);
+    }
+  }
+}
+
+}  // namespace mpiv::workloads

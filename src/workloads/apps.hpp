@@ -1,0 +1,99 @@
+// Micro-workloads: ring token, wildcard random traffic, NetPIPE ping-pong.
+//
+// These exercise the protocol stack directly: the ring has an order-
+// sensitive checksum over a deterministic pattern; random_any uses
+// MPI_ANY_SOURCE receives — the nondeterministic receptions that message
+// logging must replay exactly — with an order-sensitive checksum, so a
+// recovered run matching a fault-free run proves replay correctness.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+
+namespace mpiv::workloads {
+
+/// Deterministic 64-bit mixer (stateless hashing for payload check words).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+inline std::uint64_t word(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return mix64(a ^ mix64(b ^ mix64(c)));
+}
+
+struct ChecksumResult {
+  explicit ChecksumResult(int nranks)
+      : checksums(static_cast<std::size_t>(nranks), 0) {}
+  std::vector<std::uint64_t> checksums;
+  bool operator==(const ChecksumResult& o) const {
+    return checksums == o.checksums;
+  }
+};
+
+/// Token circulates `laps` times; every hop mixes order-sensitively.
+sim::Task<void> ring_app(mpi::Comm& c, int laps, std::uint64_t token_bytes,
+                         std::shared_ptr<ChecksumResult> out);
+inline mpi::AppFactory make_ring_app(int laps, std::uint64_t token_bytes,
+                                     std::shared_ptr<ChecksumResult> out) {
+  return [laps, token_bytes, out](mpi::Comm& c) {
+    return ring_app(c, laps, token_bytes, out);
+  };
+}
+
+/// Each iteration every rank sends one message to a pseudo-random target
+/// (derived statelessly from the seed), then receives its due count with
+/// MPI_ANY_SOURCE and mixes the checksum order-sensitively; a barrier
+/// separates iterations.
+sim::Task<void> random_any_app(mpi::Comm& c, int iterations, std::uint64_t seed,
+                               std::uint64_t bytes,
+                               std::shared_ptr<ChecksumResult> out);
+inline mpi::AppFactory make_random_any_app(int iterations, std::uint64_t seed,
+                                           std::uint64_t bytes,
+                                           std::shared_ptr<ChecksumResult> out) {
+  return [iterations, seed, bytes, out](mpi::Comm& c) {
+    return random_any_app(c, iterations, seed, bytes, out);
+  };
+}
+
+/// Phase 1: wildcard random traffic (nondeterministic delivery orders);
+/// phase 2: deterministic ring. A crash injected in phase 2 with no (or
+/// any) checkpoint forces replay back through phase 1's wildcard
+/// receptions: the order-sensitive checksum matches the fault-free run iff
+/// the determinant replay reproduced every delivery order exactly.
+sim::Task<void> random_then_ring_app(mpi::Comm& c, int rand_iters,
+                                     int ring_laps, std::uint64_t seed,
+                                     std::uint64_t bytes,
+                                     std::shared_ptr<ChecksumResult> out);
+inline mpi::AppFactory make_random_then_ring_app(
+    int rand_iters, int ring_laps, std::uint64_t seed, std::uint64_t bytes,
+    std::shared_ptr<ChecksumResult> out) {
+  return [rand_iters, ring_laps, seed, bytes, out](mpi::Comm& c) {
+    return random_then_ring_app(c, rand_iters, ring_laps, seed, bytes, out);
+  };
+}
+
+/// NetPIPE-style ping-pong between ranks 0 and 1.
+struct PingPongResult {
+  struct Point {
+    std::uint64_t bytes = 0;
+    double latency_us = 0;        // one-way
+    double bandwidth_mbps = 0;    // payload Mbit/s
+  };
+  std::vector<Point> points;
+};
+sim::Task<void> pingpong_app(mpi::Comm& c, std::vector<std::uint64_t> sizes,
+                             int reps, std::shared_ptr<PingPongResult> out);
+inline mpi::AppFactory make_pingpong_app(std::vector<std::uint64_t> sizes,
+                                         int reps,
+                                         std::shared_ptr<PingPongResult> out) {
+  return [sizes, reps, out](mpi::Comm& c) {
+    return pingpong_app(c, sizes, reps, out);
+  };
+}
+
+}  // namespace mpiv::workloads

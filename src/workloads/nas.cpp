@@ -1,0 +1,438 @@
+#include "workloads/nas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mpi/collectives.hpp"
+#include "util/buffer.hpp"
+#include "util/check.hpp"
+
+namespace mpiv::workloads {
+
+namespace {
+
+// --- NPB class tables ---------------------------------------------------------
+
+struct KernelClassInfo {
+  double gflops;     // total operations (NPB reference counts)
+  int iterations;    // reference iteration count
+  std::uint64_t n;   // characteristic problem dimension
+};
+
+KernelClassInfo info_for(NasKernel k, NasClass c) {
+  const int ci = static_cast<int>(c);  // S, W, A, B
+  switch (k) {
+    case NasKernel::kBT: {
+      static const KernelClassInfo t[4] = {{0.30, 60, 12},
+                                           {7.51, 200, 24},
+                                           {168.3, 200, 64},
+                                           {719.3, 200, 102}};
+      return t[ci];
+    }
+    case NasKernel::kCG: {
+      static const KernelClassInfo t[4] = {{0.066, 15, 1400},
+                                           {0.615, 15, 7000},
+                                           {1.50, 15, 14000},
+                                           {54.9, 75, 75000}};
+      return t[ci];
+    }
+    case NasKernel::kLU: {
+      static const KernelClassInfo t[4] = {{0.10, 50, 12},
+                                           {11.9, 300, 33},
+                                           {119.3, 250, 64},
+                                           {554.7, 250, 102}};
+      return t[ci];
+    }
+    case NasKernel::kFT: {
+      static const KernelClassInfo t[4] = {{0.18, 6, 64},
+                                           {2.0, 6, 128},
+                                           {7.16, 6, 256},
+                                           {92.8, 20, 512}};
+      return t[ci];
+    }
+    case NasKernel::kMG: {
+      static const KernelClassInfo t[4] = {{0.06, 4, 32},
+                                           {0.61, 4, 128},
+                                           {3.63, 4, 256},
+                                           {18.1, 20, 256}};
+      return t[ci];
+    }
+    case NasKernel::kSP: {
+      static const KernelClassInfo t[4] = {{0.25, 100, 12},
+                                           {8.0, 400, 36},
+                                           {102.0, 400, 64},
+                                           {447.1, 400, 102}};
+      return t[ci];
+    }
+  }
+  MPIV_PANIC("bad kernel %d", static_cast<int>(k));
+}
+
+int scaled_iters(const NasConfig& cfg) {
+  const int ref = nas_iterations(cfg.kernel, cfg.klass);
+  return std::max(2, static_cast<int>(std::lround(ref * cfg.scale)));
+}
+
+struct Grid2 {
+  int px = 1, py = 1, x = 0, y = 0;
+};
+Grid2 grid2(int rank, int nranks) {
+  Grid2 g;
+  g.px = static_cast<int>(std::sqrt(static_cast<double>(nranks)));
+  while (g.px > 1 && nranks % g.px != 0) --g.px;
+  g.py = nranks / g.px;
+  g.x = rank % g.px;
+  g.y = rank / g.px;
+  return g;
+}
+
+struct AppState {
+  std::uint32_t iter = 0;
+  std::uint64_t chk = 0;
+};
+util::Buffer pack_state(std::uint32_t iter, std::uint64_t chk) {
+  util::Buffer b;
+  b.put_u32(iter);
+  b.put_u64(chk);
+  return b;
+}
+AppState unpack_state(const util::Buffer* blob, std::uint64_t chk0) {
+  AppState st{0, chk0};
+  if (blob) {
+    util::Buffer copy = *blob;
+    copy.rewind();
+    st.iter = copy.get_u32();
+    st.chk = copy.get_u64();
+  }
+  return st;
+}
+
+// --- kernels ----------------------------------------------------------------
+// Checksums mix commutatively (wrapping add of mixed words) so that any
+// legal execution order — including coordinated-rollback re-executions —
+// produces identical values.
+
+sim::Task<void> bt_sp_app(mpi::Comm& c, NasConfig cfg,
+                          std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int P = c.size();
+  const int sq = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  const double flops_per_iter = ki.gflops * 1e9 / nas_iterations(cfg.kernel, cfg.klass);
+  // Face size: (cells per rank)^(2/3) face cells x 5 variables x 8 bytes;
+  // SP exchanges more often with smaller faces.
+  const double cells = static_cast<double>(ki.n) * static_cast<double>(ki.n) *
+                       static_cast<double>(ki.n) / P;
+  const double face_scale = cfg.kernel == NasKernel::kSP ? 0.6 : 1.0;
+  const std::uint64_t face_bytes = std::max<std::uint64_t>(
+      256, static_cast<std::uint64_t>(std::pow(cells, 2.0 / 3.0) * 40.0 * face_scale));
+  const int gx = rank % sq;
+  const int gy = rank / sq;
+
+  AppState st = unpack_state(c.restart_state(), word(0xB7, rank, 0));
+  c.set_logical_state_bytes(nas_state_bytes(cfg.kernel, cfg.klass, P));
+
+  for (int it = static_cast<int>(st.iter); it < iters; ++it) {
+    // Three ADI sweep dimensions; each exchanges both faces with the
+    // neighbours of that dimension, overlapped with the sweep computation.
+    for (int dim = 0; dim < 3; ++dim) {
+      int nx = gx, ny = gy;
+      if (dim == 0) nx = (gx + 1) % sq;
+      if (dim == 1) ny = (gy + 1) % sq;
+      if (dim == 2) {
+        nx = (gx + 1) % sq;
+        ny = (gy + 1) % sq;
+      }
+      const int fwd = ny * sq + nx;
+      int pxr = gx, pyr = gy;
+      if (dim == 0) pxr = (gx - 1 + sq) % sq;
+      if (dim == 1) pyr = (gy - 1 + sq) % sq;
+      if (dim == 2) {
+        pxr = (gx - 1 + sq) % sq;
+        pyr = (gy - 1 + sq) % sq;
+      }
+      const int back = pyr * sq + pxr;
+      if (fwd != rank) {
+        // Faces go both ways in each sweep dimension (forward solve then
+        // back-substitution).
+        co_await c.send(fwd, 200 + dim, face_bytes,
+                        word(st.chk, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(dim)));
+        const mpi::RecvResult r = co_await c.recv(back, 200 + dim);
+        st.chk += mix64(r.check);
+        co_await c.send(back, 210 + dim, face_bytes,
+                        word(st.chk, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(dim) + 16));
+        const mpi::RecvResult r2 = co_await c.recv(fwd, 210 + dim);
+        st.chk += mix64(r2.check);
+      }
+      co_await c.compute_flops(flops_per_iter / (3.0 * P));
+    }
+    if (it % 8 == 7) {
+      st.chk += co_await mpi::allreduce(c, 40, word(0xBB, rank, static_cast<std::uint64_t>(it)));
+    }
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> cg_app(mpi::Comm& c, NasConfig cfg,
+                       std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int P = c.size();
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  const double flops_per_iter = ki.gflops * 1e9 / nas_iterations(cfg.kernel, cfg.klass);
+  // Process grid: npcols >= nprows, both powers of two.
+  int l2 = 0;
+  while ((1 << (l2 + 1)) <= P) ++l2;
+  const int npcols = 1 << ((l2 + 1) / 2);
+  const int nprows = P / npcols;
+  const int col = rank % npcols;
+  const int row = rank / npcols;
+  const std::uint64_t vec_bytes =
+      std::max<std::uint64_t>(64, ki.n / static_cast<std::uint64_t>(std::max(1, nprows)) * 8);
+  constexpr int kSub = 25;  // inner CG steps per outer iteration (NPB)
+
+  AppState st = unpack_state(c.restart_state(), word(0xC6, rank, 0));
+  c.set_logical_state_bytes(nas_state_bytes(cfg.kernel, cfg.klass, P));
+
+  for (int it = static_cast<int>(st.iter); it < iters; ++it) {
+    for (int sub = 0; sub < kSub; ++sub) {
+      // Sum-reduction of q = A.p along the process row (pairwise halving).
+      for (int i = 1; i < npcols; i <<= 1) {
+        const int pcol = col ^ i;
+        if (pcol >= npcols) continue;
+        const int partner = row * npcols + pcol;
+        co_await c.send(partner, 300 + sub, vec_bytes,
+                        word(st.chk, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(sub)));
+        const mpi::RecvResult r = co_await c.recv(partner, 300 + sub);
+        st.chk += mix64(r.check);
+      }
+      // Scalar dot products (rho, alpha): global reductions, the
+      // latency-bound part of CG and the vehicle for transitive causal
+      // knowledge (the binomial trees relay everyone's events).
+      st.chk += co_await mpi::allreduce(c, 8, word(0xD0, rank, static_cast<std::uint64_t>(sub)));
+      st.chk += co_await mpi::allreduce(c, 8, word(0xD1, rank, static_cast<std::uint64_t>(sub)));
+      co_await c.compute_flops(flops_per_iter / (kSub * P));
+    }
+    st.chk += co_await mpi::allreduce(c, 8, word(0xCA, rank, static_cast<std::uint64_t>(it)));
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> lu_app(mpi::Comm& c, NasConfig cfg,
+                       std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int P = c.size();
+  const Grid2 g = grid2(rank, P);
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  const double flops_per_iter = ki.gflops * 1e9 / nas_iterations(cfg.kernel, cfg.klass);
+  // Wavefront pencils: one exchange per k-plane per sweep — the "very
+  // large number of small messages" that makes LU the paper's stress case.
+  const int nz = static_cast<int>(ki.n);
+  const std::uint64_t pencil_bytes = std::max<std::uint64_t>(
+      160, ki.n / static_cast<std::uint64_t>(std::max(1, g.px)) * 5 * 8);
+  const int west = g.x > 0 ? rank - 1 : -1;
+  const int east = g.x < g.px - 1 ? rank + 1 : -1;
+  const int north = g.y > 0 ? rank - g.px : -1;
+  const int south = g.y < g.py - 1 ? rank + g.px : -1;
+
+  AppState st = unpack_state(c.restart_state(), word(0x1C, rank, 0));
+  c.set_logical_state_bytes(nas_state_bytes(cfg.kernel, cfg.klass, P));
+
+  for (int it = static_cast<int>(st.iter); it < iters; ++it) {
+    // Lower then upper SSOR sweep; each k-plane propagates the wavefront.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      const bool fw = sweep == 0;
+      const int r_from_x = fw ? west : east;
+      const int r_from_y = fw ? north : south;
+      const int s_to_x = fw ? east : west;
+      const int s_to_y = fw ? south : north;
+      for (int k = 0; k < nz; ++k) {
+        const int tag = 400 + sweep;
+        if (r_from_x >= 0) {
+          const mpi::RecvResult r = co_await c.recv(r_from_x, tag);
+          st.chk += mix64(r.check);
+        }
+        if (r_from_y >= 0) {
+          const mpi::RecvResult r = co_await c.recv(r_from_y, tag + 2);
+          st.chk += mix64(r.check);
+        }
+        co_await c.compute_flops(flops_per_iter / (2.0 * nz * P));
+        if (s_to_x >= 0) {
+          co_await c.send(s_to_x, tag, pencil_bytes,
+                          word(st.chk, static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(sweep)));
+        }
+        if (s_to_y >= 0) {
+          co_await c.send(s_to_y, tag + 2, pencil_bytes,
+                          word(st.chk, static_cast<std::uint64_t>(k), static_cast<std::uint64_t>(sweep) + 8));
+        }
+      }
+    }
+    if (it % 8 == 7) {
+      // Periodic residual norm (global reduction).
+      st.chk += co_await mpi::allreduce(c, 40, word(0x1B, rank, static_cast<std::uint64_t>(it)));
+    }
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> ft_app(mpi::Comm& c, NasConfig cfg,
+                       std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int P = c.size();
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  const double flops_per_iter = ki.gflops * 1e9 / nas_iterations(cfg.kernel, cfg.klass);
+  // 3D FFT transpose: total grid (n x n x n/2 complex doubles) re-distributed
+  // all-to-all each iteration.
+  const double total_bytes = static_cast<double>(ki.n) * ki.n * (ki.n / 2) * 16.0;
+  const std::uint64_t per_pair =
+      std::max<std::uint64_t>(1024, static_cast<std::uint64_t>(total_bytes / P / P));
+
+  AppState st = unpack_state(c.restart_state(), word(0xF7, rank, 0));
+  c.set_logical_state_bytes(nas_state_bytes(cfg.kernel, cfg.klass, P));
+
+  for (int it = static_cast<int>(st.iter); it < iters; ++it) {
+    co_await c.compute_flops(flops_per_iter / (2.0 * P));
+    st.chk += co_await mpi::alltoall(c, per_pair, word(st.chk, rank, static_cast<std::uint64_t>(it)));
+    co_await c.compute_flops(flops_per_iter / (2.0 * P));
+    st.chk += co_await mpi::allreduce(c, 16, word(0xFA, rank, static_cast<std::uint64_t>(it)));
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+sim::Task<void> mg_app(mpi::Comm& c, NasConfig cfg,
+                       std::shared_ptr<ChecksumResult> out) {
+  const int rank = c.rank();
+  const int P = c.size();
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  const double flops_per_iter = ki.gflops * 1e9 / nas_iterations(cfg.kernel, cfg.klass);
+  const int next = (rank + 1) % P;
+  const int prev = (rank - 1 + P) % P;
+  // Halo size at the finest level; halves per multigrid level.
+  const std::uint64_t base_halo = std::max<std::uint64_t>(
+      512, static_cast<std::uint64_t>(
+               static_cast<double>(ki.n) * ki.n / P * 8.0 / 16.0));
+  int levels = 0;
+  while ((base_halo >> levels) > 64 && levels < 8) ++levels;
+
+  AppState st = unpack_state(c.restart_state(), word(0x36, rank, 0));
+  c.set_logical_state_bytes(nas_state_bytes(cfg.kernel, cfg.klass, P));
+
+  for (int it = static_cast<int>(st.iter); it < iters; ++it) {
+    // V-cycle: down (coarsen) then up (refine), halo exchange per level.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int l = 0; l <= levels; ++l) {
+        const int lvl = pass == 0 ? l : levels - l;
+        const std::uint64_t halo = std::max<std::uint64_t>(64, base_halo >> lvl);
+        if (P > 1) {
+          co_await c.send(next, 500 + lvl, halo,
+                          word(st.chk, static_cast<std::uint64_t>(it), static_cast<std::uint64_t>(lvl)));
+          const mpi::RecvResult r = co_await c.recv(prev, 500 + lvl);
+          st.chk += mix64(r.check);
+        }
+        co_await c.compute_flops(flops_per_iter / (2.0 * (levels + 1) * P));
+      }
+    }
+    st.chk += co_await mpi::allreduce(c, 8, word(0x39, rank, static_cast<std::uint64_t>(it)));
+    co_await c.checkpoint_site(pack_state(static_cast<std::uint32_t>(it + 1), st.chk));
+  }
+  out->checksums[static_cast<std::size_t>(rank)] = st.chk;
+}
+
+}  // namespace
+
+const char* nas_kernel_name(NasKernel k) {
+  switch (k) {
+    case NasKernel::kBT: return "BT";
+    case NasKernel::kCG: return "CG";
+    case NasKernel::kLU: return "LU";
+    case NasKernel::kFT: return "FT";
+    case NasKernel::kMG: return "MG";
+    case NasKernel::kSP: return "SP";
+  }
+  return "?";
+}
+
+char nas_class_letter(NasClass c) {
+  switch (c) {
+    case NasClass::kS: return 'S';
+    case NasClass::kW: return 'W';
+    case NasClass::kA: return 'A';
+    case NasClass::kB: return 'B';
+  }
+  return '?';
+}
+
+double nas_total_flops(NasKernel k, NasClass c) { return info_for(k, c).gflops * 1e9; }
+
+int nas_iterations(NasKernel k, NasClass c) { return info_for(k, c).iterations; }
+
+std::uint64_t nas_state_bytes(NasKernel k, NasClass c, int nranks) {
+  const KernelClassInfo ki = info_for(k, c);
+  double words = 0;
+  switch (k) {
+    case NasKernel::kCG:
+      words = static_cast<double>(ki.n) * 12;  // sparse vectors
+      break;
+    case NasKernel::kFT:
+      words = static_cast<double>(ki.n) * ki.n * (ki.n / 2) * 2 / 4;
+      break;
+    default:
+      words = static_cast<double>(ki.n) * ki.n * ki.n * 5;
+      break;
+  }
+  // MPICH-V checkpoints the full process (system-level dump): code, libs,
+  // heap and stack on top of the numerical arrays (NPB keeps roughly 3x the
+  // primary grid in auxiliaries). The resulting tens-of-MB images are what
+  // make coordinated checkpoint/restart storms expensive on a shared
+  // checkpoint server (Fig. 1) while per-rank message-logging checkpoints
+  // stay cheap.
+  constexpr std::uint64_t kProcessBaseBytes = 12ull << 20;
+  return kProcessBaseBytes +
+         static_cast<std::uint64_t>(3.0 * words * 8.0 / std::max(1, nranks));
+}
+
+bool nas_valid_nranks(NasKernel k, int nranks) {
+  if (nranks < 1) return false;
+  if (k == NasKernel::kBT || k == NasKernel::kSP) {
+    const int sq = static_cast<int>(std::lround(std::sqrt(static_cast<double>(nranks))));
+    return sq * sq == nranks;
+  }
+  return (nranks & (nranks - 1)) == 0;
+}
+
+double nas_scaled_flops(const NasConfig& cfg) {
+  const KernelClassInfo ki = info_for(cfg.kernel, cfg.klass);
+  const int iters = scaled_iters(cfg);
+  return ki.gflops * 1e9 * iters / nas_iterations(cfg.kernel, cfg.klass);
+}
+
+mpi::AppFactory make_nas_app(const NasConfig& cfg,
+                             std::shared_ptr<ChecksumResult> out) {
+  MPIV_CHECK(nas_valid_nranks(cfg.kernel, cfg.nranks),
+             "%s does not support %d ranks", nas_kernel_name(cfg.kernel),
+             cfg.nranks);
+  switch (cfg.kernel) {
+    case NasKernel::kBT:
+    case NasKernel::kSP:
+      return [cfg, out](mpi::Comm& c) { return bt_sp_app(c, cfg, out); };
+    case NasKernel::kCG:
+      return [cfg, out](mpi::Comm& c) { return cg_app(c, cfg, out); };
+    case NasKernel::kLU:
+      return [cfg, out](mpi::Comm& c) { return lu_app(c, cfg, out); };
+    case NasKernel::kFT:
+      return [cfg, out](mpi::Comm& c) { return ft_app(c, cfg, out); };
+    case NasKernel::kMG:
+      return [cfg, out](mpi::Comm& c) { return mg_app(c, cfg, out); };
+  }
+  MPIV_PANIC("bad kernel %d", static_cast<int>(cfg.kernel));
+}
+
+}  // namespace mpiv::workloads

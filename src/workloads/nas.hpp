@@ -1,0 +1,56 @@
+// NAS Parallel Benchmark communication skeletons (NPB 2.x).
+//
+// Each kernel reproduces the benchmark property the paper leans on
+// (§V-A): CG — latency-driven point-to-point exchanges along a 2D process
+// grid; BT — large neighbour faces overlapped with computation on a square
+// grid; LU — very many small wavefront pencils (highest communication/
+// computation ratio); FT — all-to-all transposes; MG — halo exchanges
+// shrinking across multigrid levels; SP — BT-like sweeps with more, smaller
+// messages. Message sizes and iteration counts follow the NPB class tables;
+// per-iteration flop counts come from the published per-class operation
+// totals, so Mop/s figures are comparable in shape to the paper's Fig. 9.
+//
+// `scale` multiplies the iteration count (simulation wall-time control):
+// per-iteration message sizes, counts and flops — everything the protocols
+// can observe per unit of progress — are unchanged. Checksums are
+// commutative mixes of received payload words, so any legal execution
+// (including a post-rollback re-execution) reproduces them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mpi/comm.hpp"
+#include "workloads/apps.hpp"
+
+namespace mpiv::workloads {
+
+enum class NasKernel : std::uint8_t { kBT, kCG, kLU, kFT, kMG, kSP };
+enum class NasClass : std::uint8_t { kS, kW, kA, kB };
+
+const char* nas_kernel_name(NasKernel k);
+char nas_class_letter(NasClass c);
+
+/// Total floating-point operations of the full benchmark (NPB reference).
+double nas_total_flops(NasKernel k, NasClass c);
+/// Reference iteration count of the benchmark.
+int nas_iterations(NasKernel k, NasClass c);
+/// Checkpoint image size (application memory) per rank.
+std::uint64_t nas_state_bytes(NasKernel k, NasClass c, int nranks);
+/// BT/SP need square process counts; the others powers of two.
+bool nas_valid_nranks(NasKernel k, int nranks);
+
+struct NasConfig {
+  NasKernel kernel = NasKernel::kCG;
+  NasClass klass = NasClass::kA;
+  int nranks = 4;
+  double scale = 1.0;  // iteration-count multiplier (>= keeps 2 iterations)
+};
+
+mpi::AppFactory make_nas_app(const NasConfig& cfg,
+                             std::shared_ptr<ChecksumResult> out);
+
+/// Flops actually executed by a scaled run (for Mop/s reporting).
+double nas_scaled_flops(const NasConfig& cfg);
+
+}  // namespace mpiv::workloads

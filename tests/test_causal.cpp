@@ -1,0 +1,423 @@
+// Unit and property tests for the causal-logging core: determinant wire
+// formats, the event store, the antecedence graph (including the paper's
+// Fig. 3 scenario), the sender log, and the strategy invariants —
+// no-event-sent-twice, graph-pruning soundness (Manetho/LogOn piggyback a
+// subset of Vcausal's), and LogOn's partial-order emission.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "causal/antecedence_graph.hpp"
+#include "causal/event_store.hpp"
+#include "causal/logon_strategy.hpp"
+#include "causal/manetho_strategy.hpp"
+#include "causal/sender_log.hpp"
+#include "causal/vcausal_strategy.hpp"
+#include "causal/wire.hpp"
+#include "util/rng.hpp"
+
+namespace mpiv::causal {
+namespace {
+
+ftapi::Determinant det(std::uint32_t creator, std::uint64_t seq,
+                       std::uint32_t src, std::uint64_t ssn, int tag = 0) {
+  ftapi::Determinant d;
+  d.creator = creator;
+  d.seq = seq;
+  d.src = src;
+  d.ssn = ssn;
+  d.tag = tag;
+  return d;
+}
+
+// --- wire formats -------------------------------------------------------------
+
+TEST(Wire, FactoredRoundTrip) {
+  std::vector<ftapi::Determinant> events;
+  for (std::uint64_t s = 5; s < 9; ++s) events.push_back(det(2, s, 1, s + 10, 3));
+  for (std::uint64_t s = 1; s < 3; ++s) events.push_back(det(4, s, 0, s, 9));
+  util::Buffer b;
+  wire::factored_serialize(events, b);
+  const auto parsed = wire::factored_parse(b);
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) EXPECT_EQ(parsed[i], events[i]);
+}
+
+TEST(Wire, PlainRoundTripPreservesOrder) {
+  std::vector<ftapi::Determinant> events = {det(3, 7, 1, 2), det(1, 1, 3, 9),
+                                            det(3, 8, 0, 5)};
+  util::Buffer b;
+  wire::plain_serialize(events, b);
+  const auto parsed = wire::plain_parse(b);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) EXPECT_EQ(parsed[i], events[i]);
+}
+
+TEST(Wire, FactoredSmallerForRuns) {
+  // 100 consecutive events of one creator: one block header amortized.
+  std::vector<ftapi::Determinant> events;
+  for (std::uint64_t s = 1; s <= 100; ++s) events.push_back(det(2, s, 1, s));
+  util::Buffer fact, plain;
+  wire::factored_serialize(events, fact);
+  wire::plain_serialize(events, plain);
+  EXPECT_LT(fact.size(), plain.size());
+}
+
+TEST(Wire, PlainSmallerForSingleEvents) {
+  // The paper's LU/4 case: one event per piggyback — the factored block
+  // header exceeds the per-event format.
+  std::vector<ftapi::Determinant> one = {det(2, 1, 1, 1)};
+  util::Buffer fact, plain;
+  wire::factored_serialize(one, fact);
+  wire::plain_serialize(one, plain);
+  EXPECT_GT(fact.size(), plain.size());
+}
+
+TEST(Wire, FactoredSplitsNonContiguousRuns) {
+  std::vector<ftapi::Determinant> events = {det(2, 1, 1, 1), det(2, 3, 1, 3)};
+  util::Buffer b;
+  wire::factored_serialize(events, b);
+  const auto parsed = wire::factored_parse(b);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].seq, 1u);
+  EXPECT_EQ(parsed[1].seq, 3u);
+}
+
+// --- event store ---------------------------------------------------------------
+
+TEST(EventStoreTest, AddAndKnownTracksPrefix) {
+  EventStore s(4);
+  EXPECT_TRUE(s.add(det(1, 1, 0, 1)));
+  EXPECT_TRUE(s.add(det(1, 2, 0, 2)));
+  EXPECT_FALSE(s.add(det(1, 2, 0, 2)));  // duplicate
+  EXPECT_EQ(s.known(1), 2u);
+  EXPECT_EQ(s.known(2), 0u);
+}
+
+TEST(EventStoreTest, StablePruningDropsCoveredEvents) {
+  EventStore s(4);
+  for (std::uint64_t q = 1; q <= 10; ++q) s.add(det(1, q, 0, q));
+  s.set_stable({0, 7, 0, 0});
+  EXPECT_EQ(s.stable(1), 7u);
+  EXPECT_EQ(s.known(1), 10u);
+  EXPECT_EQ(s.find(1, 7), nullptr);
+  EXPECT_NE(s.find(1, 8), nullptr);
+  ftapi::DeterminantList out;
+  s.collect(1, out);
+  EXPECT_EQ(out.size(), 3u);
+  // A determinant below the stable point is rejected.
+  EXPECT_FALSE(s.add(det(1, 5, 0, 5)));
+}
+
+TEST(EventStoreTest, GapAboveStableIsAllowed) {
+  // A sender only piggybacks its unstable suffix: the receiver may learn
+  // (10..12] while 6..10 went straight to the EL.
+  EventStore s(4);
+  for (std::uint64_t q = 1; q <= 5; ++q) s.add(det(1, q, 0, q));
+  EXPECT_TRUE(s.add(det(1, 11, 0, 11)));
+  EXPECT_TRUE(s.add(det(1, 12, 0, 12)));
+  EXPECT_EQ(s.known(1), 12u);
+}
+
+TEST(EventStoreTest, SerializeRestoreRoundTrip) {
+  EventStore s(3);
+  for (std::uint64_t q = 1; q <= 6; ++q) s.add(det(2, q, 0, q));
+  s.set_stable({0, 0, 3});
+  util::Buffer b;
+  s.serialize(b);
+  EventStore t(3);
+  t.restore(b);
+  EXPECT_EQ(t.known(2), 6u);
+  EXPECT_EQ(t.stable(2), 3u);
+  EXPECT_EQ(t.held_count(), 3u);
+}
+
+// --- antecedence graph ----------------------------------------------------------
+
+TEST(Graph, ReachabilityFollowsProcessOrderAndCrossEdges) {
+  AntecedenceGraph g(3);
+  // P1 events 1..3; P2 event 1 depends on P1's event 2.
+  for (std::uint64_t q = 1; q <= 3; ++q) g.add(det(1, q, 0, q));
+  ftapi::Determinant e = det(2, 1, 1, 5);
+  e.dep_creator = 1;
+  e.dep_seq = 2;
+  g.add(e);
+  std::vector<std::uint64_t> known;
+  g.known_from(2, 1, known);
+  EXPECT_EQ(known[2], 1u);
+  EXPECT_EQ(known[1], 2u);  // through the cross edge, then process order
+  EXPECT_EQ(known[0], 0u);
+}
+
+TEST(Graph, PaperFig3TransitiveKnowledge) {
+  // Paper Fig. 3: P3 never exchanged with P2 directly, but learned P2's
+  // event via a relay; the graph walk proves P2 knows its own causal past,
+  // so those events need not be piggybacked — Vcausal cannot see this.
+  AntecedenceGraph g(4);
+  // P0 creates a,b (seq 1,2). P2's event h (seq 1) has cross edge to P0#2.
+  g.add(det(0, 1, 3, 1));
+  g.add(det(0, 2, 3, 2));
+  ftapi::Determinant h = det(2, 1, 0, 9);
+  h.dep_creator = 0;
+  h.dep_seq = 2;
+  g.add(h);
+  // P3 (us) holds all of it; what does P2 know?
+  std::vector<std::uint64_t> known;
+  g.known_from(2, 1, known);
+  EXPECT_EQ(known[0], 2u);  // P2 provably knows P0's events 1..2
+}
+
+TEST(Graph, PruneStableRemovesVertices) {
+  AntecedenceGraph g(2);
+  for (std::uint64_t q = 1; q <= 8; ++q) g.add(det(1, q, 0, q));
+  EXPECT_EQ(g.vertex_count(), 8u);
+  g.prune_stable({0, 5});
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_FALSE(g.contains(1, 5));
+  EXPECT_TRUE(g.contains(1, 6));
+}
+
+TEST(Graph, CachedTraversalMatchesFullTraversal) {
+  util::Rng rng(77);
+  AntecedenceGraph g(4);
+  std::vector<std::uint64_t> seq(4, 0);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = static_cast<std::uint32_t>(rng.next_below(4));
+    const auto s = static_cast<std::uint32_t>(rng.next_below(4));
+    ftapi::Determinant d = det(c, ++seq[c], s, seq[c]);
+    d.dep_creator = s;
+    d.dep_seq = seq[s];
+    g.add(d);
+    if (i % 20 == 19) {
+      std::vector<std::uint64_t> full, cached;
+      g.known_from(1, seq[1], full);
+      std::vector<std::uint64_t> cache;  // fresh cache each time
+      g.known_from_cached(1, seq[1], cache);
+      EXPECT_EQ(cache, full);
+    }
+  }
+}
+
+// --- sender log -------------------------------------------------------------------
+
+TEST(SenderLogTest, LogGcAndPending) {
+  SenderLog log(4);
+  for (std::uint64_t ssn = 1; ssn <= 10; ++ssn) {
+    log.log(2, ssn, 5, {100 * ssn, ssn});
+  }
+  EXPECT_EQ(log.entries(), 10u);
+  EXPECT_EQ(log.bytes(), 100u * 55);
+  log.gc(2, 6);
+  EXPECT_EQ(log.entries(), 4u);
+  std::vector<std::uint64_t> pending;
+  log.for_pending(2, 8, [&](const SenderLog::Entry& e) { pending.push_back(e.ssn); });
+  EXPECT_EQ(pending, (std::vector<std::uint64_t>{9, 10}));
+}
+
+TEST(SenderLogTest, SerializeRestoreRoundTrip) {
+  SenderLog log(2);
+  log.log(1, 3, 7, {512, 99});
+  util::Buffer b;
+  log.serialize(b);
+  SenderLog log2(2);
+  log2.restore(b);
+  EXPECT_EQ(log2.entries(), 1u);
+  EXPECT_EQ(log2.bytes(), 512u);
+  std::vector<std::uint64_t> checks;
+  log2.for_pending(1, 0, [&](const SenderLog::Entry& e) { checks.push_back(e.payload.check); });
+  EXPECT_EQ(checks, (std::vector<std::uint64_t>{99}));
+}
+
+// --- strategy properties -------------------------------------------------------------
+
+struct StratFixture {
+  EventStore store{4};
+  net::CostModel cost;
+  std::unique_ptr<Strategy> strat;
+
+  explicit StratFixture(StrategyKind k) : strat(make_strategy(k)) {
+    strat->attach(&store, &cost, /*rank=*/3, 4);
+  }
+  void local_event(std::uint32_t src, std::uint64_t ssn) {
+    ftapi::Determinant d = det(3, store.known(3) + 1, src, ssn);
+    d.dep_creator = src;
+    d.dep_seq = store.known(src);
+    store.add(d);
+    strat->on_local_event(d);
+  }
+  std::vector<ftapi::Determinant> build(int dst, util::Buffer* out = nullptr,
+                                        Strategy::DepShadow* deps_out = nullptr) {
+    util::Buffer local;
+    util::Buffer& b = out ? *out : local;
+    Strategy::DepShadow deps;
+    strat->build(dst, b, deps);
+    if (deps_out) *deps_out = deps;
+    // Parse back through the matching wire format.
+    b.rewind();
+    return dynamic_cast<LogOnStrategy*>(strat.get()) ? wire::plain_parse(b)
+                                                     : wire::factored_parse(b);
+  }
+};
+
+class StrategyProperty : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(StrategyProperty, NoEventSentTwiceToSamePeer) {
+  StratFixture fx(GetParam());
+  std::set<std::pair<std::uint32_t, std::uint64_t>> sent;
+  util::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      fx.local_event(static_cast<std::uint32_t>(rng.next_below(3)), rng.next_u64() % 1000);
+    }
+    for (const ftapi::Determinant& d : fx.build(1)) {
+      const auto key = std::make_pair(d.creator, d.seq);
+      EXPECT_TRUE(sent.insert(key).second)
+          << "event (" << d.creator << "," << d.seq << ") piggybacked twice";
+    }
+  }
+}
+
+TEST_P(StrategyProperty, StableEventsNeverPiggybacked) {
+  StratFixture fx(GetParam());
+  for (int i = 0; i < 10; ++i) fx.local_event(0, static_cast<std::uint64_t>(i + 1));
+  std::vector<std::uint64_t> stable = {0, 0, 0, 6};
+  fx.store.set_stable(stable);
+  fx.strat->on_stable(stable);
+  for (const ftapi::Determinant& d : fx.build(1)) {
+    EXPECT_GT(d.seq, 6u);
+  }
+}
+
+TEST_P(StrategyProperty, NeverSendsReceiverItsOwnEvents) {
+  StratFixture fx(GetParam());
+  // Learn some events created by peer 1 (as if piggybacked to us).
+  util::Buffer in;
+  Strategy::DepShadow deps;
+  std::vector<ftapi::Determinant> theirs;
+  for (std::uint64_t q = 1; q <= 4; ++q) {
+    theirs.push_back(det(1, q, 2, q));
+    deps.emplace_back(UINT32_MAX, 0);
+  }
+  if (GetParam() == StrategyKind::kLogOn) {
+    wire::plain_serialize(theirs, in);
+  } else {
+    wire::factored_serialize(theirs, in);
+  }
+  in.rewind();
+  fx.strat->absorb(1, in, deps);
+  fx.local_event(0, 1);
+  for (const ftapi::Determinant& d : fx.build(1)) {
+    EXPECT_NE(d.creator, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyProperty,
+                         ::testing::Values(StrategyKind::kVcausal,
+                                           StrategyKind::kManetho,
+                                           StrategyKind::kLogOn),
+                         [](const auto& info) {
+                           return std::string(strategy_kind_name(info.param));
+                         });
+
+TEST(StrategyComparison, GraphStrategiesPiggybackSubsetOfVcausal) {
+  // Same event history in all three; the graph strategies may prune
+  // strictly more (transitive knowledge) but never less safely: their
+  // emitted set must be a subset of Vcausal's.
+  StratFixture vc(StrategyKind::kVcausal);
+  StratFixture ma(StrategyKind::kManetho);
+  StratFixture lo(StrategyKind::kLogOn);
+  util::Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const auto src = static_cast<std::uint32_t>(rng.next_below(3));
+    const std::uint64_t ssn = static_cast<std::uint64_t>(i + 1);
+    vc.local_event(src, ssn);
+    ma.local_event(src, ssn);
+    lo.local_event(src, ssn);
+  }
+  auto key_set = [](const std::vector<ftapi::Determinant>& v) {
+    std::set<std::pair<std::uint32_t, std::uint64_t>> s;
+    for (const auto& d : v) s.emplace(d.creator, d.seq);
+    return s;
+  };
+  const auto vset = key_set(vc.build(1));
+  const auto mset = key_set(ma.build(1));
+  const auto lset = key_set(lo.build(1));
+  for (const auto& k : mset) EXPECT_TRUE(vset.count(k));
+  for (const auto& k : lset) EXPECT_TRUE(vset.count(k));
+  EXPECT_EQ(mset, lset);  // same pruning, different wire format
+}
+
+TEST(LogOnOrder, EmissionRespectsPartialOrder) {
+  // For the emitted sequence m_1..m_k: for i < j, m_j must not be in the
+  // causal past of m_i (paper §III-C) — i.e. ancestors come first.
+  StratFixture fx(StrategyKind::kLogOn);
+  util::Rng rng(13);
+  for (int i = 0; i < 40; ++i) {
+    fx.local_event(static_cast<std::uint32_t>(rng.next_below(3)),
+                   static_cast<std::uint64_t>(i + 1));
+  }
+  Strategy::DepShadow deps;
+  const std::vector<ftapi::Determinant> emitted = fx.build(1, nullptr, &deps);
+  ASSERT_EQ(deps.size(), emitted.size());
+  std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+  for (std::size_t i = 0; i < emitted.size(); ++i) {
+    const ftapi::Determinant& d = emitted[i];
+    // Process-order antecedent must already have been emitted (if in set).
+    if (d.seq > 1) {
+      bool in_set = false;
+      for (const auto& e : emitted) {
+        if (e.creator == d.creator && e.seq == d.seq - 1) in_set = true;
+      }
+      if (in_set) {
+        EXPECT_TRUE(seen.count({d.creator, d.seq - 1}))
+            << "process-order violated at index " << i;
+      }
+    }
+    // Cross-edge antecedent likewise.
+    const auto [dc, ds] = deps[i];
+    if (dc != UINT32_MAX && ds > 0) {
+      bool in_set = false;
+      for (const auto& e : emitted) {
+        if (e.creator == dc && e.seq == ds) in_set = true;
+      }
+      if (in_set) {
+        EXPECT_TRUE(seen.count({dc, ds})) << "cross edge violated at index " << i;
+      }
+    }
+    seen.emplace(d.creator, d.seq);
+  }
+}
+
+TEST(LogOnOrder, CausalOrderIsStableUnderPermutation) {
+  std::vector<ftapi::Determinant> events;
+  std::vector<std::uint64_t> seq(4, 0);
+  util::Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const auto c = static_cast<std::uint32_t>(rng.next_below(4));
+    ftapi::Determinant d = det(c, ++seq[c], (c + 1) % 4, seq[c]);
+    d.dep_creator = (c + 1) % 4;
+    d.dep_seq = seq[(c + 1) % 4];
+    events.push_back(d);
+  }
+  const auto ordered = LogOnStrategy::causal_order(events);
+  EXPECT_EQ(ordered.size(), events.size());
+  std::reverse(events.begin(), events.end());
+  const auto ordered2 = LogOnStrategy::causal_order(events);
+  EXPECT_EQ(ordered2.size(), ordered.size());
+}
+
+TEST(PeerViewTest, RestartClampsAndCaps) {
+  PeerView v;
+  v.init(3);
+  v.learned = {5, 9, 2};
+  v.sent = {7, 1, 0};
+  v.on_restart({4, 4, 4});
+  EXPECT_EQ(v.learned, (std::vector<std::uint64_t>{4, 4, 2}));
+  EXPECT_EQ(v.sent, (std::vector<std::uint64_t>{4, 1, 0}));
+  EXPECT_EQ(v.cap, (std::vector<std::uint64_t>{4, 4, 4}));
+  v.raise_cap(0, 6);
+  EXPECT_EQ(v.cap[0], 6u);
+}
+
+}  // namespace
+}  // namespace mpiv::causal

@@ -1,0 +1,223 @@
+// Unit tests for the network model and communication daemon: serialization
+// and latency math, ingress contention, duplex modes, crash-epoch frame
+// dropping, rendezvous, and the cost model.
+#include <gtest/gtest.h>
+
+#include "net/daemon.hpp"
+#include "net/network.hpp"
+#include "net/service_port.hpp"
+
+namespace mpiv::net {
+namespace {
+
+Message frame(NodeId src, NodeId dst, std::uint64_t wire_bytes,
+              MsgKind kind = MsgKind::kControl) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.kind = kind;
+  m.wire_bytes = wire_bytes;
+  return m;
+}
+
+struct Net {
+  sim::Engine eng;
+  CostModel cost;
+  Network net{eng, 4, cost};
+  std::vector<std::pair<sim::Time, Message>> delivered;
+
+  void attach_all() {
+    for (NodeId n = 0; n < 4; ++n) {
+      net.attach(n, [this](Message&& m) {
+        delivered.emplace_back(eng.now(), std::move(m));
+      });
+    }
+  }
+};
+
+TEST(Network, OneWayTimeIsTxPlusWire) {
+  Net t;
+  t.attach_all();
+  const std::uint64_t bytes = 10000;
+  t.net.send(frame(0, 1, bytes));
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 1u);
+  EXPECT_EQ(t.delivered[0].first, t.cost.tx_time(bytes) + t.cost.wire_latency);
+}
+
+TEST(Network, EgressSerializesBackToBackFrames) {
+  Net t;
+  t.attach_all();
+  t.net.send(frame(0, 1, 5000));
+  t.net.send(frame(0, 2, 5000));
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 2u);
+  // Second frame waits for the first to finish serializing at the source.
+  EXPECT_EQ(t.delivered[1].first - t.delivered[0].first, t.cost.tx_time(5000));
+}
+
+TEST(Network, IngressContentionQueuesConcurrentSenders) {
+  // Two senders to one destination: the second transfer queues on the
+  // destination NIC — the mechanism that saturates a single Event Logger.
+  Net t;
+  t.attach_all();
+  t.net.send(frame(0, 3, 20000));
+  t.net.send(frame(1, 3, 20000));
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 2u);
+  EXPECT_GE(t.delivered[1].first - t.delivered[0].first, t.cost.tx_time(20000));
+}
+
+TEST(Network, CrashDropsInFlightTowardNode) {
+  Net t;
+  t.attach_all();
+  t.net.send(frame(0, 1, 100000));  // ~9 ms transfer
+  t.eng.run_until(sim::from_ms(1));
+  t.net.crash_node(1);
+  t.eng.run();
+  EXPECT_TRUE(t.delivered.empty());
+  EXPECT_EQ(t.net.frames_dropped(), 1u);
+}
+
+TEST(Network, FramesFromCrashedNodeStillDeliver) {
+  // A frame already on the wire when its sender dies was sent: deliver it.
+  Net t;
+  t.attach_all();
+  t.net.send(frame(0, 1, 1000));
+  t.eng.run_until(10);  // frame is in flight
+  t.net.crash_node(0);
+  t.eng.run();
+  EXPECT_EQ(t.delivered.size(), 1u);
+}
+
+TEST(Network, RestartAcceptsNewTraffic) {
+  Net t;
+  t.attach_all();
+  t.net.crash_node(2);
+  t.net.restart_node(2);
+  t.net.send(frame(0, 2, 1000));
+  t.eng.run();
+  EXPECT_EQ(t.delivered.size(), 1u);
+}
+
+TEST(Network, DeadNodeEmitsNothing) {
+  Net t;
+  t.attach_all();
+  t.net.crash_node(0);
+  t.net.send(frame(0, 1, 1000));
+  t.eng.run();
+  EXPECT_TRUE(t.delivered.empty());
+}
+
+TEST(CostModel, TxTimeScalesWithBytes) {
+  CostModel c;
+  EXPECT_GT(c.tx_time(2000), c.tx_time(1000));
+  // 100 Mb/s with framing overhead: 1 MB takes ~94 ms.
+  const double ms = sim::to_ms(c.tx_time(1 << 20));
+  EXPECT_NEAR(ms, 8.0 * 1.12 * 1.048576 * 10.0, 0.5);
+}
+
+TEST(CostModel, FlopsTime) {
+  CostModel c;
+  EXPECT_NEAR(sim::to_sec(c.flops_time(c.node_gflops * 1e9)), 1.0, 1e-9);
+}
+
+TEST(Daemon, AppMessageReachesPeerRuntime) {
+  sim::Engine eng;
+  CostModel cost;
+  Network net(eng, 2, cost);
+  Daemon d0(net, 0, ChannelKind::kV);
+  Daemon d1(net, 1, ChannelKind::kV);
+  std::vector<Message> up1;
+  d0.attach_upper([](Message&&) {});
+  d1.attach_upper([&](Message&& m) { up1.push_back(std::move(m)); });
+
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.kind = MsgKind::kAppData;
+  m.src_rank = 0;
+  m.dst_rank = 1;
+  m.ssn = 1;
+  m.payload = {512, 42};
+  d0.submit_app(std::move(m));
+  eng.run();
+  ASSERT_EQ(up1.size(), 1u);
+  EXPECT_EQ(up1[0].payload.check, 42u);
+  EXPECT_EQ(d0.app_msgs_sent(), 1u);
+  EXPECT_EQ(d0.app_bytes_sent(), 512u);
+}
+
+TEST(Daemon, RendezvousForLargeMessages) {
+  sim::Engine eng;
+  CostModel cost;
+  Network net(eng, 2, cost);
+  Daemon d0(net, 0, ChannelKind::kV);
+  Daemon d1(net, 1, ChannelKind::kV);
+  std::vector<Message> up1;
+  d0.attach_upper([](Message&&) {});
+  d1.attach_upper([&](Message&& m) { up1.push_back(std::move(m)); });
+
+  Message big;
+  big.src = 0;
+  big.dst = 1;
+  big.kind = MsgKind::kAppData;
+  big.payload = {cost.eager_threshold + 1, 7};
+  d0.submit_app(std::move(big));
+  eng.run();
+  ASSERT_EQ(up1.size(), 1u);  // RTS/CTS consumed inside the daemons
+  EXPECT_EQ(up1[0].payload.check, 7u);
+  // Three fabric crossings happened (RTS, CTS, DATA).
+  EXPECT_EQ(net.frames_sent(), 3u);
+}
+
+TEST(Daemon, ResetDropsParkedRendezvous) {
+  sim::Engine eng;
+  CostModel cost;
+  Network net(eng, 2, cost);
+  Daemon d0(net, 0, ChannelKind::kV);
+  Daemon d1(net, 1, ChannelKind::kV);
+  std::vector<Message> up1;
+  d0.attach_upper([](Message&&) {});
+  d1.attach_upper([&](Message&& m) { up1.push_back(std::move(m)); });
+
+  Message big;
+  big.src = 0;
+  big.dst = 1;
+  big.kind = MsgKind::kAppData;
+  big.payload = {cost.eager_threshold + 1, 7};
+  d0.submit_app(std::move(big));
+  d0.reset();  // crash before the CTS comes back: payload is gone
+  eng.run();
+  EXPECT_TRUE(up1.empty());
+}
+
+TEST(Daemon, P4HandoffCostsMoreThanVPipe) {
+  sim::Engine eng;
+  CostModel cost;
+  Network net(eng, 2, cost);
+  Daemon p4(net, 0, ChannelKind::kP4);
+  Daemon v(net, 1, ChannelKind::kV);
+  EXPECT_GT(p4.app_handoff_cost(1), v.app_handoff_cost(1));
+  // Per-byte: P4 pays the extra staging copy.
+  const sim::Time p4_per_byte = p4.app_handoff_cost(100000) - p4.app_handoff_cost(0);
+  const sim::Time v_per_byte = v.app_handoff_cost(100000) - v.app_handoff_cost(0);
+  EXPECT_GT(p4_per_byte, v_per_byte);
+}
+
+TEST(ServicePort, ChargesSerializeFifo) {
+  sim::Engine eng;
+  CostModel cost;
+  Network net(eng, 2, cost);
+  ServicePort port(net, 0);
+  std::vector<sim::Time> at;
+  port.charge_then(1000, [&] { at.push_back(eng.now()); });
+  port.charge_then(500, [&] { at.push_back(eng.now()); });
+  eng.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], 1000);
+  EXPECT_EQ(at[1], 1500);
+}
+
+}  // namespace
+}  // namespace mpiv::net

@@ -1,0 +1,172 @@
+// Edge-case fault-injection tests: crashes during checkpoint stores
+// (transactionality end-to-end), crash storms, faults while another
+// recovery is pending, pessimistic wildcard replay, coordinated rollback
+// with repeated faults, and recovery under a starved Event Logger.
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.hpp"
+#include "workloads/apps.hpp"
+
+namespace mpiv {
+namespace {
+
+using runtime::Cluster;
+using runtime::ClusterConfig;
+using runtime::ClusterReport;
+using runtime::FaultSpec;
+using runtime::ProtocolKind;
+using workloads::ChecksumResult;
+
+struct RunOutput {
+  ClusterReport report;
+  ChecksumResult checksums{0};
+};
+
+RunOutput run_ring(ClusterConfig cfg, int laps = 50) {
+  auto result = std::make_shared<ChecksumResult>(cfg.nranks);
+  Cluster cluster(cfg);
+  ClusterReport rep = cluster.run(workloads::make_ring_app(laps, 2048, result));
+  return {rep, *result};
+}
+
+ClusterConfig causal_cfg(int nranks = 5) {
+  ClusterConfig cfg;
+  cfg.nranks = nranks;
+  cfg.protocol = ProtocolKind::kCausal;
+  cfg.strategy = causal::StrategyKind::kManetho;
+  cfg.ckpt_policy = ckpt::Policy::kRoundRobin;
+  cfg.ckpt_interval = 30 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(RecoveryEdge, CrashSweepAcrossRunAndRanks) {
+  // Property sweep: kill rank r at fraction f of the run, for a grid of
+  // (r, f) — every combination must recover to identical results.
+  ClusterConfig cfg = causal_cfg();
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  for (int rank = 0; rank < cfg.nranks; rank += 2) {
+    for (int pct : {10, 35, 60, 85}) {
+      ClusterConfig c2 = cfg;
+      c2.faults.push_back(
+          FaultSpec{ref.report.completion_time * pct / 100, rank});
+      RunOutput out = run_ring(c2);
+      ASSERT_TRUE(out.report.completed) << "rank " << rank << " at " << pct << "%";
+      EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums)
+          << "rank " << rank << " at " << pct << "%";
+    }
+  }
+}
+
+TEST(RecoveryEdge, CrashLikelyDuringCheckpointKeepsOldImageUsable) {
+  // Dense fault times around the checkpoint cadence: some runs kill the
+  // rank while its store transaction is in flight. Either the transaction
+  // committed (new image) or it did not (old image) — both must recover.
+  ClusterConfig cfg = causal_cfg(4);
+  cfg.ckpt_interval = 20 * sim::kMillisecond;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  for (int k = 1; k <= 6; ++k) {
+    ClusterConfig c2 = cfg;
+    // Just after every k-th scheduler tick, when rank (k-1)%4 may be
+    // mid-store (the store itself takes ~5+ ms).
+    c2.faults.push_back(FaultSpec{
+        20 * sim::kMillisecond * k + 6 * sim::kMillisecond, (k - 1) % 4});
+    RunOutput out = run_ring(c2);
+    ASSERT_TRUE(out.report.completed) << "tick " << k;
+    EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums) << "tick " << k;
+  }
+}
+
+TEST(RecoveryEdge, RepeatedCrashesOfSameRank) {
+  ClusterConfig cfg = causal_cfg(4);
+  const RunOutput ref = run_ring(cfg, 80);
+  ASSERT_TRUE(ref.report.completed);
+  ClusterConfig c2 = cfg;
+  for (int k = 1; k <= 4; ++k) {
+    c2.faults.push_back(FaultSpec{ref.report.completion_time * k / 5, 2});
+  }
+  RunOutput out = run_ring(c2, 80);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.faults_injected, 4u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, NearSimultaneousFaultsAreSerialized) {
+  // Two faults 1 ms apart: the dispatcher must queue the second until the
+  // first recovery completes, and both must replay correctly.
+  ClusterConfig cfg = causal_cfg(5);
+  const RunOutput ref = run_ring(cfg, 60);
+  ASSERT_TRUE(ref.report.completed);
+  ClusterConfig c2 = cfg;
+  c2.faults.push_back(FaultSpec{ref.report.completion_time / 2, 1});
+  c2.faults.push_back(
+      FaultSpec{ref.report.completion_time / 2 + sim::kMillisecond, 3});
+  RunOutput out = run_ring(c2, 60);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.faults_injected, 2u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, PessimisticReplaysWildcardOrders) {
+  ClusterConfig cfg;
+  cfg.nranks = 6;
+  cfg.protocol = ProtocolKind::kPessimistic;
+  cfg.ckpt_policy = ckpt::Policy::kNone;
+  auto run_it = [&cfg] {
+    auto result = std::make_shared<ChecksumResult>(cfg.nranks);
+    Cluster cluster(cfg);
+    ClusterReport rep = cluster.run(
+        workloads::make_random_then_ring_app(10, 25, 11, 1024, result));
+    return RunOutput{rep, *result};
+  };
+  const RunOutput ref = run_it();
+  ASSERT_TRUE(ref.report.completed);
+  cfg.faults.push_back(FaultSpec{ref.report.completion_time * 3 / 4, 2});
+  RunOutput out = run_it();
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, CoordinatedSurvivesRepeatedRollbacks) {
+  ClusterConfig cfg;
+  cfg.nranks = 4;
+  cfg.protocol = ProtocolKind::kCoordinated;
+  cfg.ckpt_policy = ckpt::Policy::kAllAtOnce;
+  cfg.ckpt_interval = 60 * sim::kMillisecond;
+  const RunOutput ref = run_ring(cfg, 70);
+  ASSERT_TRUE(ref.report.completed);
+  ClusterConfig c2 = cfg;
+  c2.faults.push_back(FaultSpec{ref.report.completion_time / 3, 0});
+  c2.faults.push_back(FaultSpec{ref.report.completion_time * 2 / 3, 2});
+  RunOutput out = run_ring(c2, 70);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.faults_injected, 2u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, StarvedEventLoggerStillRecoversCorrectly) {
+  // An EL that cannot keep up degrades performance, never correctness.
+  ClusterConfig cfg = causal_cfg(4);
+  cfg.cost.el_service = 400 * sim::kMicrosecond;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  ClusterConfig c2 = cfg;
+  c2.faults.push_back(FaultSpec{ref.report.completion_time / 2, 1});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, FaultFreeRunsPayNoRecoveryCost) {
+  ClusterConfig cfg = causal_cfg(4);
+  RunOutput out = run_ring(cfg);
+  ASSERT_TRUE(out.report.completed);
+  const ftapi::RankStats t = out.report.totals();
+  EXPECT_EQ(t.recovery_events, 0u);
+  EXPECT_EQ(t.replayed_receptions, 0u);
+  EXPECT_EQ(t.recovery_total_time, 0);
+}
+
+}  // namespace
+}  // namespace mpiv

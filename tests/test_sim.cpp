@@ -1,0 +1,266 @@
+// Unit tests for the discrete-event engine and coroutine machinery: ordering
+// determinism, sleep semantics, nested task chains, wait queues, and — most
+// importantly — kill/restart safety at arbitrary suspension points.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace mpiv::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(30, [&] { order.push_back(3); });
+  eng.at(10, [&] { order.push_back(1); });
+  eng.at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.at(5, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine eng;
+  int hits = 0;
+  eng.at(10, [&] { ++hits; });
+  eng.at(100, [&] { ++hits; });
+  eng.run_until(50);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(eng.now(), 50);
+  eng.run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Engine, CallbacksMayScheduleMoreEvents) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) eng.after(10, chain);
+  };
+  eng.at(0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(eng.now(), 40);
+}
+
+TEST(Process, SleepAdvancesSimTime) {
+  Engine eng;
+  Process& p = eng.create_process("sleeper");
+  Time woke_at = -1;
+  p.start([](Engine& e, Time* out) -> Task<void> {
+    co_await e.sleep(100 * kMicrosecond);
+    *out = e.now();
+  }(eng, &woke_at));
+  eng.run();
+  EXPECT_EQ(woke_at, 100 * kMicrosecond);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, NestedTaskChainCompletes) {
+  Engine eng;
+  Process& p = eng.create_process("nested");
+  std::vector<int> trace;
+
+  struct Fns {
+    static Task<int> leaf(Engine& e, std::vector<int>& tr) {
+      tr.push_back(1);
+      co_await e.sleep(10);
+      tr.push_back(2);
+      co_return 42;
+    }
+    static Task<int> mid(Engine& e, std::vector<int>& tr) {
+      const int v = co_await leaf(e, tr);
+      tr.push_back(3);
+      co_await e.sleep(5);
+      co_return v + 1;
+    }
+    static Task<void> top(Engine& e, std::vector<int>& tr) {
+      const int v = co_await mid(e, tr);
+      tr.push_back(v);
+    }
+  };
+  p.start(Fns::top(eng, trace));
+  eng.run();
+  EXPECT_EQ(trace, (std::vector<int>{1, 2, 3, 43}));
+  EXPECT_EQ(eng.now(), 15);
+}
+
+TEST(WaitQueue, WakeOneResumesFifo) {
+  Engine eng;
+  WaitQueue q(eng);
+  std::vector<int> order;
+
+  auto waiter = [](WaitQueue& wq, std::vector<int>& ord, int id) -> Task<void> {
+    co_await wq.wait();
+    ord.push_back(id);
+  };
+  for (int i = 0; i < 3; ++i) {
+    eng.create_process("w").start(waiter(q, order, i));
+  }
+  eng.run();  // all parked
+  EXPECT_EQ(q.size(), 3u);
+  q.wake_one();
+  q.wake_one();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  q.wake_all();
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, WakeAtFutureTime) {
+  Engine eng;
+  WaitQueue q(eng);
+  Time woke = -1;
+  eng.create_process("w").start([](Engine& e, WaitQueue& wq, Time* out) -> Task<void> {
+    co_await wq.wait();
+    *out = e.now();
+  }(eng, q, &woke));
+  eng.run();
+  q.wake_one(500);
+  eng.run();
+  EXPECT_EQ(woke, 500);
+}
+
+TEST(Kill, KilledWhileSleepingNeverResumes) {
+  Engine eng;
+  Process& p = eng.create_process("victim");
+  bool after_sleep = false;
+  p.start([](Engine& e, bool* flag) -> Task<void> {
+    co_await e.sleep(1000);
+    *flag = true;
+  }(eng, &after_sleep));
+  eng.at(500, [&] { p.kill(); });
+  eng.run();
+  EXPECT_FALSE(after_sleep);
+  EXPECT_FALSE(p.running());
+  EXPECT_FALSE(p.finished());
+}
+
+TEST(Kill, KilledWhileWaitingUnlinksFromQueue) {
+  Engine eng;
+  WaitQueue q(eng);
+  Process& p = eng.create_process("victim");
+  bool resumed = false;
+  p.start([](WaitQueue& wq, bool* flag) -> Task<void> {
+    co_await wq.wait();
+    *flag = true;
+  }(q, &resumed));
+  eng.run();
+  EXPECT_EQ(q.size(), 1u);
+  p.kill();
+  EXPECT_TRUE(q.empty());  // waiter destructor unlinked itself
+  q.wake_all();
+  eng.run();
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Kill, WokenThenKilledBeforeResumeFires) {
+  Engine eng;
+  WaitQueue q(eng);
+  Process& p = eng.create_process("victim");
+  bool resumed = false;
+  p.start([](WaitQueue& wq, bool* flag) -> Task<void> {
+    co_await wq.wait();
+    *flag = true;
+  }(q, &resumed));
+  eng.run();
+  q.wake_one(100);   // resume scheduled for t=100...
+  eng.at(50, [&] { p.kill(); });  // ...but the process dies at t=50
+  eng.run();
+  EXPECT_FALSE(resumed);
+}
+
+TEST(Kill, KillDestroysNestedFrames) {
+  // A three-deep coroutine chain parked in a wait queue; killing the process
+  // must unwind all frames (observable via RAII sentinels).
+  Engine eng;
+  WaitQueue q(eng);
+  struct Sentinel {
+    int* counter;
+    explicit Sentinel(int* c) : counter(c) { ++*counter; }
+    ~Sentinel() { --*counter; }
+  };
+  int live = 0;
+
+  struct Fns {
+    static Task<void> leaf(WaitQueue& wq, int* live) {
+      Sentinel s(live);
+      co_await wq.wait();
+    }
+    static Task<void> mid(WaitQueue& wq, int* live) {
+      Sentinel s(live);
+      co_await leaf(wq, live);
+    }
+    static Task<void> top(WaitQueue& wq, int* live) {
+      Sentinel s(live);
+      co_await mid(wq, live);
+    }
+  };
+  Process& p = eng.create_process("victim");
+  p.start(Fns::top(q, &live));
+  eng.run();
+  EXPECT_EQ(live, 3);
+  p.kill();
+  EXPECT_EQ(live, 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Kill, RestartRunsFreshIncarnation) {
+  Engine eng;
+  Process& p = eng.create_process("phoenix");
+  int runs = 0;
+  auto body = [](Engine& e, int* r) -> Task<void> {
+    co_await e.sleep(100);
+    ++*r;
+  };
+  p.start(body(eng, &runs));
+  eng.at(50, [&] {
+    p.kill();
+    p.start(body(eng, &runs));  // restart from scratch
+  });
+  eng.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(p.incarnation(), 1u);
+  EXPECT_TRUE(p.finished());
+  EXPECT_EQ(eng.now(), 150);
+}
+
+TEST(Determinism, TwoIdenticalRunsProduceIdenticalTraces) {
+  auto run_once = [] {
+    Engine eng;
+    WaitQueue q(eng);
+    std::vector<std::pair<Time, int>> trace;
+    for (int i = 0; i < 4; ++i) {
+      eng.create_process("p").start(
+          [](Engine& e, WaitQueue& wq, std::vector<std::pair<Time, int>>& tr,
+             int id) -> Task<void> {
+            co_await e.sleep(10 * (id + 1));
+            tr.emplace_back(e.now(), id);
+            co_await wq.wait();
+            tr.emplace_back(e.now(), id + 100);
+          }(eng, q, trace, i));
+    }
+    eng.at(100, [&] { q.wake_all(); });
+    eng.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mpiv::sim

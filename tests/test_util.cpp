@@ -1,0 +1,138 @@
+// Unit tests for util: RNG determinism & distributions, buffer round-trips,
+// statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/buffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mpiv::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng r(5);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.next_exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, StateSaveRestoreReplaysStream) {
+  Rng r(9);
+  r.next_u64();
+  const Rng::State st = r.state();
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(r.next_u64());
+  r.restore(st);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.next_u64(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Buffer, PrimitiveRoundTrip) {
+  Buffer b;
+  b.put_u8(0xAB);
+  b.put_u16(0xBEEF);
+  b.put_u32(0xDEADBEEFu);
+  b.put_u64(0x0123456789ABCDEFull);
+  b.put_i64(-42);
+  b.put_f64(3.25);
+  b.put_string("event-logger");
+  EXPECT_EQ(b.get_u8(), 0xAB);
+  EXPECT_EQ(b.get_u16(), 0xBEEF);
+  EXPECT_EQ(b.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(b.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(b.get_i64(), -42);
+  EXPECT_EQ(b.get_f64(), 3.25);
+  EXPECT_EQ(b.get_string(), "event-logger");
+  EXPECT_EQ(b.remaining(), 0u);
+}
+
+TEST(Buffer, NestedBuffers) {
+  Buffer inner;
+  inner.put_u32(77);
+  Buffer outer;
+  outer.put_u8(1);
+  outer.put_bytes(inner);
+  outer.put_u8(2);
+  EXPECT_EQ(outer.get_u8(), 1);
+  Buffer got = outer.get_bytes();
+  EXPECT_EQ(got.get_u32(), 77u);
+  EXPECT_EQ(outer.get_u8(), 2);
+}
+
+TEST(Buffer, SizeCountsExactBytes) {
+  Buffer b;
+  b.put_u32(1);
+  b.put_u64(2);
+  EXPECT_EQ(b.size(), 12u);
+}
+
+TEST(BufferDeath, UnderrunPanics) {
+  Buffer b;
+  b.put_u8(1);
+  b.get_u8();
+  EXPECT_DEATH(b.get_u32(), "underrun");
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator a;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) a.add(x);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  EXPECT_NEAR(a.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  Accumulator all, left, right;
+  Rng r(21);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double() * 10;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpiv::util
