@@ -32,6 +32,7 @@
 
 #include "ftapi/vprotocol.hpp"
 #include "mpi/rank_runtime.hpp"
+#include "net/service_port.hpp"
 #include "sim/sync.hpp"
 
 namespace mpiv::coord {
