@@ -75,8 +75,12 @@ class Buffer {
 
  private:
   void put_raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    bytes_.insert(bytes_.end(), b, b + n);
+    // resize + memcpy instead of insert: avoids a GCC 12 -Wstringop-overflow
+    // false positive on scalar sources and skips the iterator dispatch.
+    if (n == 0) return;  // p may be null (e.g. put_bytes of an empty Buffer)
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    std::memcpy(bytes_.data() + at, p, n);
   }
   template <class T>
   T get_raw() {
