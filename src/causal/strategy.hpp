@@ -22,7 +22,7 @@ namespace mpiv::causal {
 /// bounds graph-derived (transitive) inference after j restarts from a
 /// checkpoint — j's replay does not reconstruct third-party determinant
 /// copies, so pre-crash transitive evidence about j is no longer valid
-/// (DESIGN.md §4).
+/// (docs/DESIGN.md §4).
 struct PeerView {
   std::vector<std::uint64_t> learned;
   std::vector<std::uint64_t> sent;

@@ -24,7 +24,7 @@ struct Determinant {
   // Simulator-side causal dependency (antecedence-graph edge target): the
   // latest event of `src` known when the message was sent. Real Manetho
   // recovers this from the structure of its graph-fragment piggyback, so it
-  // is NOT counted as wire bytes (see DESIGN.md).
+  // is NOT counted as wire bytes (see docs/DESIGN.md §2).
   std::uint32_t dep_creator = UINT32_MAX;
   std::uint64_t dep_seq = 0;
 

@@ -110,7 +110,7 @@ class VProtocol {
   /// payload resends from survivors. `arr_watermarks[s]` is the restored
   /// per-sender arrival watermark (survivors resend logged payloads above
   /// it). The protocol attaches its own restored-knowledge vector to the
-  /// requests so survivors can clamp their beliefs (DESIGN.md §4).
+  /// requests so survivors can clamp their beliefs (docs/DESIGN.md §4).
   virtual sim::Task<DeterminantList> recover(
       std::uint64_t already_rsn,
       const std::vector<std::uint64_t>& arr_watermarks) {

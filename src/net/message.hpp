@@ -71,7 +71,7 @@ struct Message {
   // Simulator-side shadow of the piggybacked events' causal dependencies
   // (cross-edge targets), in piggyback order. Real Manetho derives these
   // from the positional structure of its graph-fragment piggyback, so they
-  // are NOT wire bytes (DESIGN.md); carrying them out of band keeps the
+  // are NOT wire bytes (docs/DESIGN.md §2); carrying them out of band keeps the
   // byte accounting identical to the paper's formats while keeping every
   // node's antecedence graph causally exact.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> dep_shadow;

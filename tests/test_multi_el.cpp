@@ -1,4 +1,6 @@
-// Tests for the distributed Event Logger (the paper's §VI future work):
+// Tests for the distributed Event Logger (the paper's §VI future work; see
+// PAPER.md — "Key observations" 6-7 — for the LU/16 single-EL saturation
+// that motivates sharding):
 // determinants shard by creator rank, shards exchange stable-clock arrays,
 // garbage collection still happens everywhere, and crash recovery remains
 // exact with any shard count.
