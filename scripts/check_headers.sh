@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Verifies that every header under src/ is self-contained: each must compile
+# as the sole include of an empty TU. Catches headers that silently depend on
+# what another TU happened to include first (the bug class fixed in
+# src/coord/coordinated_protocol.hpp during build bring-up).
+set -eu
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+status=0
+tmp="$(mktemp -t hdr_check_XXXXXX.cpp)"
+trap 'rm -f "$tmp"' EXIT
+
+for h in $(find src -name '*.hpp' | sort); do
+  printf '#include "%s"\n' "${h#src/}" > "$tmp"
+  if ! "$CXX" -std=c++20 -fsyntax-only -Isrc -Wall -Wextra "$tmp"; then
+    echo "NOT SELF-CONTAINED: $h" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all headers self-contained"
+fi
+exit "$status"
