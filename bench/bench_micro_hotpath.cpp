@@ -1,0 +1,276 @@
+// Micro-benchmarks for the simulator hot paths.
+//
+// Times the inner loops every protocol variant executes per message —
+// determinant storage (EventStore), antecedence-graph reachability,
+// sender-log churn, engine event scheduling — plus one end-to-end cluster
+// run, and emits a machine-readable JSON report (wall clock, throughput,
+// peak RSS). scripts/run_perf.sh drives this binary before and after
+// hot-path changes; BENCH_hotpath.json in the repo root records the
+// measured history.
+//
+// Usage: bench_micro_hotpath [--quick] [--json PATH]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "causal/antecedence_graph.hpp"
+#include "causal/event_store.hpp"
+#include "causal/sender_log.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/engine.hpp"
+#include "workloads/apps.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  double wall_ms = 0;
+  std::uint64_t items = 0;  // work units (adds, visits, events, ...)
+  double items_per_sec() const {
+    return wall_ms > 0 ? static_cast<double>(items) / (wall_ms / 1e3) : 0;
+  }
+};
+
+std::vector<BenchResult> g_results;
+std::uint64_t g_sink = 0;  // defeats dead-code elimination
+
+template <class Fn>
+void run_bench(const char* name, Fn&& fn) {
+  BenchResult r;
+  r.name = name;
+  const auto t0 = Clock::now();
+  r.items = fn();
+  const auto t1 = Clock::now();
+  r.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("%-24s %10.1f ms  %12llu items  %12.0f items/s\n", name,
+              r.wall_ms, static_cast<unsigned long long>(r.items),
+              r.items_per_sec());
+  g_results.push_back(std::move(r));
+}
+
+mpiv::ftapi::Determinant make_det(std::uint32_t creator, std::uint64_t seq,
+                                  int nranks) {
+  mpiv::ftapi::Determinant d;
+  d.creator = creator;
+  d.seq = seq;
+  d.src = static_cast<std::uint32_t>((creator + seq) % static_cast<std::uint64_t>(nranks));
+  d.ssn = seq;
+  d.tag = 1;
+  d.dep_creator = d.src;
+  d.dep_seq = seq > 1 ? seq - 1 : 0;
+  return d;
+}
+
+// EventStore: the per-message determinant path — add events for every
+// creator, query the watermarks a piggyback build reads, and prune on a
+// periodic stable-clock advance (the Event Logger's GC effect).
+std::uint64_t bench_event_store(std::uint64_t rounds) {
+  const int nranks = 16;
+  mpiv::causal::EventStore store(nranks);
+  std::vector<std::uint64_t> stable(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t ops = 0;
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    for (int c = 0; c < nranks; ++c) {
+      store.add(make_det(static_cast<std::uint32_t>(c), r, nranks));
+      g_sink += store.known(static_cast<std::uint32_t>(c));
+      const auto* d = store.find(static_cast<std::uint32_t>(c), r);
+      g_sink += d ? d->ssn : 0;
+      ops += 3;
+    }
+    if (r % 64 == 0) {
+      // Stability lags by 32 events: the store keeps a sliding unstable
+      // suffix, exactly the EL-enabled steady state.
+      for (auto& s : stable) s = r - 32;
+      store.set_stable(stable);
+      ++ops;
+    }
+  }
+  g_sink += store.held_count();
+  return ops;
+}
+
+// AntecedenceGraph: vertex insertion plus the incremental reachability
+// query Manetho/LogOn run on every send.
+std::uint64_t bench_graph_reach(std::uint64_t rounds) {
+  const int nranks = 16;
+  mpiv::causal::AntecedenceGraph graph(nranks);
+  std::vector<std::vector<std::uint64_t>> cache(
+      static_cast<std::size_t>(nranks));
+  std::vector<std::uint64_t> stable(static_cast<std::size_t>(nranks), 0);
+  std::uint64_t ops = 0;
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    for (int c = 0; c < nranks; ++c) {
+      graph.add(make_det(static_cast<std::uint32_t>(c), r, nranks));
+      ++ops;
+    }
+    const auto peer = static_cast<std::uint32_t>(r % nranks);
+    ops += graph.known_from_cached(peer, r, cache[peer]);
+    if (r % 64 == 0) {
+      for (auto& s : stable) s = r - 32;
+      graph.prune_stable(stable);
+    }
+  }
+  g_sink += graph.vertex_count();
+  return ops;
+}
+
+// Full (non-incremental) traversal with a fresh visited set per query —
+// the recovery-path variant.
+std::uint64_t bench_graph_full(std::uint64_t rounds) {
+  const int nranks = 16;
+  mpiv::causal::AntecedenceGraph graph(nranks);
+  const std::uint64_t depth = 512;
+  for (std::uint64_t s = 1; s <= depth; ++s) {
+    for (int c = 0; c < nranks; ++c) {
+      graph.add(make_det(static_cast<std::uint32_t>(c), s, nranks));
+    }
+  }
+  std::vector<std::uint64_t> known;
+  std::uint64_t ops = 0;
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    const auto peer = static_cast<std::uint32_t>(r % nranks);
+    ops += graph.known_from(peer, depth, known);
+    g_sink += known[0];
+  }
+  return ops;
+}
+
+// SenderLog: the log/GC cycle every send and peer checkpoint runs.
+std::uint64_t bench_sender_log(std::uint64_t rounds) {
+  const int nranks = 16;
+  mpiv::causal::SenderLog slog(nranks);
+  mpiv::net::Payload p{4096, 0x5eed};
+  std::uint64_t ops = 0;
+  for (std::uint64_t r = 1; r <= rounds; ++r) {
+    for (int dst = 0; dst < nranks; ++dst) {
+      slog.log(dst, r, 1, p);
+      ++ops;
+    }
+    if (r % 64 == 0) {
+      for (int dst = 0; dst < nranks; ++dst) slog.gc(dst, r - 32);
+      ops += nranks;
+    }
+  }
+  g_sink += slog.bytes();
+  return ops;
+}
+
+// Engine resume lane: P coroutine processes sleeping in lockstep — the
+// schedule/resume cycle under every simulated blocking operation.
+std::uint64_t bench_engine_resume(std::uint64_t events) {
+  mpiv::sim::Engine eng;
+  const int nprocs = 16;
+  const std::uint64_t per_proc = events / nprocs;
+  for (int p = 0; p < nprocs; ++p) {
+    auto& proc = eng.create_process("p" + std::to_string(p));
+    proc.start([](mpiv::sim::Engine& e, std::uint64_t n) -> mpiv::sim::Task<void> {
+      for (std::uint64_t i = 0; i < n; ++i) co_await e.sleep(10);
+    }(eng, per_proc));
+  }
+  return eng.run();
+}
+
+// Engine callback lane: a self-rescheduling timer chain per node, the
+// at()/after() pattern the network and services use.
+std::uint64_t bench_engine_callbacks(std::uint64_t events) {
+  mpiv::sim::Engine eng;
+  const int chains = 16;
+  const std::uint64_t per_chain = events / chains;
+  struct Chain {
+    mpiv::sim::Engine* eng;
+    std::uint64_t left;
+    void fire() {
+      if (left-- == 0) return;
+      eng->after(10, [this] { fire(); });
+    }
+  };
+  std::vector<Chain> cs(chains);
+  for (auto& c : cs) {
+    c.eng = &eng;
+    c.left = per_chain;
+    eng.after(1, [&c] { c.fire(); });
+  }
+  return eng.run();
+}
+
+// End-to-end: a causal cluster running wildcard traffic — every layer of
+// the stack (engine, network, daemon, matching, strategy, EL) at once.
+std::uint64_t bench_cluster(int iterations) {
+  mpiv::runtime::ClusterConfig cfg;
+  cfg.nranks = 8;
+  cfg.protocol = mpiv::runtime::ProtocolKind::kCausal;
+  cfg.strategy = mpiv::causal::StrategyKind::kLogOn;
+  cfg.event_logger = true;
+  cfg.seed = 11;
+  auto result = std::make_shared<mpiv::workloads::ChecksumResult>(cfg.nranks);
+  mpiv::runtime::Cluster cluster(cfg);
+  mpiv::runtime::ClusterReport rep = cluster.run(
+      mpiv::workloads::make_random_any_app(iterations, 11, 1024, result));
+  MPIV_CHECK(rep.completed, "cluster bench did not complete");
+  g_sink += result->checksums[0];
+  return cluster.engine().events_executed();
+}
+
+std::uint64_t peak_rss_kb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) json_path = argv[++i];
+  }
+  const std::uint64_t scale = quick ? 1 : 4;
+
+  std::printf("bench_micro_hotpath (%s)\n", quick ? "quick" : "full");
+  run_bench("event_store", [&] { return bench_event_store(30000 * scale); });
+  run_bench("graph_reach", [&] { return bench_graph_reach(20000 * scale); });
+  run_bench("graph_full", [&] { return bench_graph_full(300 * scale); });
+  run_bench("sender_log", [&] { return bench_sender_log(30000 * scale); });
+  run_bench("engine_resume", [&] { return bench_engine_resume(400000 * scale); });
+  run_bench("engine_callbacks",
+            [&] { return bench_engine_callbacks(400000 * scale); });
+  run_bench("cluster_e2e",
+            [&] { return bench_cluster(static_cast<int>(30 * scale)); });
+
+  double total_ms = 0;
+  for (const BenchResult& r : g_results) total_ms += r.wall_ms;
+  const std::uint64_t rss = peak_rss_kb();
+  std::printf("%-24s %10.1f ms  peak RSS %llu kB  (sink %llx)\n", "TOTAL",
+              total_ms, static_cast<unsigned long long>(rss),
+              static_cast<unsigned long long>(g_sink));
+
+  if (json_path) {
+    FILE* f = std::fopen(json_path, "w");
+    MPIV_CHECK(f != nullptr, "cannot write %s", json_path);
+    std::fprintf(f, "{\n  \"mode\": \"%s\",\n  \"peak_rss_kb\": %llu,\n",
+                 quick ? "quick" : "full",
+                 static_cast<unsigned long long>(rss));
+    std::fprintf(f, "  \"total_wall_ms\": %.1f,\n  \"benches\": [\n", total_ms);
+    for (std::size_t i = 0; i < g_results.size(); ++i) {
+      const BenchResult& r = g_results[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"wall_ms\": %.1f, \"items\": %llu, "
+                   "\"items_per_sec\": %.0f}%s\n",
+                   r.name.c_str(), r.wall_ms,
+                   static_cast<unsigned long long>(r.items), r.items_per_sec(),
+                   i + 1 < g_results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Perf harness for the simulator hot paths.
+#
+# Builds nothing itself — point it at a Release build tree. Runs
+# bench_micro_hotpath (JSON-emitting micro benches + peak RSS) and
+# wall-clock-times the paper-figure bench binaries, then assembles one JSON
+# report. Run it before and after a hot-path change and check the two
+# reports in side by side (repo root BENCH_hotpath.json holds a "before"
+# and an "after" report for the latest overhaul).
+#
+# Usage: scripts/run_perf.sh [--quick] [--build-dir DIR] [--out FILE] [--label L]
+#   --quick      micro benches at reduced scale, fast figure subset only
+#                (CI perf-smoke uses this; crash = failure, regression = not)
+#   --build-dir  build tree containing the bench binaries (default: build)
+#   --out        output JSON path (default: BENCH_hotpath.json)
+#   --label      free-form label recorded in the report (default: "run")
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+QUICK=0
+BUILD_DIR=build
+OUT=BENCH_hotpath.json
+LABEL=run
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --build-dir) BUILD_DIR=$2; shift ;;
+    --out) OUT=$2; shift ;;
+    --label) LABEL=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ ! -x "$BUILD_DIR/bench_micro_hotpath" ]]; then
+  echo "error: $BUILD_DIR/bench_micro_hotpath not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Fast subset for --quick (CI smoke); the full list is every figure/ablation
+# bench that exists in the build tree.
+QUICK_FIGS=(bench_fig6a_latency bench_fig6b_bandwidth bench_ablation_el_latency
+            bench_ablation_ckpt_sched)
+if [[ $QUICK -eq 1 ]]; then
+  FIGS=("${QUICK_FIGS[@]}")
+  MICRO_FLAGS=(--quick)
+else
+  FIGS=()
+  for f in "$BUILD_DIR"/bench_fig* "$BUILD_DIR"/bench_ablation_*; do
+    [[ -x $f ]] && FIGS+=("$(basename "$f")")
+  done
+  MICRO_FLAGS=()
+fi
+
+MICRO_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON"' EXIT
+
+echo "== micro hot-path benches =="
+"$BUILD_DIR/bench_micro_hotpath" "${MICRO_FLAGS[@]}" --json "$MICRO_JSON"
+
+echo "== figure benches =="
+FIG_ROWS=""
+for b in "${FIGS[@]}"; do
+  if [[ ! -x "$BUILD_DIR/$b" ]]; then
+    echo "skip $b (not built)"
+    continue
+  fi
+  start=$(date +%s%N)
+  if "$BUILD_DIR/$b" > /dev/null 2>&1; then
+    status=ok
+  else
+    status=crash
+  fi
+  end=$(date +%s%N)
+  ms=$(( (end - start) / 1000000 ))
+  printf '%-32s %8s ms  %s\n' "$b" "$ms" "$status"
+  [[ -n $FIG_ROWS ]] && FIG_ROWS+=$',\n'
+  FIG_ROWS+="    {\"name\": \"$b\", \"wall_ms\": $ms, \"status\": \"$status\"}"
+  if [[ $status == crash ]]; then
+    echo "error: $b crashed" >&2
+    exit 1
+  fi
+done
+
+{
+  echo "{"
+  echo "  \"label\": \"$LABEL\","
+  echo "  \"quick\": $QUICK,"
+  echo "  \"figure_benches\": ["
+  printf '%s\n' "$FIG_ROWS"
+  echo "  ],"
+  echo "  \"micro\":"
+  sed 's/^/  /' "$MICRO_JSON"
+  echo "}"
+} > "$OUT"
+echo "wrote $OUT"

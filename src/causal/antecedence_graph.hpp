@@ -12,15 +12,20 @@
 // With the per-creator prefix structure, the reachable set per creator is a
 // prefix, so a traversal reports one watermark per creator and each vertex
 // is visited at most once per query (visits are counted and priced by the
-// cost model).
+// cost model). Vertices live in sequence-indexed windows (util::SeqWindow),
+// and the per-query visited set is an epoch stamp on the vertex itself:
+// a walked range is exactly a run of existing visited vertices, so "seq is
+// inside a visited range" = "vertex exists and carries the current query
+// epoch" — no per-query map allocation.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "ftapi/determinant.hpp"
 #include "util/check.hpp"
+#include "util/seq_window.hpp"
 
 namespace mpiv::causal {
 
@@ -39,8 +44,7 @@ class AntecedenceGraph {
   /// incident edges").
   void prune_stable(const std::vector<std::uint64_t>& stable) {
     for (std::size_t c = 0; c < per_.size(); ++c) {
-      auto& m = per_[c];
-      m.erase(m.begin(), m.upper_bound(stable[c]));
+      per_[c].prune_to(stable[c]);
     }
   }
 
@@ -52,36 +56,28 @@ class AntecedenceGraph {
     known.assign(per_.size(), 0);
     if (seq == 0) return 0;
     std::uint64_t visits = 0;
+    const std::uint64_t epoch = ++epoch_;
     // Worklist of (creator, seq) start points; walk process-order chains
-    // downward, following cross edges, marking visited ranges.
-    std::vector<std::pair<std::uint32_t, std::uint64_t>> stack;
-    std::vector<std::map<std::uint64_t, std::uint64_t>> visited(per_.size());
-    stack.emplace_back(creator, seq);
-    while (!stack.empty()) {
-      auto [c, s] = stack.back();
-      stack.pop_back();
-      auto& vis = visited[c];
+    // downward, following cross edges, stamping visited vertices.
+    stack_.clear();
+    stack_.emplace_back(creator, seq);
+    while (!stack_.empty()) {
+      auto [c, s] = stack_.back();
+      stack_.pop_back();
       std::uint64_t cur = s;
       while (cur > 0) {
-        // Stop if cur is inside an already-visited range [lo, hi].
-        auto it = vis.upper_bound(cur);
-        if (it != vis.begin()) {
-          auto prev = std::prev(it);
-          if (cur >= prev->first && cur <= prev->second) break;
-        }
-        auto vit = per_[c].find(cur);
-        if (vit == per_[c].end()) break;  // pruned / never learned: stop
+        const Vertex* v = per_[c].find(cur);
+        if (v == nullptr) break;           // pruned / never learned: stop
+        if (v->visited_epoch == epoch) break;  // already walked this query
+        v->visited_epoch = epoch;
         ++visits;
         if (cur > known[c]) known[c] = cur;
-        const Vertex& v = vit->second;
-        if (v.dep_creator != UINT32_MAX && v.dep_seq > 0 &&
-            v.dep_seq > known[v.dep_creator]) {
-          stack.emplace_back(v.dep_creator, v.dep_seq);
+        if (v->dep_creator != UINT32_MAX && v->dep_seq > 0 &&
+            v->dep_seq > known[v->dep_creator]) {
+          stack_.emplace_back(v->dep_creator, v->dep_seq);
         }
         --cur;
       }
-      // Record the walked range (cur, s].
-      if (cur < s) merge_range(vis, cur + 1, s);
     }
     return visits;
   }
@@ -98,19 +94,18 @@ class AntecedenceGraph {
     if (cache.size() != per_.size()) cache.assign(per_.size(), 0);
     if (seq == 0 || seq <= cache[creator]) return 0;
     std::uint64_t visits = 0;
-    std::vector<std::pair<std::uint32_t, std::uint64_t>> stack;
-    stack.emplace_back(creator, seq);
-    while (!stack.empty()) {
-      auto [c, s] = stack.back();
-      stack.pop_back();
+    stack_.clear();
+    stack_.emplace_back(creator, seq);
+    while (!stack_.empty()) {
+      auto [c, s] = stack_.back();
+      stack_.pop_back();
       std::uint64_t cur = s;
       while (cur > cache[c]) {
-        auto vit = per_[c].find(cur);
-        if (vit == per_[c].end()) break;  // pruned / never learned: stop
+        const Vertex* v = per_[c].find(cur);
+        if (v == nullptr) break;  // pruned / never learned: stop
         ++visits;
-        const Vertex& v = vit->second;
-        if (v.dep_creator != UINT32_MAX && v.dep_seq > cache[v.dep_creator]) {
-          stack.emplace_back(v.dep_creator, v.dep_seq);
+        if (v->dep_creator != UINT32_MAX && v->dep_seq > cache[v->dep_creator]) {
+          stack_.emplace_back(v->dep_creator, v->dep_seq);
         }
         --cur;
       }
@@ -122,50 +117,32 @@ class AntecedenceGraph {
 
   std::size_t vertex_count() const {
     std::size_t n = 0;
-    for (const auto& m : per_) n += m.size();
+    for (const auto& w : per_) n += w.size();
     return n;
   }
   std::size_t vertex_count(std::uint32_t creator) const {
     return per_[creator].size();
   }
   bool contains(std::uint32_t creator, std::uint64_t seq) const {
-    return per_[creator].count(seq) != 0;
+    return per_[creator].contains(seq);
   }
 
   void reset() {
-    for (auto& m : per_) m.clear();
+    for (auto& w : per_) w.reset();
   }
 
  private:
   struct Vertex {
     std::uint32_t dep_creator = UINT32_MAX;
     std::uint64_t dep_seq = 0;
+    // Per-query visited stamp for known_from (mutable: traversal is const).
+    mutable std::uint64_t visited_epoch = 0;
   };
-  static void merge_range(std::map<std::uint64_t, std::uint64_t>& vis,
-                          std::uint64_t lo, std::uint64_t hi) {
-    // Ranges are kept disjoint; traversals only shrink remaining work, so a
-    // simple insert + neighbour merge suffices.
-    auto [it, ok] = vis.emplace(lo, hi);
-    if (!ok) {
-      it->second = std::max(it->second, hi);
-    }
-    // Merge with successor(s).
-    auto next = std::next(it);
-    while (next != vis.end() && next->first <= it->second + 1) {
-      it->second = std::max(it->second, next->second);
-      next = vis.erase(next);
-    }
-    // Merge with predecessor.
-    if (it != vis.begin()) {
-      auto prev = std::prev(it);
-      if (it->first <= prev->second + 1) {
-        prev->second = std::max(prev->second, it->second);
-        vis.erase(it);
-      }
-    }
-  }
 
-  std::vector<std::map<std::uint64_t, Vertex>> per_;
+  std::vector<util::SeqWindow<Vertex>> per_;
+  mutable std::uint64_t epoch_ = 0;
+  // Reused traversal worklist (allocation-free after warmup).
+  mutable std::vector<std::pair<std::uint32_t, std::uint64_t>> stack_;
 };
 
 }  // namespace mpiv::causal

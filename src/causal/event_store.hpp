@@ -10,18 +10,19 @@
 // A holder's set may contain holes *below another holder's stable point*
 // (a sender only piggybacks its unstable suffix, so a receiver can learn
 // (10..15] while never seeing 6..10 that are already safely at the EL);
-// storage is therefore a sorted map, and recovery takes the union of the EL
-// prefix and every survivor's ranges — contiguity of that union is asserted
-// at the recovery site.
+// storage is a sequence-indexed window (util::SeqWindow) whose base is the
+// stable watermark and whose slots admit holes, and recovery takes the
+// union of the EL prefix and every survivor's ranges — contiguity of that
+// union is asserted at the recovery site.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "ftapi/determinant.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
+#include "util/seq_window.hpp"
 
 namespace mpiv::causal {
 
@@ -36,9 +37,9 @@ class EventStore {
   bool add(const ftapi::Determinant& d) {
     Per& p = at(d.creator);
     if (d.seq <= p.stable) return false;
-    auto [it, inserted] = p.dets.emplace(d.seq, d);
-    (void)it;
+    const bool inserted = p.dets.emplace(d.seq, d);
     if (d.seq > p.known) p.known = d.seq;
+    if (inserted) ++held_;
     return inserted;
   }
 
@@ -48,9 +49,7 @@ class EventStore {
   std::uint64_t stable(std::uint32_t creator) const { return at(creator).stable; }
 
   const ftapi::Determinant* find(std::uint32_t creator, std::uint64_t seq) const {
-    const Per& p = at(creator);
-    auto it = p.dets.find(seq);
-    return it == p.dets.end() ? nullptr : &it->second;
+    return at(creator).dets.find(seq);
   }
 
   /// Advances stability and prunes covered determinants (the EL's garbage
@@ -62,57 +61,53 @@ class EventStore {
       Per& p = per_[c];
       if (stable[c] <= p.stable) continue;
       p.stable = stable[c];
-      p.dets.erase(p.dets.begin(), p.dets.upper_bound(p.stable));
+      p.dets.prune_to(p.stable, [this](const ftapi::Determinant&) { --held_; });
     }
   }
 
   /// All held determinants created by `creator` (for recovery collection).
   void collect(std::uint32_t creator, ftapi::DeterminantList& out) const {
-    for (const auto& [seq, d] : at(creator).dets) out.push_back(d);
+    at(creator).dets.for_each(
+        [&out](std::uint64_t, const ftapi::Determinant& d) { out.push_back(d); });
   }
 
   /// Iterates held determinants of `creator` in (lo, hi], in seq order.
   template <class Fn>
   void for_range(std::uint32_t creator, std::uint64_t lo, std::uint64_t hi,
                  Fn&& fn) const {
-    const Per& p = at(creator);
-    for (auto it = p.dets.upper_bound(lo); it != p.dets.end() && it->first <= hi;
-         ++it) {
-      fn(it->second);
-    }
+    at(creator).dets.for_range(
+        lo, hi, [&fn](std::uint64_t, const ftapi::Determinant& d) { fn(d); });
   }
 
-  std::size_t held_count() const {
-    std::size_t n = 0;
-    for (const Per& p : per_) n += p.dets.size();
-    return n;
-  }
+  std::size_t held_count() const { return held_; }
 
   void serialize(util::Buffer& b) const {
     for (const Per& p : per_) {
       b.put_u64(p.stable);
       b.put_u64(p.known);
       b.put_u32(static_cast<std::uint32_t>(p.dets.size()));
-      for (const auto& [seq, d] : p.dets) {
+      p.dets.for_each([&b](std::uint64_t, const ftapi::Determinant& d) {
         d.serialize(b);
         b.put_u16(static_cast<std::uint16_t>(
             d.dep_creator == UINT32_MAX ? 0xFFFF : d.dep_creator));
         b.put_u64(d.dep_seq);
-      }
+      });
     }
   }
   void restore(util::Buffer& b) {
+    held_ = 0;
     for (Per& p : per_) {
-      p.dets.clear();
+      p.dets.reset();
       p.stable = b.get_u64();
       p.known = b.get_u64();
+      p.dets.prune_to(p.stable);  // base = stable: below-stable adds rejected
       const std::uint32_t n = b.get_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
         ftapi::Determinant d = ftapi::Determinant::deserialize(b);
         const std::uint16_t dc = b.get_u16();
         d.dep_creator = dc == 0xFFFF ? UINT32_MAX : dc;
         d.dep_seq = b.get_u64();
-        p.dets.emplace(d.seq, d);
+        if (p.dets.emplace(d.seq, d)) ++held_;
       }
     }
   }
@@ -120,8 +115,9 @@ class EventStore {
     for (Per& p : per_) {
       p.stable = 0;
       p.known = 0;
-      p.dets.clear();
+      p.dets.reset();
     }
+    held_ = 0;
   }
 
   /// Knowledge vector (per-creator `known`), e.g. for restart clamping.
@@ -140,7 +136,7 @@ class EventStore {
   struct Per {
     std::uint64_t stable = 0;
     std::uint64_t known = 0;
-    std::map<std::uint64_t, ftapi::Determinant> dets;
+    util::SeqWindow<ftapi::Determinant> dets;
   };
   Per& at(std::uint32_t c) {
     MPIV_CHECK(c < per_.size(), "bad creator %u", c);
@@ -151,6 +147,7 @@ class EventStore {
     return per_[c];
   }
   std::vector<Per> per_;
+  std::size_t held_ = 0;  // total occupied slots across creators (O(1) stat)
 };
 
 }  // namespace mpiv::causal

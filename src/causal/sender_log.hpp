@@ -1,15 +1,20 @@
 // Sender-based payload logging (paper §III): every sent message's payload
 // is kept in the sender's volatile memory until the receiver's checkpoint
 // covers its delivery; a restarting receiver asks senders to re-send.
+//
+// Per destination the log is keyed by the send sequence number — a dense,
+// monotonically growing key pruned from the bottom on peer checkpoints —
+// so entries live in a sequence-indexed window (util::SeqWindow) instead
+// of a node-allocating map.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "net/message.hpp"
 #include "util/buffer.hpp"
 #include "util/check.hpp"
+#include "util/seq_window.hpp"
 
 namespace mpiv::causal {
 
@@ -25,51 +30,54 @@ class SenderLog {
 
   void log(int dst, std::uint64_t ssn, std::int32_t tag,
            const net::Payload& payload) {
-    auto [it, inserted] = per_[idx(dst)].emplace(ssn, Entry{ssn, tag, payload});
-    (void)it;
-    if (inserted) bytes_ += payload.bytes;
+    auto& w = per_[idx(dst)];
+    // Ssns per destination are strictly monotone, so an empty window (fresh
+    // incarnation, restored image with no live entries, or fully GC'd) can
+    // jump its base to just below the new ssn: capacity then tracks the
+    // live span, not the absolute ssn reached by a long run.
+    if (w.empty()) w.prune_to(ssn - 1);
+    if (w.emplace(ssn, Entry{ssn, tag, payload})) {
+      bytes_ += payload.bytes;
+      ++entries_;
+    }
   }
 
   /// Receiver `dst` checkpointed: deliveries with arrival ssn <= `arr_ssn`
   /// are covered by its image and their payloads can be dropped.
   void gc(int dst, std::uint64_t arr_ssn) {
-    auto& m = per_[idx(dst)];
-    auto end = m.upper_bound(arr_ssn);
-    for (auto it = m.begin(); it != end; ++it) bytes_ -= it->second.payload.bytes;
-    m.erase(m.begin(), end);
+    per_[idx(dst)].prune_to(arr_ssn, [this](const Entry& e) {
+      bytes_ -= e.payload.bytes;
+      --entries_;
+    });
   }
 
   /// Iterates logged messages to `dst` with ssn > `from_ssn` (resend set).
   template <class Fn>
   void for_pending(int dst, std::uint64_t from_ssn, Fn&& fn) const {
-    const auto& m = per_[idx(dst)];
-    for (auto it = m.upper_bound(from_ssn); it != m.end(); ++it) {
-      fn(it->second);
-    }
+    const auto& w = per_[idx(dst)];
+    w.for_range(from_ssn, w.max_seq(),
+                [&fn](std::uint64_t, const Entry& e) { fn(e); });
   }
 
   std::uint64_t bytes() const { return bytes_; }
-  std::size_t entries() const {
-    std::size_t n = 0;
-    for (const auto& m : per_) n += m.size();
-    return n;
-  }
+  std::size_t entries() const { return entries_; }
 
   void serialize(util::Buffer& b) const {
-    for (const auto& m : per_) {
-      b.put_u32(static_cast<std::uint32_t>(m.size()));
-      for (const auto& [ssn, e] : m) {
+    for (const auto& w : per_) {
+      b.put_u32(static_cast<std::uint32_t>(w.size()));
+      w.for_each([&b](std::uint64_t, const Entry& e) {
         b.put_u64(e.ssn);
         b.put_u32(static_cast<std::uint32_t>(e.tag));
         b.put_u64(e.payload.bytes);
         b.put_u64(e.payload.check);
-      }
+      });
     }
   }
   void restore(util::Buffer& b) {
     bytes_ = 0;
-    for (auto& m : per_) {
-      m.clear();
+    entries_ = 0;
+    for (auto& w : per_) {
+      w.reset();
       const std::uint32_t n = b.get_u32();
       for (std::uint32_t i = 0; i < n; ++i) {
         Entry e;
@@ -77,14 +85,21 @@ class SenderLog {
         e.tag = static_cast<std::int32_t>(b.get_u32());
         e.payload.bytes = b.get_u64();
         e.payload.check = b.get_u64();
-        bytes_ += e.payload.bytes;
-        m.emplace(e.ssn, e);
+        // Entries are serialized ascending: raise the fresh window's base to
+        // just below the lowest live ssn so capacity tracks the live span,
+        // not the absolute ssn (which grows with run length).
+        if (i == 0) w.prune_to(e.ssn - 1);
+        if (w.emplace(e.ssn, e)) {
+          bytes_ += e.payload.bytes;
+          ++entries_;
+        }
       }
     }
   }
   void reset() {
-    for (auto& m : per_) m.clear();
+    for (auto& w : per_) w.reset();
     bytes_ = 0;
+    entries_ = 0;
   }
 
  private:
@@ -92,8 +107,9 @@ class SenderLog {
     MPIV_CHECK(dst >= 0 && dst < static_cast<int>(per_.size()), "bad dst %d", dst);
     return static_cast<std::size_t>(dst);
   }
-  std::vector<std::map<std::uint64_t, Entry>> per_;
+  std::vector<util::SeqWindow<Entry>> per_;
   std::uint64_t bytes_ = 0;
+  std::size_t entries_ = 0;
 };
 
 }  // namespace mpiv::causal

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "ftapi/determinant.hpp"
@@ -18,6 +17,7 @@
 #include "ftapi/stats.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "net/service_port.hpp"
+#include "util/seq_window.hpp"
 
 namespace mpiv::elog {
 
@@ -60,9 +60,12 @@ class EventLogger {
   }
 
  private:
+  /// Shard storage per creator: a sequence-indexed window whose base is the
+  /// checkpoint-GC floor (kElGc), holding everything received since; the
+  /// `contiguous` stability watermark advances through it as gaps fill.
   struct Per {
     std::uint64_t contiguous = 0;
-    std::map<std::uint64_t, ftapi::Determinant> dets;
+    util::SeqWindow<ftapi::Determinant> dets;
   };
 
   void on_frame(net::Message&& m) {
@@ -78,7 +81,8 @@ class EventLogger {
         stats_->bytes_in += m.wire_bytes;
         const net::NodeId reply_to = m.src;
         port_.charge_then(
-            static_cast<sim::Time>(n) * c.el_service, [this, dets, reply_to] {
+            static_cast<sim::Time>(n) * c.el_service,
+            [this, dets = std::move(dets), reply_to] {
               for (const ftapi::Determinant& d : dets) store(d);
               ack(reply_to);
             });
@@ -98,7 +102,9 @@ class EventLogger {
         for (const Per& q : per_) resp.body.put_u64(q.contiguous);
         const Per& p = per_[rank];
         resp.body.put_u32(static_cast<std::uint32_t>(p.dets.size()));
-        for (const auto& [seq, d] : p.dets) d.serialize(resp.body);
+        p.dets.for_each([&resp](std::uint64_t, const ftapi::Determinant& d) {
+          d.serialize(resp.body);
+        });
         port_.send_after(
             static_cast<sim::Time>(p.dets.size()) * c.el_recovery_read +
                 c.el_ack_build,
@@ -112,7 +118,7 @@ class EventLogger {
             // may advance and storage be pruned.
             Per& p = per_[static_cast<std::uint32_t>(m.src_rank)];
             p.contiguous = std::max(p.contiguous, m.arg);
-            p.dets.erase(p.dets.begin(), p.dets.upper_bound(m.arg));
+            p.dets.prune_to(m.arg);
             return;
           }
           case mpi::CtlSub::kElShardClock: {
@@ -140,7 +146,7 @@ class EventLogger {
     ++stats_->events_stored;
     if (d.seq <= p.contiguous) return;  // duplicate (replayed resubmission)
     p.dets.emplace(d.seq, d);
-    while (p.dets.count(p.contiguous + 1) != 0) ++p.contiguous;
+    while (p.dets.contains(p.contiguous + 1)) ++p.contiguous;
   }
 
   void ack(net::NodeId to) {

@@ -62,9 +62,10 @@ class Comm {
   /// checkpoint here (or run its coordination wave). `app_state` must allow
   /// resuming the application from this exact point.
   virtual sim::Task<void> checkpoint_site(const util::Buffer& app_state) = 0;
-  /// Non-null when this incarnation restarted from a checkpoint: the
-  /// app_state blob to resume from.
-  virtual const util::Buffer* restart_state() const = 0;
+  /// Non-empty when this incarnation restarted from a checkpoint: a view
+  /// of the app_state blob to resume from (read in place inside the
+  /// retained image — no copy). Valid until the next crash or restart.
+  virtual util::BufferView restart_state() const = 0;
   /// Declares the logical size of the application state (beyond the blob),
   /// charged when checkpoint images move to the checkpoint server.
   virtual void set_logical_state_bytes(std::uint64_t bytes) = 0;

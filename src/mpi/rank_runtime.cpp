@@ -67,7 +67,7 @@ void RankRuntime::crash() {
   std::fill(send_ssn_.begin(), send_ssn_.end(), 0);
   for (auto& a : arr_) a.reset();
   unexpected_.clear();
-  restart_blob_.reset();
+  restart_image_.reset();
 }
 
 void RankRuntime::restart(AppFactory factory, std::uint64_t image_version) {
@@ -130,9 +130,16 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
   std::optional<util::Buffer> image = co_await fetch_image(image_version);
   if (image) {
     image->rewind();
-    restart_blob_ = image->get_bytes();
+    // Skip over the length-prefixed app blob (read later, in place, through
+    // restart_state()) and restore the runtime state that follows it.
+    const std::uint32_t blob_len = image->get_u32();
+    const std::size_t blob_off = image->cursor();
+    image->skip(blob_len);
     restore_matching(*image);
     proto_->restore(*image);
+    restart_image_ = std::move(*image);
+    blob_offset_ = blob_off;
+    blob_len_ = blob_len;
   }
   if (proto_->is_message_logging()) {
     const sim::Time t_events = eng_.now();
@@ -398,8 +405,9 @@ void RankRuntime::on_app_frame(net::Message&& m) {
   stats_->pb_recv_cpu += cost.stats_cpu;
   absorb_free_ = std::max(eng_.now(), absorb_free_) + cost.cpu;
   if (absorb_free_ > eng_.now()) {
-    auto frame = std::make_shared<net::Message>(std::move(m));
-    eng_.at(absorb_free_, [this, frame] { accept_app_frame(std::move(*frame)); });
+    const std::uint32_t slot = absorb_parked_.put(std::move(m));
+    eng_.at(absorb_free_,
+            [this, slot] { accept_app_frame(absorb_parked_.take(slot)); });
   } else {
     accept_app_frame(std::move(m));
   }

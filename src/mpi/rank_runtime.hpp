@@ -34,6 +34,7 @@
 #include "net/daemon.hpp"
 #include "net/network.hpp"
 #include "sim/sync.hpp"
+#include "util/slab.hpp"
 
 namespace mpiv::mpi {
 
@@ -101,8 +102,9 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   sim::Task<void> compute(sim::Time cpu) override;
   sim::Task<void> compute_flops(double flops) override;
   sim::Task<void> checkpoint_site(const util::Buffer& app_state) override;
-  const util::Buffer* restart_state() const override {
-    return restart_blob_ ? &*restart_blob_ : nullptr;
+  util::BufferView restart_state() const override {
+    return restart_image_ ? restart_image_->view(blob_offset_, blob_len_)
+                          : util::BufferView{};
   }
   void set_logical_state_bytes(std::uint64_t bytes) override {
     logical_state_bytes_ = bytes;
@@ -170,6 +172,9 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   std::deque<ftapi::Determinant> replay_;
   std::deque<net::Message> held_arrivals_;  // app frames arriving mid-recovery
   sim::Time absorb_free_ = 0;               // serializes piggyback parsing
+  // Frames parked while their absorb CPU charge elapses. Never cleared on
+  // crash: the scheduled events still fire and drain their slots.
+  util::Slab<net::Message> absorb_parked_;
   bool recovering_ = false;
   bool app_finished_ = false;
   bool ckpt_requested_ = false;
@@ -180,7 +185,12 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   sim::OneShot store_ack_;
   sim::OneShot fetch_done_;
   std::optional<net::Message> fetch_resp_;
-  std::optional<util::Buffer> restart_blob_;
+  // The restored checkpoint image, retained whole so the app blob is read
+  // in place through restart_state() (no copy); [blob_offset_, +blob_len_)
+  // locates the app_state sub-range inside it.
+  std::optional<util::Buffer> restart_image_;
+  std::size_t blob_offset_ = 0;
+  std::size_t blob_len_ = 0;
 };
 
 }  // namespace mpiv::mpi

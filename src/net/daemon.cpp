@@ -21,6 +21,19 @@ void Daemon::charge_then(sim::Time cpu, std::function<void()> fn) {
   eng.at(cpu_free_, std::move(fn));
 }
 
+void Daemon::charge_msg(sim::Time cpu, Message&& m, Charged action) {
+  const std::uint32_t slot = parked_.put(std::move(m));
+  charge_then(cpu, [this, slot, action] {
+    Message msg = parked_.take(slot);
+    if (action == Charged::kInject) {
+      inject(std::move(msg));
+    } else {
+      MPIV_CHECK(static_cast<bool>(up_), "daemon %u has no upper layer", node_);
+      up_(std::move(msg));
+    }
+  });
+}
+
 void Daemon::inject(Message&& m) {
   m.wire_bytes = cost().header_bytes + m.payload.bytes + m.body.size();
   wire_bytes_sent_ += m.wire_bytes;
@@ -43,18 +56,14 @@ void Daemon::submit_app(Message&& m) {
     rts.kind = MsgKind::kRendezvousRts;
     rts.arg = cookie;
     rdv_pending_.emplace_back(cookie, std::move(m));
-    charge_then(per_msg, [this, rts = std::move(rts)]() mutable {
-      inject(std::move(rts));
-    });
+    charge_msg(per_msg, std::move(rts), Charged::kInject);
     return;
   }
-  charge_then(per_msg, [this, m = std::move(m)]() mutable { inject(std::move(m)); });
+  charge_msg(per_msg, std::move(m), Charged::kInject);
 }
 
 void Daemon::submit_ctl(Message&& m) {
-  charge_then(cost().ctl_per_msg, [this, m = std::move(m)]() mutable {
-    inject(std::move(m));
-  });
+  charge_msg(cost().ctl_per_msg, std::move(m), Charged::kInject);
 }
 
 void Daemon::reset() {
@@ -72,9 +81,7 @@ void Daemon::on_frame(Message&& m) {
       cts.dst = m.src;
       cts.kind = MsgKind::kRendezvousCts;
       cts.arg = m.arg;
-      charge_then(c.ctl_per_msg, [this, cts = std::move(cts)]() mutable {
-        inject(std::move(cts));
-      });
+      charge_msg(c.ctl_per_msg, std::move(cts), Charged::kInject);
       return;
     }
     case MsgKind::kRendezvousCts: {
@@ -84,9 +91,7 @@ void Daemon::on_frame(Message&& m) {
       if (it == rdv_pending_.end()) return;  // stale (peer restarted)
       Message data = std::move(it->second);
       rdv_pending_.erase(it);
-      charge_then(c.v_per_msg, [this, data = std::move(data)]() mutable {
-        inject(std::move(data));
-      });
+      charge_msg(c.v_per_msg, std::move(data), Charged::kInject);
       return;
     }
     default:
@@ -104,10 +109,7 @@ void Daemon::on_frame(Message&& m) {
   } else {
     cpu = c.ctl_per_msg;
   }
-  charge_then(cpu, [this, m = std::move(m)]() mutable {
-    MPIV_CHECK(static_cast<bool>(up_), "daemon %u has no upper layer", node_);
-    up_(std::move(m));
-  });
+  charge_msg(cpu, std::move(m), Charged::kDeliverUp);
 }
 
 }  // namespace mpiv::net

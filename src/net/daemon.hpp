@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "net/network.hpp"
+#include "util/slab.hpp"
 
 namespace mpiv::net {
 
@@ -71,15 +72,26 @@ class Daemon {
   std::uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
 
  private:
+  /// What to do with a parked message once its CPU charge elapses.
+  enum class Charged : std::uint8_t {
+    kInject,     // hand to the fabric (outbound)
+    kDeliverUp,  // hand to the rank runtime (inbound)
+  };
+
   void on_frame(Message&& m);
   /// Occupies the daemon CPU for `cpu` and runs `fn` when done.
   void charge_then(sim::Time cpu, std::function<void()> fn);
+  /// Occupies the daemon CPU for `cpu`, then injects or delivers `m`. The
+  /// message is parked in a slab so the scheduled closure stays inline in
+  /// std::function (no per-message allocation).
+  void charge_msg(sim::Time cpu, Message&& m, Charged action);
   void inject(Message&& m);
 
   Network& net_;
   NodeId node_;
   ChannelKind channel_;
   UpFn up_;
+  util::Slab<Message> parked_;
   sim::Time cpu_free_ = 0;
   std::uint64_t app_msgs_sent_ = 0;
   std::uint64_t app_bytes_sent_ = 0;

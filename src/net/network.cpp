@@ -1,7 +1,6 @@
 #include "net/network.hpp"
 
 #include <algorithm>
-#include <memory>
 
 namespace mpiv::net {
 
@@ -30,32 +29,43 @@ void Network::send(Message&& m) {
   // the first frame leaves, and the ingress NIC is occupied for one
   // serialization time ending no earlier than that.
   const sim::Time first_frame_at_dst = start + cost_.wire_latency;
-  const NodeId dst_id = m.dst;
-  const std::uint64_t dst_epoch = dst.epoch;
+  Flight fl;
+  fl.tx = tx;
+  fl.dst = m.dst;
+  // Frames are stamped with the destination epoch at send time; a crash
+  // bumps the epoch so frames still in flight are dropped (TCP reset).
+  fl.dst_epoch = dst.epoch;
+  fl.msg = std::move(m);
+  const std::uint32_t slot = flights_.put(std::move(fl));
+  eng_.at(first_frame_at_dst, [this, slot] { on_fabric(slot); });
+}
 
-  auto frame = std::make_shared<Message>(std::move(m));
-  eng_.at(first_frame_at_dst, [this, frame, tx, dst_id, dst_epoch] {
-    Node& d = at(dst_id);
-    if (!d.up || d.epoch != dst_epoch) {
-      ++frames_dropped_;  // connection reset: receiver crashed in flight
-      return;
-    }
-    sim::Time start2 = std::max(eng_.now(), d.ingress_free);
-    if (d.half_duplex) start2 = std::max(start2, d.egress_free);
-    const sim::Time done = start2 + tx;
-    d.ingress_free = done;
-    if (d.half_duplex) d.egress_free = std::max(d.egress_free, done);
+void Network::on_fabric(std::uint32_t slot) {
+  Flight& fl = flights_[slot];
+  Node& d = at(fl.dst);
+  if (!d.up || d.epoch != fl.dst_epoch) {
+    ++frames_dropped_;  // connection reset: receiver crashed in flight
+    flights_.release(slot);
+    return;
+  }
+  sim::Time start = std::max(eng_.now(), d.ingress_free);
+  if (d.half_duplex) start = std::max(start, d.egress_free);
+  const sim::Time done = start + fl.tx;
+  d.ingress_free = done;
+  if (d.half_duplex) d.egress_free = std::max(d.egress_free, done);
 
-    eng_.at(done, [this, frame, dst_id, dst_epoch] {
-      Node& dd = at(dst_id);
-      if (!dd.up || dd.epoch != dst_epoch) {
-        ++frames_dropped_;
-        return;
-      }
-      MPIV_CHECK(static_cast<bool>(dd.deliver), "node %u has no daemon", dst_id);
-      dd.deliver(std::move(*frame));
-    });
-  });
+  eng_.at(done, [this, slot] { on_ingress_done(slot); });
+}
+
+void Network::on_ingress_done(std::uint32_t slot) {
+  Flight fl = flights_.take(slot);
+  Node& d = at(fl.dst);
+  if (!d.up || d.epoch != fl.dst_epoch) {
+    ++frames_dropped_;
+    return;
+  }
+  MPIV_CHECK(static_cast<bool>(d.deliver), "node %u has no daemon", fl.dst);
+  d.deliver(std::move(fl.msg));
 }
 
 }  // namespace mpiv::net

@@ -24,6 +24,7 @@
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
 #include "sim/engine.hpp"
+#include "util/slab.hpp"
 
 namespace mpiv::net {
 
@@ -79,6 +80,20 @@ class Network {
     sim::Time ingress_free = 0;
   };
 
+  /// An in-flight frame parked in the slab between the two scheduling hops
+  /// (fabric crossing, ingress serialization). Keeping the Message and its
+  /// routing snapshot here lets the scheduled closures capture only
+  /// {this, slot} — inline in std::function, no per-frame allocation.
+  struct Flight {
+    Message msg;
+    sim::Time tx = 0;
+    NodeId dst = kNoNode;
+    std::uint64_t dst_epoch = 0;
+  };
+
+  void on_fabric(std::uint32_t slot);
+  void on_ingress_done(std::uint32_t slot);
+
   Node& at(NodeId node) {
     MPIV_CHECK(node < nodes_.size(), "bad node %u", node);
     return nodes_[node];
@@ -87,6 +102,7 @@ class Network {
   sim::Engine& eng_;
   CostModel cost_;
   std::vector<Node> nodes_;
+  util::Slab<Flight> flights_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t bytes_sent_ = 0;

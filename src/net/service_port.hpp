@@ -5,9 +5,9 @@
 #pragma once
 
 #include <algorithm>
-#include <memory>
 
 #include "net/network.hpp"
+#include "util/slab.hpp"
 
 namespace mpiv::net {
 
@@ -26,20 +26,23 @@ class ServicePort {
     eng.at(cpu_free_, std::move(fn));
   }
 
-  /// Sends `m` from this node after `cpu` of service time.
+  /// Sends `m` from this node after `cpu` of service time. The frame parks
+  /// in a slab so the scheduled closure stays inline in std::function.
   void send_after(sim::Time cpu, Message&& m) {
     m.src = node_;
-    auto frame = std::make_shared<Message>(std::move(m));
-    charge_then(cpu, [this, frame] {
-      frame->wire_bytes =
-          net_.cost().header_bytes + frame->payload.bytes + frame->body.size();
-      net_.send(std::move(*frame));
+    const std::uint32_t slot = parked_.put(std::move(m));
+    charge_then(cpu, [this, slot] {
+      Message frame = parked_.take(slot);
+      frame.wire_bytes =
+          net_.cost().header_bytes + frame.payload.bytes + frame.body.size();
+      net_.send(std::move(frame));
     });
   }
 
  private:
   Network& net_;
   NodeId node_;
+  util::Slab<Message> parked_;
   sim::Time cpu_free_ = 0;
 };
 

@@ -42,26 +42,29 @@ void Process::destroy_frame() {
   }
 }
 
-void Engine::schedule_resume(ProcToken tok, std::coroutine_handle<> h, Time t) {
-  at(t, [this, tok, h] {
-    if (!token_alive(tok)) return;  // stale incarnation: frame is gone
-    resume_in_process(procs_[tok.pid].get(), h);
-  });
-}
-
 std::uint64_t Engine::run() { return run_until(INT64_MAX); }
 
 std::uint64_t Engine::run_until(Time t) {
   stopped_ = false;
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_) {
-    const Ev& top = queue_.top();
+    const Ev top = queue_.top();
     if (top.t > t) break;
-    // Move the callback out before popping so it can schedule new events.
-    std::function<void()> fn = std::move(const_cast<Ev&>(top).fn);
     now_ = top.t;
     queue_.pop();
-    fn();
+    if (top.resume) {
+      // Resume lane: stale incarnations (process killed/restarted since the
+      // schedule) are dropped, but still count as executed events — the
+      // event fired, it just had nothing live to do.
+      if (token_alive(top.tok)) {
+        resume_in_process(procs_[top.tok.pid].get(), top.resume);
+      }
+    } else {
+      // Callback lane: take the slot out before running so the callback can
+      // schedule new events (and reuse the slot) freely.
+      std::function<void()> fn = callbacks_.take(top.slot);
+      fn();
+    }
     ++n;
     ++executed_;
   }

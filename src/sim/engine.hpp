@@ -1,12 +1,18 @@
 // Deterministic discrete-event engine with coroutine processes.
 //
-// The engine owns a priority queue of timed callbacks (ties broken by
+// The engine owns a priority queue of timed events (ties broken by
 // insertion sequence, so identical inputs give byte-identical runs) and a
 // registry of `Process` objects. A Process hosts one coroutine call chain —
 // a simulated MPI rank. Killing a process destroys its coroutine frames
 // mid-suspend; every scheduled resume carries a (pid, incarnation) token and
 // is dropped if the incarnation changed, which makes crash injection safe at
 // any await point.
+//
+// The queue holds plain 48-byte records, not closures. Coroutine resumes —
+// the bulk of all scheduled work — travel in a dedicated lane as
+// {token, handle} inline in the record; only generic at()/after() callbacks
+// carry a std::function, parked in a recycled slab and referenced by slot,
+// so steady-state scheduling does no per-event heap allocation.
 #pragma once
 
 #include <coroutine>
@@ -20,6 +26,7 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
+#include "util/slab.hpp"
 
 namespace mpiv::sim {
 
@@ -106,13 +113,27 @@ class Engine {
   void at(Time t, std::function<void()> fn) {
     MPIV_CHECK(t >= now_, "scheduling into the past: %lld < %lld",
                static_cast<long long>(t), static_cast<long long>(now_));
-    queue_.push(Ev{t, seq_++, std::move(fn)});
+    Ev ev;
+    ev.t = t;
+    ev.seq = seq_++;
+    ev.slot = callbacks_.put(std::move(fn));
+    queue_.push(ev);
   }
   void after(Time dt, std::function<void()> fn) { at(now_ + dt, std::move(fn)); }
 
   /// Schedules the resume of a suspended process coroutine; dropped if the
-  /// process was killed/restarted in the meantime.
-  void schedule_resume(ProcToken tok, std::coroutine_handle<> h, Time t);
+  /// process was killed/restarted in the meantime. Resume records travel
+  /// inline in the event queue — no callback, no allocation.
+  void schedule_resume(ProcToken tok, std::coroutine_handle<> h, Time t) {
+    MPIV_CHECK(t >= now_, "scheduling into the past: %lld < %lld",
+               static_cast<long long>(t), static_cast<long long>(now_));
+    Ev ev;
+    ev.t = t;
+    ev.seq = seq_++;
+    ev.resume = h;
+    ev.tok = tok;
+    queue_.push(ev);
+  }
 
   bool token_alive(ProcToken tok) const {
     return tok.pid < procs_.size() &&
@@ -170,10 +191,14 @@ class Engine {
     current_ = prev;
   }
 
+  /// One scheduled event: either a process resume (resume != nullptr, token
+  /// checked at fire time) or a parked callback (slot into callbacks_).
   struct Ev {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
+    Time t = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> resume{};
+    ProcToken tok{};
+    std::uint32_t slot = UINT32_MAX;
   };
   struct EvLater {
     bool operator()(const Ev& a, const Ev& b) const {
@@ -188,6 +213,7 @@ class Engine {
   bool stopped_ = false;
   Process* current_ = nullptr;
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  util::Slab<std::function<void()>> callbacks_;
   std::vector<std::unique_ptr<Process>> procs_;
 };
 
@@ -231,11 +257,7 @@ class WaitQueue {
   WaitQueue& operator=(const WaitQueue&) = delete;
 
   bool empty() const { return head_ == nullptr; }
-  std::size_t size() const {
-    std::size_t n = 0;
-    for (Waiter* w = head_; w; w = w->next_) ++n;
-    return n;
-  }
+  std::size_t size() const { return count_; }
 
   /// Awaitable: parks the current process until woken.
   auto wait() {
@@ -288,15 +310,18 @@ class WaitQueue {
       head_ = w;
     }
     tail_ = w;
+    ++count_;
   }
 
   Engine& eng_;
   Waiter* head_ = nullptr;
   Waiter* tail_ = nullptr;
+  std::size_t count_ = 0;  // size() is called from stats paths inside runs
 };
 
 inline void Waiter::unlink() {
   if (!queue_) return;
+  --queue_->count_;
   if (prev_) {
     prev_->next_ = next_;
   } else {

@@ -1,0 +1,68 @@
+// Recycled-slot slab: stable-index parking for in-flight objects.
+//
+// The simulator's hot paths park objects (messages, callbacks) inside
+// scheduled events. Capturing the object in a closure forces a heap
+// allocation per event (std::function's inline buffer is 16 bytes);
+// parking it in a slab and capturing only {this, slot} keeps the closure
+// inline and recycles the storage. Slot indices are stable; references from
+// operator[] are invalidated by put() (vector growth), so finish with a
+// slot before parking the next object. Freed slots are reused LIFO.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mpiv::util {
+
+template <class T>
+class Slab {
+ public:
+  /// Parks a value; returns its slot index for a later take().
+  std::uint32_t put(T&& v) {
+    if (free_.empty()) {
+      items_.push_back(std::move(v));
+      return static_cast<std::uint32_t>(items_.size() - 1);
+    }
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    items_[slot] = std::move(v);
+    return slot;
+  }
+
+  /// Moves the value out and frees the slot. The slot keeps the moved-from
+  /// husk until reuse (put() move-assigns over it).
+  T take(std::uint32_t slot) {
+    MPIV_DCHECK(slot < items_.size(), "bad slab slot %u", slot);
+    T v = std::move(items_[slot]);
+    free_.push_back(slot);
+    return v;
+  }
+
+  T& operator[](std::uint32_t slot) {
+    MPIV_DCHECK(slot < items_.size(), "bad slab slot %u", slot);
+    return items_[slot];
+  }
+
+  /// Frees a slot without moving the value out.
+  void release(std::uint32_t slot) {
+    MPIV_DCHECK(slot < items_.size(), "bad slab slot %u", slot);
+    items_[slot] = T{};
+    free_.push_back(slot);
+  }
+
+  std::size_t in_use() const { return items_.size() - free_.size(); }
+
+  void clear() {
+    items_.clear();
+    free_.clear();
+  }
+
+ private:
+  std::vector<T> items_;
+  std::vector<std::uint32_t> free_;
+};
+
+}  // namespace mpiv::util

@@ -96,13 +96,11 @@ util::Buffer pack_state(std::uint32_t iter, std::uint64_t chk) {
   b.put_u64(chk);
   return b;
 }
-AppState unpack_state(const util::Buffer* blob, std::uint64_t chk0) {
+AppState unpack_state(util::BufferView blob, std::uint64_t chk0) {
   AppState st{0, chk0};
-  if (blob) {
-    util::Buffer copy = *blob;
-    copy.rewind();
-    st.iter = copy.get_u32();
-    st.chk = copy.get_u64();
+  if (!blob.empty()) {
+    st.iter = blob.get_u32();
+    st.chk = blob.get_u64();
   }
   return st;
 }

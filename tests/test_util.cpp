@@ -1,11 +1,13 @@
 // Unit tests for util: RNG determinism & distributions, buffer round-trips,
-// statistics accumulators.
+// sequence-window storage, statistics accumulators.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "util/buffer.hpp"
 #include "util/rng.hpp"
+#include "util/seq_window.hpp"
 #include "util/stats.hpp"
 
 namespace mpiv::util {
@@ -84,7 +86,7 @@ TEST(Buffer, NestedBuffers) {
   outer.put_bytes(inner);
   outer.put_u8(2);
   EXPECT_EQ(outer.get_u8(), 1);
-  Buffer got = outer.get_bytes();
+  BufferView got = outer.get_view();
   EXPECT_EQ(got.get_u32(), 77u);
   EXPECT_EQ(outer.get_u8(), 2);
 }
@@ -96,11 +98,167 @@ TEST(Buffer, SizeCountsExactBytes) {
   EXPECT_EQ(b.size(), 12u);
 }
 
+TEST(BufferView, ReadsInPlaceWithoutConsumingParent) {
+  Buffer b;
+  b.put_u32(7);
+  b.put_string("view");
+  b.put_u64(99);
+  BufferView v = b.view();
+  EXPECT_EQ(v.get_u32(), 7u);
+  EXPECT_EQ(v.get_string(), "view");
+  EXPECT_EQ(v.get_u64(), 99u);
+  EXPECT_EQ(v.remaining(), 0u);
+  EXPECT_EQ(b.cursor(), 0u);  // parent cursor untouched
+  EXPECT_EQ(b.get_u32(), 7u);
+}
+
+TEST(BufferView, GetViewParsesNestedRangeWithoutCopy) {
+  Buffer inner;
+  inner.put_u32(77);
+  Buffer outer;
+  outer.put_u8(1);
+  outer.put_bytes(inner);
+  outer.put_u8(2);
+  EXPECT_EQ(outer.get_u8(), 1);
+  BufferView got = outer.get_view();
+  EXPECT_EQ(got.data(), outer.bytes().data() + 1 + 4);  // aliases the parent
+  EXPECT_EQ(got.get_u32(), 77u);
+  EXPECT_EQ(outer.get_u8(), 2);
+}
+
+TEST(BufferView, SkipAdvancesPastBlob) {
+  Buffer b;
+  b.put_u32(3);
+  b.put_u8(1);
+  b.put_u8(2);
+  b.put_u8(3);
+  b.put_u16(0xCAFE);
+  BufferView v = b.view();
+  const std::uint32_t n = v.get_u32();
+  v.skip(n);
+  EXPECT_EQ(v.get_u16(), 0xCAFE);
+}
+
+TEST(BufferViewDeath, UnderrunPanics) {
+  Buffer b;
+  b.put_u8(1);
+  BufferView v = b.view();
+  v.get_u8();
+  EXPECT_DEATH(v.get_u32(), "underrun");
+}
+
 TEST(BufferDeath, UnderrunPanics) {
   Buffer b;
   b.put_u8(1);
   b.get_u8();
   EXPECT_DEATH(b.get_u32(), "underrun");
+}
+
+TEST(SeqWindow, EmplaceFindAndDuplicates) {
+  SeqWindow<int> w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_TRUE(w.emplace(1, 10));
+  EXPECT_TRUE(w.emplace(3, 30));
+  EXPECT_FALSE(w.emplace(3, 31));  // duplicate keeps the original
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(*w.find(3), 30);
+  EXPECT_EQ(w.find(2), nullptr);  // hole
+  EXPECT_EQ(w.find(4), nullptr);  // beyond top
+  EXPECT_EQ(w.max_seq(), 3u);
+}
+
+TEST(SeqWindow, HolesIterateInOrder) {
+  SeqWindow<int> w;
+  // Insert out of order with gaps — the below-stable holes the causal
+  // stores see when a sender piggybacks only its unstable suffix.
+  for (std::uint64_t s : {9ull, 2ull, 5ull, 12ull}) {
+    EXPECT_TRUE(w.emplace(s, static_cast<int>(s * 10)));
+  }
+  std::vector<std::uint64_t> seqs;
+  w.for_each([&](std::uint64_t s, const int& v) {
+    seqs.push_back(s);
+    EXPECT_EQ(v, static_cast<int>(s * 10));
+  });
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{2, 5, 9, 12}));
+  seqs.clear();
+  w.for_range(2, 9, [&](std::uint64_t s, const int&) { seqs.push_back(s); });
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{5, 9}));  // (lo, hi]
+}
+
+TEST(SeqWindow, PrunePrefixRejectsBelowBase) {
+  SeqWindow<int> w;
+  for (std::uint64_t s = 1; s <= 10; ++s) w.emplace(s, static_cast<int>(s));
+  int dropped_sum = 0;
+  w.prune_to(6, [&](const int& v) { dropped_sum += v; });
+  EXPECT_EQ(dropped_sum, 1 + 2 + 3 + 4 + 5 + 6);
+  EXPECT_EQ(w.base(), 6u);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.find(6), nullptr);
+  EXPECT_FALSE(w.emplace(6, 60));  // at/below base: pruned forever
+  EXPECT_FALSE(w.emplace(3, 30));
+  EXPECT_TRUE(w.contains(7));
+  w.prune_to(4);  // regression is a no-op
+  EXPECT_EQ(w.base(), 6u);
+  w.prune_to(100);  // past the top: empties the window
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.max_seq(), 0u);
+  EXPECT_TRUE(w.emplace(101, 1));
+}
+
+TEST(SeqWindow, WraparoundGrowthKeepsEntries) {
+  SeqWindow<std::string> w;
+  // Slide a window of ~32 live entries across a long sequence so slots wrap
+  // around the ring many times, forcing several in-place growths early on.
+  std::uint64_t pruned = 0;
+  for (std::uint64_t s = 1; s <= 5000; ++s) {
+    ASSERT_TRUE(w.emplace(s, "v" + std::to_string(s)));
+    if (s % 7 == 0 && s > 32) {
+      pruned = s - 32;
+      w.prune_to(pruned);
+    }
+  }
+  EXPECT_EQ(w.base(), pruned);
+  EXPECT_EQ(w.size(), 5000 - pruned);
+  for (std::uint64_t s = pruned + 1; s <= 5000; ++s) {
+    ASSERT_NE(w.find(s), nullptr) << s;
+    EXPECT_EQ(*w.find(s), "v" + std::to_string(s));
+  }
+}
+
+TEST(SeqWindow, GrowthWithHolesRehomesOnlyOccupied) {
+  SeqWindow<int> w;
+  w.emplace(2, 2);
+  w.emplace(40, 40);  // forces growth past the initial capacity
+  w.emplace(1000, 1000);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(*w.find(2), 2);
+  EXPECT_EQ(*w.find(40), 40);
+  EXPECT_EQ(*w.find(1000), 1000);
+  EXPECT_EQ(w.find(999), nullptr);
+}
+
+TEST(SeqWindow, PruneOnEmptyRaisesBaseForHighSequences) {
+  // The restore pattern: raise a fresh window's base to just below the
+  // lowest live key so capacity tracks the live span, not the absolute
+  // sequence value reached by a long run.
+  SeqWindow<int> w;
+  w.prune_to(2'999'999);
+  EXPECT_TRUE(w.emplace(3'000'000, 1));
+  EXPECT_TRUE(w.emplace(3'000'005, 2));
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.max_seq(), 3'000'005u);
+  EXPECT_FALSE(w.emplace(2'999'999, 9));
+  EXPECT_EQ(*w.find(3'000'000), 1);
+}
+
+TEST(SeqWindow, ResetClearsBaseAndEntries) {
+  SeqWindow<int> w;
+  for (std::uint64_t s = 1; s <= 8; ++s) w.emplace(s, 1);
+  w.prune_to(4);
+  w.reset();
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.base(), 0u);
+  EXPECT_TRUE(w.emplace(1, 1));  // below the old base: admitted again
 }
 
 TEST(Accumulator, BasicMoments) {
