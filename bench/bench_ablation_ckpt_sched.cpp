@@ -15,36 +15,25 @@ int run() {
                "round-robin maximizes sender-log GC at steady server load");
   util::Table table({"policy", "run time (s)", "peak sender log (KB)",
                      "recovery events", "recovery time (ms)"});
-  const Variant v{"Vcausal (EL)", runtime::ProtocolKind::kCausal,
-                  causal::StrategyKind::kVcausal, true};
   for (const ckpt::Policy policy :
        {ckpt::Policy::kRoundRobin, ckpt::Policy::kRandom, ckpt::Policy::kNone}) {
-    runtime::ClusterConfig cfg = variant_config(v, 8);
-    cfg.ckpt_policy = policy;
-    cfg.ckpt_interval = 150 * sim::kMillisecond;
-    workloads::NasConfig ncfg{workloads::NasKernel::kCG, workloads::NasClass::kA,
-                              8, 1.0};
-    // Fault-free pass for the baseline completion time.
-    sim::Time ref_time;
-    {
-      auto result = std::make_shared<workloads::ChecksumResult>(8);
-      runtime::Cluster cluster(cfg);
-      runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-      MPIV_CHECK(rep.completed, "ablation run did not complete");
-      ref_time = rep.completion_time;
-    }
-    // Same run with a mid-run crash of rank 1.
-    cfg.faults.push_back(runtime::FaultSpec{ref_time / 2, 1});
-    auto result = std::make_shared<workloads::ChecksumResult>(8);
-    runtime::Cluster cluster(cfg);
-    runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-    MPIV_CHECK(rep.completed, "ablation fault run did not complete");
-    const ftapi::RankStats t = rep.totals();
+    // Midrun-fault mode: a fault-free pass sizes the baseline, then the
+    // same spec reruns with a mid-run crash of rank 1.
+    const scenario::RunResult r = scenario::run_spec(
+        variant_scenario("vcausal:el", 8)
+            .nas(workloads::NasKernel::kCG, workloads::NasClass::kA, 1.0)
+            .checkpoint(policy, 150 * sim::kMillisecond)
+            .midrun_fault(1)
+            .build());
+    MPIV_CHECK(r.has_reference, "ablation reference did not run");
+    MPIV_CHECK(r.completed, "ablation fault run did not complete");
+    const ftapi::RankStats t = r.report.totals();
     table.add_row(
-        {ckpt::policy_name(policy), util::cell("%.2f", sim::to_sec(rep.completion_time)),
+        {ckpt::policy_name(policy),
+         util::cell("%.2f", sim::to_sec(r.report.completion_time)),
          util::cell("%.1f", static_cast<double>(t.sender_log_peak_bytes) / 1024.0),
          util::cell("%llu", static_cast<unsigned long long>(t.recovery_events)),
-         util::cell("%.2f", sim::to_ms(rep.rank_stats[1].recovery_total_time))});
+         util::cell("%.2f", sim::to_ms(r.report.rank_stats[1].recovery_total_time))});
   }
   table.print();
   return 0;

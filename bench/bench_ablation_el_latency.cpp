@@ -17,33 +17,28 @@ int run() {
                "slow EL converges to no-EL piggyback volume");
   util::Table table({"EL service (us)", "pb % of app bytes", "ack latency (us)",
                      "run time (s)", "EL peak queue"});
-  const Variant v{"Vcausal (EL)", runtime::ProtocolKind::kCausal,
-                  causal::StrategyKind::kVcausal, true};
   for (const double service_us : {2.0, 6.0, 20.0, 60.0, 200.0, 600.0}) {
-    runtime::ClusterConfig cfg = variant_config(v, 8);
-    cfg.cost.el_service = sim::from_us(service_us);
-    workloads::NasConfig ncfg{workloads::NasKernel::kCG, workloads::NasClass::kA,
-                              8, 1.0};
-    auto result = std::make_shared<workloads::ChecksumResult>(8);
-    runtime::Cluster cluster(cfg);
-    runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-    MPIV_CHECK(rep.completed, "ablation run did not complete");
-    const ftapi::RankStats t = rep.totals();
-    const double pct = 100.0 * static_cast<double>(t.pb_bytes_sent) /
-                       static_cast<double>(t.app_bytes_sent);
-    table.add_row({util::cell("%.0f", service_us), util::cell("%.3f", pct),
+    net::CostModel cost;
+    cost.el_service = sim::from_us(service_us);
+    const scenario::RunResult r = scenario::run_spec(
+        variant_scenario("vcausal:el", 8)
+            .cost(cost)
+            .nas(workloads::NasKernel::kCG, workloads::NasClass::kA, 1.0)
+            .build());
+    MPIV_CHECK(r.completed, "ablation run did not complete");
+    const ftapi::RankStats t = r.report.totals();
+    table.add_row({util::cell("%.0f", service_us),
+                   util::cell("%.3f", r.report.piggyback_pct()),
                    util::cell("%.1f", t.el_ack_latency_us.mean()),
-                   util::cell("%.2f", sim::to_sec(rep.completion_time)),
+                   util::cell("%.2f", sim::to_sec(r.report.completion_time)),
                    util::cell("%llu", static_cast<unsigned long long>(
-                                          rep.el_stats.peak_queue))});
+                                          r.report.el_stats.peak_queue))});
   }
   table.print();
 
   // Reference: the same run without any Event Logger.
   {
-    Variant noel{"Vcausal (no EL)", runtime::ProtocolKind::kCausal,
-                 causal::StrategyKind::kVcausal, false};
-    NasOut out = run_nas(noel, workloads::NasKernel::kCG,
+    NasOut out = run_nas("vcausal:noel", workloads::NasKernel::kCG,
                          workloads::NasClass::kA, 8, 1.0);
     const ftapi::RankStats t = out.report.totals();
     std::printf("\nno-EL reference: pb %.3f%% of app bytes, run time %.2f s\n",

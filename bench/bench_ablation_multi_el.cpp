@@ -5,7 +5,9 @@
 // seems the obvious way to gain scalability", with shards multicasting
 // their stable-clock arrays. This bench runs the paper's bottleneck case —
 // LU class A on 16 ranks, where Fig. 7 shows the single EL saturating —
-// with 1, 2 and 4 EL shards.
+// as one scenario sweep over 1, 2, 4 and 8 EL shards (the ROADMAP scaling
+// study past 4; scenarios/ablation_multi_el.scn is the same experiment as
+// a data file).
 #include "bench/bench_common.hpp"
 
 namespace mpiv::bench {
@@ -16,36 +18,26 @@ int run() {
                "paper SVI: sharding the EL relieves the ack backlog");
   util::Table table({"EL shards", "pb % of app bytes", "ack latency (us)",
                      "Mop/s", "EL peak queue"});
-  for (const int shards : {1, 2, 4}) {
-    runtime::ClusterConfig cfg;
-    cfg.nranks = 16;
-    cfg.protocol = runtime::ProtocolKind::kCausal;
-    cfg.strategy = causal::StrategyKind::kVcausal;
-    cfg.event_logger = true;
-    cfg.el_shards = shards;
-    workloads::NasConfig ncfg{workloads::NasKernel::kLU, workloads::NasClass::kA,
-                              16, 0.12};
-    auto result = std::make_shared<workloads::ChecksumResult>(16);
-    runtime::Cluster cluster(cfg);
-    runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-    MPIV_CHECK(rep.completed, "multi-EL run did not complete");
-    const ftapi::RankStats t = rep.totals();
-    const double pct = 100.0 * static_cast<double>(t.pb_bytes_sent) /
-                       static_cast<double>(t.app_bytes_sent);
-    const double mops = workloads::nas_scaled_flops(ncfg) /
-                        sim::to_sec(rep.completion_time) / 1e6;
-    table.add_row({util::cell("%d", shards), util::cell("%.3f", pct),
+  const scenario::ScenarioSpec spec =
+      variant_scenario("vcausal:el", 16)
+          .nas(workloads::NasKernel::kLU, workloads::NasClass::kA, 0.12)
+          .sweep("el_shards", {"1", "2", "4", "8"})
+          .build();
+  const scenario::RunSet set = scenario::run(spec);
+  for (const scenario::RunResult& r : set.runs) {
+    MPIV_CHECK(r.completed, "multi-EL run did not complete (%s)",
+               r.label.c_str());
+    const ftapi::RankStats t = r.report.totals();
+    table.add_row({r.axes[0].second, util::cell("%.3f", r.report.piggyback_pct()),
                    util::cell("%.1f", t.el_ack_latency_us.mean()),
-                   util::cell("%.0f", mops),
+                   util::cell("%.0f", r.mops()),
                    util::cell("%llu", static_cast<unsigned long long>(
-                                          rep.el_stats.peak_queue))});
+                                          r.report.el_stats.peak_queue))});
   }
   table.print();
   std::printf("\nno-EL reference for the same run:\n");
   {
-    Variant noel{"Vcausal (no EL)", runtime::ProtocolKind::kCausal,
-                 causal::StrategyKind::kVcausal, false};
-    NasOut out = run_nas(noel, workloads::NasKernel::kLU,
+    NasOut out = run_nas("vcausal:noel", workloads::NasKernel::kLU,
                          workloads::NasClass::kA, 16, 0.12);
     const ftapi::RankStats t = out.report.totals();
     std::printf("  pb %.3f%%, %.0f Mop/s\n",

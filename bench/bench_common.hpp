@@ -3,63 +3,47 @@
 // Every bench binary regenerates one table or figure of the paper and
 // prints the simulated values next to the paper's published numbers, so
 // shape agreement (who wins, by what factor, where crossovers fall) can be
-// eyeballed directly; EXPERIMENTS.md records the comparison.
+// eyeballed directly. All benches construct their experiments through the
+// scenario layer: variants are registry names ("vcausal:el", "p4", ...),
+// configs are ScenarioBuilder specs, runs come back as scenario::RunResult.
 #pragma once
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "runtime/cluster.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "util/check.hpp"
 #include "util/table.hpp"
-#include "workloads/apps.hpp"
 #include "workloads/nas.hpp"
 
 namespace mpiv::bench {
 
-/// One protocol variant of the paper's evaluation.
-struct Variant {
-  const char* label;
-  runtime::ProtocolKind protocol;
-  causal::StrategyKind strategy = causal::StrategyKind::kVcausal;
-  bool event_logger = true;
-};
-
-/// The full Fig. 6/9 lineup.
-inline const std::vector<Variant>& paper_variants() {
-  static const std::vector<Variant> v = {
-      {"MPICH-P4", runtime::ProtocolKind::kP4},
-      {"MPICH-Vdummy", runtime::ProtocolKind::kVdummy},
-      {"Vcausal (EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kVcausal, true},
-      {"Manetho (EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kManetho, true},
-      {"LogOn (EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kLogOn, true},
-      {"Vcausal (no EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kVcausal, false},
-      {"Manetho (no EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kManetho, false},
-      {"LogOn (no EL)", runtime::ProtocolKind::kCausal,
-       causal::StrategyKind::kLogOn, false},
-  };
+/// The full Fig. 6/9 lineup, by scenario variant name.
+inline const std::vector<const char*>& paper_variants() {
+  static const std::vector<const char*> v = {
+      "p4",           "vdummy",       "vcausal:el", "manetho:el",
+      "logon:el",     "vcausal:noel", "manetho:noel", "logon:noel"};
   return v;
 }
 
 /// The six causal variants of Fig. 7/8.
-inline std::vector<Variant> causal_variants() {
-  std::vector<Variant> v(paper_variants().begin() + 2, paper_variants().end());
-  return v;
+inline std::vector<const char*> causal_variants() {
+  return {paper_variants().begin() + 2, paper_variants().end()};
 }
 
-inline runtime::ClusterConfig variant_config(const Variant& v, int nranks) {
-  runtime::ClusterConfig cfg;
-  cfg.nranks = nranks;
-  cfg.protocol = v.protocol;
-  cfg.strategy = v.strategy;
-  cfg.event_logger = v.event_logger;
-  return cfg;
+/// Human label for a variant name ("vcausal:el" -> "Vcausal (EL)").
+inline std::string variant_label(const char* variant) {
+  return scenario::parse_variant(variant).label;
+}
+
+/// Scenario skeleton every bench builds on: one variant at one size.
+inline scenario::ScenarioBuilder variant_scenario(const char* variant,
+                                                  int nranks) {
+  scenario::ScenarioBuilder b("bench");
+  b.variant(variant).nranks(nranks);
+  return b;
 }
 
 struct NetpipeOut {
@@ -67,15 +51,13 @@ struct NetpipeOut {
   runtime::ClusterReport report;
 };
 
-inline NetpipeOut run_netpipe(const Variant& v, std::vector<std::uint64_t> sizes,
+inline NetpipeOut run_netpipe(const char* variant,
+                              const std::vector<std::uint64_t>& sizes,
                               int reps) {
-  runtime::ClusterConfig cfg = variant_config(v, 2);
-  auto result = std::make_shared<workloads::PingPongResult>();
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep =
-      cluster.run(workloads::make_pingpong_app(std::move(sizes), reps, result));
-  MPIV_CHECK(rep.completed, "netpipe run did not complete (%s)", v.label);
-  return {*result, rep};
+  const scenario::RunResult r = scenario::run_spec(
+      variant_scenario(variant, 2).pingpong(sizes, reps).build());
+  MPIV_CHECK(r.completed, "netpipe run did not complete (%s)", variant);
+  return {r.pingpong, r.report};
 }
 
 struct NasOut {
@@ -88,26 +70,16 @@ struct NasOut {
   }
 };
 
-inline NasOut run_nas(const Variant& v, workloads::NasKernel kernel,
-                      workloads::NasClass klass, int nranks, double scale,
-                      runtime::ClusterConfig* base = nullptr) {
-  runtime::ClusterConfig cfg =
-      base ? *base : runtime::ClusterConfig{};
-  if (!base) cfg = variant_config(v, nranks);
-  cfg.nranks = nranks;
-  cfg.protocol = v.protocol;
-  cfg.strategy = v.strategy;
-  cfg.event_logger = v.event_logger;
-  workloads::NasConfig ncfg{kernel, klass, nranks, scale};
-  auto result = std::make_shared<workloads::ChecksumResult>(nranks);
-  runtime::Cluster cluster(cfg);
-  NasOut out;
-  out.report = cluster.run(workloads::make_nas_app(ncfg, result));
-  out.flops = workloads::nas_scaled_flops(ncfg);
-  MPIV_CHECK(out.report.completed, "%s %c/%d under %s did not complete",
-             workloads::nas_kernel_name(kernel),
-             workloads::nas_class_letter(klass), nranks, v.label);
-  return out;
+inline NasOut run_nas_spec(const scenario::ScenarioSpec& spec) {
+  const scenario::RunResult r = scenario::run_spec(spec);
+  MPIV_CHECK(r.completed, "scenario '%s' did not complete", spec.name.c_str());
+  return {r.report, r.flops};
+}
+
+inline NasOut run_nas(const char* variant, workloads::NasKernel kernel,
+                      workloads::NasClass klass, int nranks, double scale) {
+  return run_nas_spec(
+      variant_scenario(variant, nranks).nas(kernel, klass, scale).build());
 }
 
 inline void print_header(const char* what, const char* paper_ref) {

@@ -23,22 +23,19 @@ struct Config {
 };
 
 double recover_ms(const Config& c, int procs, bool el) {
-  Variant v{"Vcausal", runtime::ProtocolKind::kCausal,
-            causal::StrategyKind::kVcausal, el};
-  // Fault-free run to find mid-execution.
-  NasOut ref = run_nas(v, c.kernel, c.klass, procs, c.scale);
-  // Same run, killing rank 0 mid-way. No checkpoints: the full determinant
-  // history must be recovered (the paper's "middle of correct execution").
-  runtime::ClusterConfig cfg = variant_config(v, procs);
-  cfg.faults.push_back(runtime::FaultSpec{ref.report.completion_time / 2, 0});
-  workloads::NasConfig ncfg{c.kernel, c.klass, procs, c.scale};
-  auto result = std::make_shared<workloads::ChecksumResult>(procs);
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-  MPIV_CHECK(rep.completed, "fig10 run did not complete");
-  MPIV_CHECK(rep.faults_injected == 1, "fig10: expected 1 fault, got %llu",
-             static_cast<unsigned long long>(rep.faults_injected));
-  return sim::to_ms(rep.rank_stats[0].recovery_collect_time);
+  // Midrun-fault mode: the runner executes a fault-free reference, then
+  // reruns the same spec killing rank 0 halfway. No checkpoints: the full
+  // determinant history must be recovered (the paper's "middle of correct
+  // execution").
+  const scenario::RunResult r = scenario::run_spec(
+      variant_scenario(el ? "vcausal:el" : "vcausal:noel", procs)
+          .nas(c.kernel, c.klass, c.scale)
+          .midrun_fault(0)
+          .build());
+  MPIV_CHECK(r.completed, "fig10 run did not complete");
+  MPIV_CHECK(r.report.faults_injected == 1, "fig10: expected 1 fault, got %llu",
+             static_cast<unsigned long long>(r.report.faults_injected));
+  return sim::to_ms(r.report.rank_stats[0].recovery_collect_time);
 }
 
 int run() {

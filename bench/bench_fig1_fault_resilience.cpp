@@ -16,31 +16,24 @@ namespace {
 
 struct Proto {
   const char* label;
-  runtime::ProtocolKind kind;
+  const char* variant;  // scenario variant name
+  ckpt::Policy policy;
+  sim::Time interval;
 };
 
 double run_once(const Proto& p, double faults_per_minute, std::uint64_t seed) {
-  runtime::ClusterConfig cfg;
-  cfg.nranks = 25;
-  cfg.protocol = p.kind;
-  cfg.strategy = causal::StrategyKind::kManetho;
-  cfg.event_logger = true;
-  cfg.seed = seed;
-  cfg.faults_per_minute = faults_per_minute;
-  cfg.ckpt_interval = p.kind == runtime::ProtocolKind::kCoordinated
-                          ? 120 * sim::kSecond
-                          : 5 * sim::kSecond;  // round-robin: ~125 s per rank
-  cfg.ckpt_policy = p.kind == runtime::ProtocolKind::kCoordinated
-                        ? ckpt::Policy::kAllAtOnce
-                        : ckpt::Policy::kRoundRobin;
-  cfg.max_sim_time = 3 * 3600LL * sim::kSecond;  // beyond ~10x: "no progress"
-  workloads::NasConfig ncfg{workloads::NasKernel::kBT, workloads::NasClass::kA,
-                            cfg.nranks, 40.0};
-  auto result = std::make_shared<workloads::ChecksumResult>(cfg.nranks);
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-  if (!rep.completed) return -1.0;  // no progress before the time budget
-  return sim::to_sec(rep.completion_time);
+  const scenario::RunResult r = scenario::run_spec(
+      scenario::ScenarioBuilder("fig1")
+          .variant(p.variant)
+          .nranks(25)
+          .seed(seed)
+          .fault_rate(faults_per_minute)
+          .checkpoint(p.policy, p.interval)
+          .max_sim_time(3 * 3600LL * sim::kSecond)  // ~10x: "no progress"
+          .nas(workloads::NasKernel::kBT, workloads::NasClass::kA, 40.0)
+          .build());
+  if (!r.completed) return -1.0;  // no progress before the time budget
+  return sim::to_sec(r.report.completion_time);
 }
 
 /// Mean over seeds (Poisson fault arrivals are seed-dependent); any
@@ -62,9 +55,12 @@ int run() {
       "coordinated hits a vertical slope by ~2/3 faults/min; logging degrades "
       "gracefully");
   const std::vector<Proto> protos = {
-      {"Coordinated (Chandy-Lamport)", runtime::ProtocolKind::kCoordinated},
-      {"Pessimistic (sender-based, EL)", runtime::ProtocolKind::kPessimistic},
-      {"Causal (sender-based, EL)", runtime::ProtocolKind::kCausal},
+      {"Coordinated (Chandy-Lamport)", "coordinated", ckpt::Policy::kAllAtOnce,
+       120 * sim::kSecond},
+      {"Pessimistic (sender-based, EL)", "pessimistic",
+       ckpt::Policy::kRoundRobin, 5 * sim::kSecond},  // ~125 s per rank
+      {"Causal (sender-based, EL)", "manetho:el", ckpt::Policy::kRoundRobin,
+       5 * sim::kSecond},
   };
   const std::vector<std::pair<const char*, double>> rates = {
       {"0", 0.0}, {"1/6", 1.0 / 6}, {"1/3", 1.0 / 3}, {"1/2", 0.5}, {"2/3", 2.0 / 3}};

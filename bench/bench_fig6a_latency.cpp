@@ -30,10 +30,10 @@ int run() {
   // The paper's NetPIPE run exchanged 4999 messages at the 1-byte point.
   const int reps = 2500;
   for (std::size_t i = 0; i < paper_variants().size(); ++i) {
-    const Variant& v = paper_variants()[i];
+    const char* v = paper_variants()[i];
     NetpipeOut out = run_netpipe(v, {1}, reps);
     const ftapi::RankStats t = out.report.totals();
-    table.add_row({v.label, util::cell("%.2f", out.points.points[0].latency_us),
+    table.add_row({variant_label(v), util::cell("%.2f", out.points.points[0].latency_us),
                    util::cell("%.2f", kPaper[i].paper_us),
                    util::cell("%llu", static_cast<unsigned long long>(t.pb_empty_msgs)),
                    util::cell("%llu", static_cast<unsigned long long>(t.app_msgs_sent))});

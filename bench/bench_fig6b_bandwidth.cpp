@@ -17,7 +17,7 @@ int run() {
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t s = 1; s <= (8u << 20); s *= 4) sizes.push_back(s);
 
-  const std::vector<Variant> shown = {
+  const std::vector<const char*> shown = {
       paper_variants()[0],  // P4
       paper_variants()[1],  // Vdummy
       paper_variants()[2],  // Vcausal (EL)
@@ -26,15 +26,13 @@ int run() {
   };
 
   std::vector<std::string> headers = {"bytes", "RAW TCP"};
-  for (const Variant& v : shown) headers.push_back(v.label);
+  for (const char* v : shown) headers.push_back(variant_label(v));
   util::Table table(headers);
 
   // Measured curves.
   std::vector<workloads::PingPongResult> results;
-  for (const Variant& v : shown) {
-    std::vector<std::uint64_t> sweep = sizes;
-    int reps = 50;
-    results.push_back(run_netpipe(v, sweep, reps).points);
+  for (const char* v : shown) {
+    results.push_back(run_netpipe(v, sizes, 50).points);
   }
 
   const net::CostModel cost;

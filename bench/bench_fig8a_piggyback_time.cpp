@@ -21,11 +21,11 @@ int run() {
                 workloads::nas_kernel_name(c.kernel),
                 workloads::nas_class_letter(c.klass));
     std::vector<std::string> headers = {"#procs"};
-    for (const Variant& v : causal_variants()) headers.push_back(v.label);
+    for (const char* v : causal_variants()) headers.push_back(variant_label(v));
     util::Table table(headers);
     for (const int procs : c.procs) {
       std::vector<std::string> row = {util::cell("%d", procs)};
-      for (const Variant& v : causal_variants()) {
+      for (const char* v : causal_variants()) {
         const Fig78Cell cell = run_fig78_cell(v, c, procs);
         row.push_back(
             util::cell("%.4f / %.4f", cell.send_cpu_s, cell.recv_cpu_s));

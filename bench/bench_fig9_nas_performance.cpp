@@ -38,11 +38,11 @@ int run() {
                 workloads::nas_kernel_name(p.kernel),
                 workloads::nas_class_letter(p.klass));
     std::vector<std::string> headers = {"#procs"};
-    for (const Variant& v : paper_variants()) headers.push_back(v.label);
+    for (const char* v : paper_variants()) headers.push_back(variant_label(v));
     util::Table table(headers);
     for (const int procs : p.procs) {
       std::vector<std::string> row = {util::cell("%d", procs)};
-      for (const Variant& v : paper_variants()) {
+      for (const char* v : paper_variants()) {
         NasOut out = run_nas(v, p.kernel, p.klass, procs, p.scale);
         row.push_back(util::cell("%.0f", out.mops()));
       }

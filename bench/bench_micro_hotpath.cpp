@@ -20,7 +20,7 @@
 #include "causal/antecedence_graph.hpp"
 #include "causal/event_store.hpp"
 #include "causal/sender_log.hpp"
-#include "runtime/cluster.hpp"
+#include "scenario/runner.hpp"
 #include "sim/engine.hpp"
 #include "workloads/apps.hpp"
 
@@ -168,7 +168,11 @@ std::uint64_t bench_engine_resume(std::uint64_t events) {
   const int nprocs = 16;
   const std::uint64_t per_proc = events / nprocs;
   for (int p = 0; p < nprocs; ++p) {
-    auto& proc = eng.create_process("p" + std::to_string(p));
+    // std::string + avoids the GCC 12 -Wrestrict false positive that
+    // `"p" + std::to_string(p)` trips under -O2.
+    std::string pname = "p";
+    pname += std::to_string(p);
+    auto& proc = eng.create_process(pname);
     proc.start([](mpiv::sim::Engine& e, std::uint64_t n) -> mpiv::sim::Task<void> {
       for (std::uint64_t i = 0; i < n; ++i) co_await e.sleep(10);
     }(eng, per_proc));
@@ -200,21 +204,19 @@ std::uint64_t bench_engine_callbacks(std::uint64_t events) {
 }
 
 // End-to-end: a causal cluster running wildcard traffic — every layer of
-// the stack (engine, network, daemon, matching, strategy, EL) at once.
+// the stack (engine, network, daemon, matching, strategy, EL) at once,
+// driven through the scenario API like every other experiment.
 std::uint64_t bench_cluster(int iterations) {
-  mpiv::runtime::ClusterConfig cfg;
-  cfg.nranks = 8;
-  cfg.protocol = mpiv::runtime::ProtocolKind::kCausal;
-  cfg.strategy = mpiv::causal::StrategyKind::kLogOn;
-  cfg.event_logger = true;
-  cfg.seed = 11;
-  auto result = std::make_shared<mpiv::workloads::ChecksumResult>(cfg.nranks);
-  mpiv::runtime::Cluster cluster(cfg);
-  mpiv::runtime::ClusterReport rep = cluster.run(
-      mpiv::workloads::make_random_any_app(iterations, 11, 1024, result));
-  MPIV_CHECK(rep.completed, "cluster bench did not complete");
-  g_sink += result->checksums[0];
-  return cluster.engine().events_executed();
+  const mpiv::scenario::RunResult r = mpiv::scenario::run_spec(
+      mpiv::scenario::ScenarioBuilder("hotpath_e2e")
+          .variant("logon:el")
+          .nranks(8)
+          .seed(11)
+          .random_any(iterations, 11, 1024)
+          .build());
+  MPIV_CHECK(r.completed, "cluster bench did not complete");
+  g_sink += r.checksums[0];
+  return r.events_executed;
 }
 
 std::uint64_t peak_rss_kb() {

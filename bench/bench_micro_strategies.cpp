@@ -12,6 +12,7 @@
 #include "causal/manetho_strategy.hpp"
 #include "causal/vcausal_strategy.hpp"
 #include "causal/wire.hpp"
+#include "scenario/registry.hpp"
 
 namespace mpiv::causal {
 namespace {
@@ -25,7 +26,8 @@ struct Fixture {
   net::CostModel cost;
   std::unique_ptr<Strategy> strategy;
 
-  Fixture(StrategyKind kind, int events) : strategy(make_strategy(kind)) {
+  Fixture(const char* kind, int events)
+      : strategy(scenario::strategies().at(kind).make()) {
     strategy->attach(&store, &cost, /*rank=*/0, kRanks);
     std::vector<std::uint64_t> seq(kRanks, 0);
     for (int i = 0; i < events; ++i) {
@@ -45,7 +47,7 @@ struct Fixture {
   }
 };
 
-void BM_StrategyBuild(benchmark::State& state, StrategyKind kind) {
+void BM_StrategyBuild(benchmark::State& state, const char* kind) {
   const int events = static_cast<int>(state.range(0));
   Fixture fx(kind, events);
   for (auto _ : state) {
@@ -105,7 +107,7 @@ void BM_WirePlainRoundTrip(benchmark::State& state) {
 
 void BM_GraphTraversal(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
-  Fixture fx(StrategyKind::kManetho, events);
+  Fixture fx("manetho", events);
   auto& strat = static_cast<ManethoStrategy&>(*fx.strategy);
   std::vector<std::uint64_t> reach;
   for (auto _ : state) {
@@ -141,11 +143,11 @@ void BM_LogOnCausalOrder(benchmark::State& state) {
 // Iterations are bounded explicitly: each measured build pays an
 // unmeasured fixture rebuild, so time-targeted iteration counts would
 // inflate the wall clock for no statistical gain.
-BENCHMARK_CAPTURE(BM_StrategyBuild, vcausal, StrategyKind::kVcausal)
+BENCHMARK_CAPTURE(BM_StrategyBuild, vcausal, "vcausal")
     ->Arg(64)->Arg(1024)->Iterations(40)->UseManualTime()->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_StrategyBuild, manetho, StrategyKind::kManetho)
+BENCHMARK_CAPTURE(BM_StrategyBuild, manetho, "manetho")
     ->Arg(64)->Arg(1024)->Iterations(40)->UseManualTime()->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_StrategyBuild, logon, StrategyKind::kLogOn)
+BENCHMARK_CAPTURE(BM_StrategyBuild, logon, "logon")
     ->Arg(64)->Arg(1024)->Iterations(40)->UseManualTime()->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_WireFactoredRoundTrip)->Arg(16)->Arg(256)->Arg(4096);
 BENCHMARK(BM_WirePlainRoundTrip)->Arg(16)->Arg(256)->Arg(4096);

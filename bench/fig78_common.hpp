@@ -34,8 +34,9 @@ struct Fig78Cell {
   double cpu_pct = 0;         // piggyback time, % of execution time (Fig. 8b)
 };
 
-inline Fig78Cell run_fig78_cell(const Variant& v, const Fig78Config& c, int procs) {
-  NasOut out = run_nas(v, c.kernel, c.klass, procs, c.scale);
+inline Fig78Cell run_fig78_cell(const char* variant, const Fig78Config& c,
+                                int procs) {
+  NasOut out = run_nas(variant, c.kernel, c.klass, procs, c.scale);
   Fig78Cell cell;
   cell.report = out.report;
   const ftapi::RankStats t = out.report.totals();

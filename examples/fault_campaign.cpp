@@ -5,37 +5,28 @@
 //
 // Runs a BT-like workload under coordinated checkpointing, pessimistic and
 // causal message logging at increasing fault rates and prints slowdowns.
+// Each (protocol, rate) cell is one scenario built with ScenarioBuilder.
 #include <cstdio>
 #include <cstdlib>
 
-#include "runtime/cluster.hpp"
-#include "workloads/nas.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mpiv;
 
 namespace {
 
-double run_once(runtime::ProtocolKind kind, int nranks, double scale,
-                double faults_per_minute) {
-  runtime::ClusterConfig cfg;
-  cfg.nranks = nranks;
-  cfg.protocol = kind;
-  cfg.strategy = causal::StrategyKind::kManetho;
-  cfg.faults_per_minute = faults_per_minute;
-  if (kind == runtime::ProtocolKind::kCoordinated) {
-    cfg.ckpt_policy = ckpt::Policy::kAllAtOnce;
-    cfg.ckpt_interval = 60 * sim::kSecond;
-  } else {
-    cfg.ckpt_policy = ckpt::Policy::kRoundRobin;
-    cfg.ckpt_interval = std::max<sim::Time>(1, 60 * sim::kSecond / nranks);
-  }
-  cfg.max_sim_time = 3600LL * sim::kSecond;
-  workloads::NasConfig ncfg{workloads::NasKernel::kBT, workloads::NasClass::kA,
-                            nranks, scale};
-  auto result = std::make_shared<workloads::ChecksumResult>(nranks);
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-  return rep.completed ? sim::to_sec(rep.completion_time) : -1.0;
+double run_once(const char* variant, ckpt::Policy policy, sim::Time interval,
+                int nranks, double scale, double faults_per_minute) {
+  const scenario::RunResult r = scenario::run_spec(
+      scenario::ScenarioBuilder("fault_campaign")
+          .variant(variant)
+          .nranks(nranks)
+          .fault_rate(faults_per_minute)
+          .checkpoint(policy, interval)
+          .max_sim_time(3600LL * sim::kSecond)
+          .nas(workloads::NasKernel::kBT, workloads::NasClass::kA, scale)
+          .build());
+  return r.completed ? sim::to_sec(r.report.completion_time) : -1.0;
 }
 
 }  // namespace
@@ -48,18 +39,35 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("fault campaign: BT-like, %d ranks, scale %.1f\n\n", nranks, scale);
-  const runtime::ProtocolKind kinds[] = {runtime::ProtocolKind::kCoordinated,
-                                         runtime::ProtocolKind::kPessimistic,
-                                         runtime::ProtocolKind::kCausal};
-  const char* names[] = {"coordinated", "pessimistic", "causal"};
+  struct Arm {
+    const char* name;
+    const char* variant;
+    ckpt::Policy policy;
+    sim::Time interval;
+  };
+  const Arm arms[] = {
+      {"coordinated", "coordinated", ckpt::Policy::kAllAtOnce,
+       60 * sim::kSecond},
+      {"pessimistic", "pessimistic", ckpt::Policy::kRoundRobin,
+       std::max<sim::Time>(1, 60 * sim::kSecond / nranks)},
+      {"causal", "manetho:el", ckpt::Policy::kRoundRobin,
+       std::max<sim::Time>(1, 60 * sim::kSecond / nranks)},
+  };
   double base[3];
-  for (int i = 0; i < 3; ++i) base[i] = run_once(kinds[i], nranks, scale, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    base[i] = run_once(arms[i].variant, arms[i].policy, arms[i].interval,
+                       nranks, scale, 0.0);
+  }
 
-  std::printf("%12s %14s %14s %14s\n", "faults/min", names[0], names[1], names[2]);
+  std::printf("%12s %14s %14s %14s\n", "faults/min", arms[0].name,
+              arms[1].name, arms[2].name);
   for (const double rate : {0.0, 0.25, 0.5, 1.0, 2.0}) {
     std::printf("%12.2f", rate);
     for (int i = 0; i < 3; ++i) {
-      const double t = rate == 0.0 ? base[i] : run_once(kinds[i], nranks, scale, rate);
+      const double t = rate == 0.0
+                           ? base[i]
+                           : run_once(arms[i].variant, arms[i].policy,
+                                      arms[i].interval, nranks, scale, rate);
       if (t < 0) {
         std::printf(" %14s", "no progress");
       } else {

@@ -6,96 +6,66 @@
 //               [el|noel] [scale]
 //
 // e.g.   ./nas_demo lu A 16 manetho noel 0.12
+//
+// Everything is resolved through the scenario registries; invalid kernel,
+// class, variant or rank-count combinations come back as SpecError /
+// skip reasons instead of hand-rolled parsing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
-#include "runtime/cluster.hpp"
-#include "workloads/nas.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mpiv;
 
-namespace {
-workloads::NasKernel parse_kernel(const char* s) {
-  if (!std::strcmp(s, "bt")) return workloads::NasKernel::kBT;
-  if (!std::strcmp(s, "cg")) return workloads::NasKernel::kCG;
-  if (!std::strcmp(s, "lu")) return workloads::NasKernel::kLU;
-  if (!std::strcmp(s, "ft")) return workloads::NasKernel::kFT;
-  if (!std::strcmp(s, "mg")) return workloads::NasKernel::kMG;
-  if (!std::strcmp(s, "sp")) return workloads::NasKernel::kSP;
-  std::fprintf(stderr, "unknown kernel '%s'\n", s);
-  std::exit(2);
-}
-workloads::NasClass parse_class(const char* s) {
-  switch (s[0]) {
-    case 'S': return workloads::NasClass::kS;
-    case 'W': return workloads::NasClass::kW;
-    case 'A': return workloads::NasClass::kA;
-    case 'B': return workloads::NasClass::kB;
-  }
-  std::fprintf(stderr, "unknown class '%s'\n", s);
-  std::exit(2);
-}
-}  // namespace
-
 int main(int argc, char** argv) {
-  workloads::NasConfig ncfg;
-  ncfg.kernel = argc > 1 ? parse_kernel(argv[1]) : workloads::NasKernel::kCG;
-  ncfg.klass = argc > 2 ? parse_class(argv[2]) : workloads::NasClass::kA;
-  ncfg.nranks = argc > 3 ? std::atoi(argv[3]) : 4;
-  const char* proto = argc > 4 ? argv[4] : "vcausal";
+  const std::string kernel = argc > 1 ? argv[1] : "cg";
+  const std::string klass = argc > 2 ? argv[2] : "A";
+  const int nranks = argc > 3 ? std::atoi(argv[3]) : 4;
+  std::string variant = argc > 4 ? argv[4] : "vcausal";
   const bool el = argc > 5 ? std::strcmp(argv[5], "el") == 0 : true;
-  ncfg.scale = argc > 6 ? std::atof(argv[6]) : 1.0;
+  const double scale = argc > 6 ? std::atof(argv[6]) : 1.0;
+  if (variant != "p4" && variant != "vdummy" && variant != "pessimistic" &&
+      variant != "coordinated" && variant.find(':') == std::string::npos) {
+    variant += el ? ":el" : ":noel";
+  }
 
-  if (!workloads::nas_valid_nranks(ncfg.kernel, ncfg.nranks)) {
-    std::fprintf(stderr, "%s does not support %d ranks (BT/SP: squares; "
-                         "others: powers of two)\n",
-                 workloads::nas_kernel_name(ncfg.kernel), ncfg.nranks);
+  scenario::RunResult r;
+  try {
+    scenario::ScenarioBuilder b("nas_demo");
+    b.variant(variant)
+        .nranks(nranks)
+        .workload("nas")
+        .wparam("kernel", kernel)
+        .wparam("class", klass)
+        .wparam("scale", scale);
+    r = scenario::run_spec(b.build());
+  } catch (const scenario::SpecError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
-
-  runtime::ClusterConfig cfg;
-  cfg.nranks = ncfg.nranks;
-  cfg.event_logger = el;
-  if (!std::strcmp(proto, "p4")) cfg.protocol = runtime::ProtocolKind::kP4;
-  else if (!std::strcmp(proto, "vdummy")) cfg.protocol = runtime::ProtocolKind::kVdummy;
-  else if (!std::strcmp(proto, "pessimistic")) cfg.protocol = runtime::ProtocolKind::kPessimistic;
-  else if (!std::strcmp(proto, "coordinated")) cfg.protocol = runtime::ProtocolKind::kCoordinated;
-  else {
-    cfg.protocol = runtime::ProtocolKind::kCausal;
-    if (!std::strcmp(proto, "manetho")) cfg.strategy = causal::StrategyKind::kManetho;
-    else if (!std::strcmp(proto, "logon")) cfg.strategy = causal::StrategyKind::kLogOn;
-  }
-
-  auto result = std::make_shared<workloads::ChecksumResult>(ncfg.nranks);
-  runtime::Cluster cluster(cfg);
-  std::printf("%s class %c on %d ranks under %s (scale %.2f)\n",
-              workloads::nas_kernel_name(ncfg.kernel),
-              workloads::nas_class_letter(ncfg.klass), ncfg.nranks,
-              cluster.protocol_label().c_str(), ncfg.scale);
-  runtime::ClusterReport rep = cluster.run(workloads::make_nas_app(ncfg, result));
-  if (!rep.completed) {
+  std::printf("%s class %s on %d ranks under %s (scale %.2f)\n", kernel.c_str(),
+              klass.c_str(), nranks, r.protocol_label.c_str(), scale);
+  if (!r.completed) {
     std::fprintf(stderr, "run did not complete\n");
     return 1;
   }
-  const double flops = workloads::nas_scaled_flops(ncfg);
-  const ftapi::RankStats t = rep.totals();
-  std::printf("\ntime:           %.3f s (simulated)\n", sim::to_sec(rep.completion_time));
-  std::printf("performance:    %.1f Mop/s total\n",
-              flops / sim::to_sec(rep.completion_time) / 1e6);
+  const ftapi::RankStats t = r.report.totals();
+  std::printf("\ntime:           %.3f s (simulated)\n", r.sim_seconds());
+  std::printf("performance:    %.1f Mop/s total\n", r.mops());
   std::printf("messages:       %llu (%.1f MB application data)\n",
               static_cast<unsigned long long>(t.app_msgs_sent),
               static_cast<double>(t.app_bytes_sent) / 1e6);
-  if (cfg.protocol == runtime::ProtocolKind::kCausal) {
+  if (t.pb_events_sent > 0) {
     std::printf("piggyback:      %llu events, %.3f%% of app bytes\n",
                 static_cast<unsigned long long>(t.pb_events_sent),
-                100.0 * static_cast<double>(t.pb_bytes_sent) /
-                    static_cast<double>(t.app_bytes_sent));
+                r.report.piggyback_pct());
     std::printf("pb cpu:         %.4f s send, %.4f s recv\n",
                 sim::to_sec(t.pb_send_cpu), sim::to_sec(t.pb_recv_cpu));
-    if (el) {
+    if (r.report.el_stats.events_stored > 0) {
       std::printf("EL:             %llu events stored, mean ack %.1f us\n",
-                  static_cast<unsigned long long>(rep.el_stats.events_stored),
+                  static_cast<unsigned long long>(r.report.el_stats.events_stored),
                   t.el_ack_latency_us.mean());
     }
   }

@@ -3,59 +3,54 @@
 //
 //   $ ./netpipe_cli [p4|vdummy|vcausal|manetho|logon] [el|noel] [max_kb]
 //
-// Mirrors the paper's Fig. 6 experiments interactively.
+// Mirrors the paper's Fig. 6 experiments interactively. Variant names are
+// resolved through the scenario registries, so anything `mpiv_run --list`
+// prints works here too.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
-#include "runtime/cluster.hpp"
-#include "workloads/apps.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mpiv;
 
 int main(int argc, char** argv) {
-  const char* proto = argc > 1 ? argv[1] : "vcausal";
+  std::string variant = argc > 1 ? argv[1] : "vcausal";
   const bool el = argc > 2 ? std::strcmp(argv[2], "el") == 0 : true;
   const std::uint64_t max_kb = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1024;
-
-  runtime::ClusterConfig cfg;
-  cfg.nranks = 2;
-  if (std::strcmp(proto, "p4") == 0) {
-    cfg.protocol = runtime::ProtocolKind::kP4;
-  } else if (std::strcmp(proto, "vdummy") == 0) {
-    cfg.protocol = runtime::ProtocolKind::kVdummy;
-  } else {
-    cfg.protocol = runtime::ProtocolKind::kCausal;
-    cfg.event_logger = el;
-    if (std::strcmp(proto, "manetho") == 0) {
-      cfg.strategy = causal::StrategyKind::kManetho;
-    } else if (std::strcmp(proto, "logon") == 0) {
-      cfg.strategy = causal::StrategyKind::kLogOn;
-    } else {
-      cfg.strategy = causal::StrategyKind::kVcausal;
-    }
+  if (variant != "p4" && variant != "vdummy" && variant != "pessimistic" &&
+      variant != "coordinated" && variant.find(':') == std::string::npos) {
+    variant += el ? ":el" : ":noel";
   }
 
   std::vector<std::uint64_t> sizes;
   for (std::uint64_t s = 1; s <= max_kb * 1024; s *= 2) sizes.push_back(s);
 
-  auto result = std::make_shared<workloads::PingPongResult>();
-  runtime::Cluster cluster(cfg);
-  std::printf("protocol: %s\n\n", cluster.protocol_label().c_str());
-  runtime::ClusterReport rep =
-      cluster.run(workloads::make_pingpong_app(sizes, 100, result));
-  if (!rep.completed) {
+  scenario::RunResult r;
+  try {
+    r = scenario::run_spec(scenario::ScenarioBuilder("netpipe")
+                               .variant(variant)
+                               .nranks(2)
+                               .pingpong(sizes, /*reps=*/100)
+                               .build());
+  } catch (const scenario::SpecError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  std::printf("protocol: %s\n\n", r.protocol_label.c_str());
+  if (!r.completed) {
     std::fprintf(stderr, "run did not complete\n");
     return 1;
   }
   std::printf("%12s %14s %14s\n", "bytes", "latency (us)", "bw (Mb/s)");
-  for (const auto& p : result->points) {
+  for (const auto& p : r.pingpong.points) {
     std::printf("%12llu %14.2f %14.2f\n",
                 static_cast<unsigned long long>(p.bytes), p.latency_us,
                 p.bandwidth_mbps);
   }
-  const ftapi::RankStats t = rep.totals();
-  if (cfg.protocol == runtime::ProtocolKind::kCausal) {
+  const ftapi::RankStats t = r.report.totals();
+  if (t.pb_events_sent > 0 || t.pb_bytes_sent > 0) {
     std::printf("\npiggyback: %llu events, %llu bytes over %llu messages "
                 "(%llu empty)\n",
                 static_cast<unsigned long long>(t.pb_events_sent),

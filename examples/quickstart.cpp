@@ -1,16 +1,17 @@
 // Quickstart: an 8-rank ring application under causal message logging with
 // an Event Logger, one injected crash, and verified recovery.
 //
-//   $ ./quickstart
+//   $ ./quickstart            (or: mpiv_run scenarios/quickstart.scn)
 //
 // Walks through the full life of a fault-tolerant MPI run: launch, an
 // uncoordinated checkpoint wave, a crash of rank 3 mid-run, determinant
 // collection from the Event Logger and the survivors, replay, and a final
-// checksum comparison against the fault-free execution.
+// checksum comparison against the fault-free execution. The whole
+// experiment is one declarative scenario; the runner's midrun-fault mode
+// executes the fault-free reference and the faulty run back to back.
 #include <cstdio>
 
-#include "runtime/cluster.hpp"
-#include "workloads/apps.hpp"
+#include "scenario/runner.hpp"
 
 using namespace mpiv;
 
@@ -18,52 +19,33 @@ int main() {
   std::printf("MPIV-EL quickstart: 8-rank ring, Vcausal + Event Logger\n");
   std::printf("======================================================\n\n");
 
-  runtime::ClusterConfig cfg;
-  cfg.nranks = 8;
-  cfg.protocol = runtime::ProtocolKind::kCausal;
-  cfg.strategy = causal::StrategyKind::kVcausal;
-  cfg.event_logger = true;
-  cfg.ckpt_policy = ckpt::Policy::kRoundRobin;
-  cfg.ckpt_interval = 75 * sim::kMillisecond;
+  const scenario::ScenarioSpec spec =
+      scenario::ScenarioBuilder("quickstart")
+          .variant("vcausal:el")
+          .nranks(8)
+          .checkpoint(ckpt::Policy::kRoundRobin, 75 * sim::kMillisecond)
+          .midrun_fault(/*rank=*/3)
+          .ring(/*laps=*/60, /*token_bytes=*/4096)
+          .build();
+  const scenario::RunResult r = scenario::run_spec(spec);
 
-  // 1. Fault-free reference run.
-  auto ref_result = std::make_shared<workloads::ChecksumResult>(cfg.nranks);
-  sim::Time ref_time;
-  {
-    runtime::Cluster cluster(cfg);
-    runtime::ClusterReport rep =
-        cluster.run(workloads::make_ring_app(60, 4096, ref_result));
-    ref_time = rep.completion_time;
-    std::printf("fault-free run: %.1f ms, %llu checkpoints stored\n",
-                sim::to_ms(rep.completion_time),
-                static_cast<unsigned long long>(
-                    cluster.checkpoint_server().stores_completed()));
-  }
-
-  // 2. Same run, but rank 3 is killed halfway through.
-  cfg.faults.push_back(runtime::FaultSpec{ref_time / 2, 3});
-  auto result = std::make_shared<workloads::ChecksumResult>(cfg.nranks);
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep =
-      cluster.run(workloads::make_ring_app(60, 4096, result));
-
+  std::printf("fault-free run: %.1f ms\n", sim::to_ms(r.reference_time));
   std::printf("faulty run:     %.1f ms, %llu fault(s) injected\n",
-              sim::to_ms(rep.completion_time),
-              static_cast<unsigned long long>(rep.faults_injected));
-  const ftapi::RankStats& r3 = rep.rank_stats[3];
+              sim::to_ms(r.report.completion_time),
+              static_cast<unsigned long long>(r.report.faults_injected));
+  const ftapi::RankStats& r3 = r.report.rank_stats[3];
   std::printf("rank 3 recovery: %llu determinants replayed, collected in %.2f ms "
               "(total restart %.2f ms)\n",
               static_cast<unsigned long long>(r3.recovery_events),
               sim::to_ms(r3.recovery_collect_time),
               sim::to_ms(r3.recovery_total_time));
 
-  // 3. The acid test: the recovered execution produced the exact results of
+  // The acid test: the recovered execution produced the exact results of
   // the fault-free one (the ring checksum is order-sensitive).
-  const bool identical = ref_result->checksums == result->checksums;
   std::printf("\nchecksums identical to fault-free run: %s\n",
-              identical ? "YES" : "NO (BUG!)");
+              r.recovered_exact ? "YES" : "NO (BUG!)");
   std::printf("slowdown: %.1f%%\n",
-              100.0 * static_cast<double>(rep.completion_time) /
-                  static_cast<double>(ref_time));
-  return identical ? 0 : 1;
+              100.0 * static_cast<double>(r.report.completion_time) /
+                  static_cast<double>(r.reference_time));
+  return r.recovered_exact ? 0 : 1;
 }

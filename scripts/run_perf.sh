@@ -55,10 +55,37 @@ else
 fi
 
 MICRO_JSON=$(mktemp)
-trap 'rm -f "$MICRO_JSON"' EXIT
+SCN_JSON=$(mktemp)
+trap 'rm -f "$MICRO_JSON" "$SCN_JSON"' EXIT
 
 echo "== micro hot-path benches =="
 "$BUILD_DIR/bench_micro_hotpath" "${MICRO_FLAGS[@]}" --json "$MICRO_JSON"
+
+# Scenario driver timing: every bundled scenario in quick mode through
+# mpiv_run (wall clock per file; the JSON reports themselves are the
+# scenario-smoke job's concern).
+SCN_ROWS=""
+if [[ -x "$BUILD_DIR/mpiv_run" ]]; then
+  echo "== scenario driver (quick) =="
+  for scn in scenarios/*.scn; do
+    name=$(basename "$scn" .scn)
+    start=$(date +%s%N)
+    if "$BUILD_DIR/mpiv_run" --quick --out "$SCN_JSON" "$scn" > /dev/null 2>&1; then
+      status=ok
+    else
+      status=crash
+    fi
+    end=$(date +%s%N)
+    ms=$(( (end - start) / 1000000 ))
+    printf '%-32s %8s ms  %s\n' "$name" "$ms" "$status"
+    [[ -n $SCN_ROWS ]] && SCN_ROWS+=$',\n'
+    SCN_ROWS+="    {\"name\": \"$name\", \"wall_ms\": $ms, \"status\": \"$status\"}"
+    if [[ $status == crash ]]; then
+      echo "error: mpiv_run failed on $scn" >&2
+      exit 1
+    fi
+  done
+fi
 
 echo "== figure benches =="
 FIG_ROWS=""
@@ -91,6 +118,11 @@ done
   echo "  \"figure_benches\": ["
   printf '%s\n' "$FIG_ROWS"
   echo "  ],"
+  if [[ -n $SCN_ROWS ]]; then
+    echo "  \"scenarios\": ["
+    printf '%s\n' "$SCN_ROWS"
+    echo "  ],"
+  fi
   echo "  \"micro\":"
   sed 's/^/  /' "$MICRO_JSON"
   echo "}"

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Scenario smoke: executes every bundled scenario file through mpiv_run in
+# quick mode and fails on parse/validation errors, crashes, or malformed
+# JSON output. CI's scenario-smoke job runs this; it is also the fastest
+# way to sanity-check the whole scenario surface locally.
+#
+# Usage: scripts/run_scenarios.sh [--build-dir DIR] [--out-dir DIR] [--full]
+#   --build-dir  build tree containing mpiv_run (default: build)
+#   --out-dir    where the per-scenario JSON reports land (default: temp dir)
+#   --full       run without --quick (the real paper sweeps; slow)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+OUT_DIR=""
+QUICK=1
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir) BUILD_DIR=$2; shift ;;
+    --out-dir) OUT_DIR=$2; shift ;;
+    --full) QUICK=0 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ ! -x "$BUILD_DIR/mpiv_run" ]]; then
+  echo "error: $BUILD_DIR/mpiv_run not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target mpiv_run" >&2
+  exit 1
+fi
+
+if [[ -z $OUT_DIR ]]; then
+  OUT_DIR=$(mktemp -d)
+  trap 'rm -rf "$OUT_DIR"' EXIT
+fi
+mkdir -p "$OUT_DIR"
+
+# ${FLAGS[@]+...} keeps the empty-array expansion safe under set -u on
+# bash < 4.4 (macOS stock 3.2).
+FLAGS=()
+[[ $QUICK -eq 1 ]] && FLAGS+=(--quick)
+
+# JSON validation: python3 where available, otherwise the driver's own
+# exit status plus a non-emptiness check.
+validate_json() {
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$1" > /dev/null
+  else
+    [[ -s "$1" ]]
+  fi
+}
+
+fail=0
+for scn in scenarios/*.scn; do
+  name=$(basename "$scn" .scn)
+  out="$OUT_DIR/$name.json"
+  start=$(date +%s%N)
+  if "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$out" "$scn" 2> "$OUT_DIR/$name.log"; then
+    if validate_json "$out"; then
+      status=ok
+    else
+      status=bad-json
+      fail=1
+    fi
+  else
+    status=error
+    fail=1
+  fi
+  end=$(date +%s%N)
+  printf '%-28s %8d ms  %s\n' "$name" $(( (end - start) / 1000000 )) "$status"
+  if [[ $status != ok ]]; then
+    sed 's/^/  | /' "$OUT_DIR/$name.log" >&2 || true
+  fi
+done
+
+if [[ $fail -ne 0 ]]; then
+  echo "scenario smoke FAILED" >&2
+  exit 1
+fi
+echo "all scenarios OK (reports in $OUT_DIR)"

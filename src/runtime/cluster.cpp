@@ -1,80 +1,76 @@
 #include "runtime/cluster.hpp"
 
-#include "causal/causal_protocol.hpp"
-#include "coord/coordinated_protocol.hpp"
-#include "ftapi/vprotocol.hpp"
-#include "pessimist/pessimistic_protocol.hpp"
+#include "scenario/registry.hpp"
 
 namespace mpiv::runtime {
 
-Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(cfg),
-      layout_{cfg.nranks, cfg.el_shards},
-      net_(eng_, layout_.total_nodes(), cfg.cost),
-      stats_(static_cast<std::size_t>(cfg.nranks)) {
-  MPIV_CHECK(cfg.nranks >= 1 && cfg.nranks <= 4096, "bad nranks %d", cfg.nranks);
-  MPIV_CHECK(cfg.el_shards >= 1 && cfg.el_shards <= cfg.nranks,
-             "bad el_shards %d", cfg.el_shards);
-  MPIV_CHECK(cfg.protocol != ProtocolKind::kP4 || cfg.faults.empty(),
-             "MPICH-P4 is not fault tolerant");
-  if (cfg_.protocol == ProtocolKind::kCoordinated &&
-      cfg_.ckpt_policy != ckpt::Policy::kNone) {
-    // Coordinated checkpointing is a global wave by construction.
-    cfg_.ckpt_policy = ckpt::Policy::kAllAtOnce;
-  }
+namespace {
 
-  const net::ChannelKind channel = cfg.protocol == ProtocolKind::kP4
+/// Validates and normalizes a config before any member sizes anything off
+/// it (a bad nranks must hit these diagnostics, not a multi-GB allocation
+/// in Network / the stats vector).
+ClusterConfig validated(ClusterConfig cfg) {
+  MPIV_CHECK(cfg.nranks >= 1 && cfg.nranks <= 4096,
+             "nranks must be in [1, 4096] (got %d)", cfg.nranks);
+  MPIV_CHECK(cfg.el_shards >= 1, "el_shards must be >= 1 (got %d)",
+             cfg.el_shards);
+  MPIV_CHECK(cfg.el_shards <= cfg.nranks,
+             "el_shards (%d) cannot exceed nranks (%d)", cfg.el_shards,
+             cfg.nranks);
+  MPIV_CHECK(cfg.el_shards == 1 || cfg.event_logger,
+             "el_shards = %d requires event_logger = true (sharding a "
+             "disabled Event Logger is meaningless)",
+             cfg.el_shards);
+  MPIV_CHECK(cfg.protocol != ProtocolKind::kP4 ||
+                 (cfg.faults.empty() && cfg.faults_per_minute == 0.0),
+             "MPICH-P4 is not fault tolerant");
+  for (const FaultSpec& f : cfg.faults) {
+    MPIV_CHECK(f.rank >= 0 && f.rank < cfg.nranks,
+               "fault plan names rank %d but only ranks 0..%d exist", f.rank,
+               cfg.nranks - 1);
+  }
+  if (cfg.protocol == ProtocolKind::kCoordinated &&
+      cfg.ckpt_policy != ckpt::Policy::kNone) {
+    // Coordinated checkpointing is a global wave by construction.
+    cfg.ckpt_policy = ckpt::Policy::kAllAtOnce;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(validated(std::move(cfg))),
+      layout_{cfg_.nranks, cfg_.el_shards},
+      net_(eng_, layout_.total_nodes(), cfg_.cost),
+      stats_(static_cast<std::size_t>(cfg_.nranks)) {
+  const net::ChannelKind channel = cfg_.protocol == ProtocolKind::kP4
                                        ? net::ChannelKind::kP4
                                        : net::ChannelKind::kV;
-  for (int r = 0; r < cfg.nranks; ++r) {
+  for (int r = 0; r < cfg_.nranks; ++r) {
     ranks_.push_back(std::make_unique<mpi::RankRuntime>(
         eng_, net_, layout_, r, channel, make_protocol(),
-        &stats_[static_cast<std::size_t>(r)], cfg.seed));
+        &stats_[static_cast<std::size_t>(r)], cfg_.seed));
     ranks_.back()->set_process(
         &eng_.create_process("rank" + std::to_string(r)));
   }
-  for (int shard = 0; shard < cfg.el_shards; ++shard) {
+  for (int shard = 0; shard < cfg_.el_shards; ++shard) {
     els_.push_back(
         std::make_unique<elog::EventLogger>(net_, layout_, &el_stats_, shard));
   }
   ckpt_ = std::make_unique<ckpt::CheckpointServer>(net_, layout_);
   sched_ = std::make_unique<ckpt::CheckpointScheduler>(
-      net_, layout_, cfg.ckpt_policy, cfg.ckpt_interval, cfg.seed);
+      net_, layout_, cfg_.ckpt_policy, cfg_.ckpt_interval, cfg_.seed);
 }
 
 Cluster::~Cluster() = default;
 
 std::unique_ptr<ftapi::VProtocol> Cluster::make_protocol() const {
-  switch (cfg_.protocol) {
-    case ProtocolKind::kP4:
-    case ProtocolKind::kVdummy:
-      return std::make_unique<ftapi::Vdummy>();
-    case ProtocolKind::kCausal:
-      return std::make_unique<causal::CausalProtocol>(cfg_.strategy,
-                                                      cfg_.event_logger);
-    case ProtocolKind::kPessimistic:
-      return std::make_unique<pessimist::PessimisticProtocol>();
-    case ProtocolKind::kCoordinated:
-      return std::make_unique<coord::CoordinatedProtocol>();
-  }
-  MPIV_PANIC("bad protocol kind %d", static_cast<int>(cfg_.protocol));
+  return scenario::protocol_entry(cfg_.protocol).make(cfg_);
 }
 
 std::string Cluster::protocol_label() const {
-  switch (cfg_.protocol) {
-    case ProtocolKind::kP4:
-      return "MPICH-P4";
-    case ProtocolKind::kVdummy:
-      return "MPICH-Vdummy";
-    case ProtocolKind::kCausal:
-      return std::string(causal::strategy_kind_name(cfg_.strategy)) +
-             (cfg_.event_logger ? " (EL)" : " (no EL)");
-    case ProtocolKind::kPessimistic:
-      return "Pessimistic";
-    case ProtocolKind::kCoordinated:
-      return "Coordinated (Chandy-Lamport)";
-  }
-  return "?";
+  return scenario::protocol_entry(cfg_.protocol).label(cfg_);
 }
 
 ClusterReport Cluster::run(mpi::AppFactory factory) {

@@ -1,0 +1,375 @@
+#include "scenario/runner.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "scenario/registry.hpp"
+
+namespace mpiv::scenario {
+
+namespace {
+
+/// One cluster execution of a resolved, validated spec.
+struct ClusterRun {
+  runtime::ClusterReport report;
+  std::uint64_t events_executed = 0;
+  std::uint64_t wire_bytes = 0;
+  std::vector<std::uint64_t> checksums;
+  workloads::PingPongResult pingpong;
+  double flops = 0;
+  std::string protocol_label;
+};
+
+ClusterRun run_cluster(const ScenarioSpec& spec) {
+  const WorkloadEntry& entry = workload_registry().at(spec.workload.name);
+  WorkloadInstance wl = entry.make(spec);
+  ClusterRun out;
+  runtime::Cluster cluster(lower(spec));
+  out.protocol_label = cluster.protocol_label();
+  out.report = cluster.run(wl.app);
+  out.events_executed = cluster.engine().events_executed();
+  out.wire_bytes = cluster.network().bytes_sent();
+  if (wl.checksums) out.checksums = wl.checksums->checksums;
+  if (wl.pingpong) out.pingpong = *wl.pingpong;
+  out.flops = wl.flops;
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t RunResult::checksum_digest() const {
+  std::uint64_t d = 0;
+  for (const std::uint64_t c : checksums) d = workloads::word(d, c, 0x5eedULL);
+  return d;
+}
+
+void apply_quick(ScenarioSpec& spec) {
+  for (const auto& [key, value] : spec.quick) {
+    auto axis = spec.sweep.begin();
+    while (axis != spec.sweep.end() && axis->first != key) ++axis;
+    if (axis != spec.sweep.end()) {
+      axis->second = split_list(value);
+      if (axis->second.empty()) {
+        throw SpecError("scenario '" + spec.name + "': quick override for '" +
+                        key + "' empties the sweep axis");
+      }
+    } else {
+      apply_key(spec, key, value);
+    }
+  }
+  spec.quick.clear();
+}
+
+std::vector<RunPoint> expand(const ScenarioSpec& spec) {
+  ScenarioSpec base = spec;
+  const auto axes = base.sweep;
+  base.sweep.clear();
+  base.quick.clear();
+
+  std::vector<RunPoint> points;
+  // Odometer over the cartesian product, first axis slowest.
+  std::vector<std::size_t> idx(axes.size(), 0);
+  while (true) {
+    RunPoint p;
+    p.spec = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const std::string& value = axes[a].second[idx[a]];
+      apply_key(p.spec, axes[a].first, value);
+      p.axes.emplace_back(axes[a].first, value);
+    }
+    try {
+      validate(p.spec);
+    } catch (const SpecError& e) {
+      // An infeasible corner of a cross-product sweep (say, el_shards = 8
+      // crossed with nranks = 4) is a skipped point like a workload/rank
+      // mismatch — only a sweepless spec escalates to an error.
+      if (axes.empty()) throw;
+      p.skipped = true;
+      p.skip_reason = e.what();
+    }
+    if (p.axes.empty()) {
+      p.label = p.spec.name;
+    } else {
+      for (const auto& [axis, value] : p.axes) {
+        if (!p.label.empty()) p.label += ", ";
+        p.label += axis == "variant" ? p.spec.variant.label
+                                     : axis + "=" + value;
+      }
+    }
+    if (!p.skipped) {
+      std::string why;
+      const WorkloadEntry& wl = workload_registry().at(p.spec.workload.name);
+      if (!wl.valid(p.spec, &why)) {
+        p.skipped = true;
+        p.skip_reason = why;
+      }
+    }
+    points.push_back(std::move(p));
+
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++idx[a] < axes[a].second.size()) break;
+      idx[a] = 0;
+      if (a == 0) return points;
+    }
+    if (axes.empty()) return points;
+  }
+}
+
+runtime::ClusterConfig lower(const ScenarioSpec& spec) {
+  runtime::ClusterConfig cfg;
+  cfg.nranks = spec.nranks;
+  cfg.protocol = spec.variant.protocol;
+  cfg.strategy = spec.variant.strategy;
+  cfg.event_logger = spec.variant.event_logger;
+  cfg.el_shards = spec.el_shards;
+  cfg.cost = spec.cost;
+  cfg.seed = spec.seed;
+  cfg.ckpt_policy = spec.ckpt_policy;
+  cfg.ckpt_interval = spec.ckpt_interval;
+  cfg.faults = spec.faults.faults;
+  cfg.faults_per_minute = spec.faults.faults_per_minute;
+  cfg.detection_delay = spec.detection_delay;
+  cfg.max_sim_time = spec.max_sim_time;
+  return cfg;
+}
+
+RunResult run_point(const RunPoint& point) {
+  RunResult r;
+  r.label = point.label;
+  r.axes = point.axes;
+  r.skipped = point.skipped;
+  r.skip_reason = point.skip_reason;
+  if (r.skipped) return r;
+
+  ScenarioSpec spec = point.spec;
+  if (spec.faults.midrun_rank >= 0) {
+    // The paper's "middle of correct execution" protocol: a fault-free
+    // reference pass sizes the crash time for the measured pass.
+    ScenarioSpec ref = spec;
+    ref.faults = FaultPlan{};
+    const ClusterRun ref_run = run_cluster(ref);
+    r.has_reference = true;
+    r.reference_time = ref_run.report.completion_time;
+    r.reference_checksums = ref_run.checksums;
+    if (!ref_run.report.completed) {
+      r.protocol_label = ref_run.protocol_label;
+      r.report = ref_run.report;
+      return r;  // reference never finished; nothing to measure against
+    }
+    spec.faults.faults.push_back(runtime::FaultSpec{
+        static_cast<sim::Time>(static_cast<double>(r.reference_time) *
+                               spec.faults.midrun_frac),
+        spec.faults.midrun_rank});
+    spec.faults.midrun_rank = -1;
+  }
+
+  const ClusterRun run = run_cluster(spec);
+  r.completed = run.report.completed;
+  r.protocol_label = run.protocol_label;
+  r.report = run.report;
+  r.events_executed = run.events_executed;
+  r.wire_bytes = run.wire_bytes;
+  r.checksums = run.checksums;
+  r.pingpong = run.pingpong;
+  r.flops = run.flops;
+  if (r.has_reference) {
+    r.recovered_exact = !r.checksums.empty() &&
+                        r.checksums == r.reference_checksums;
+  }
+  return r;
+}
+
+RunResult run_spec(const ScenarioSpec& spec) {
+  if (!spec.sweep.empty()) {
+    throw SpecError("scenario '" + spec.name +
+                    "': run_spec expects no sweep axes — use run()");
+  }
+  validate(spec);
+  std::vector<RunPoint> points = expand(spec);
+  if (points.front().skipped) {
+    throw SpecError("scenario '" + spec.name + "': " +
+                    points.front().skip_reason);
+  }
+  return run_point(points.front());
+}
+
+RunSet run(const ScenarioSpec& spec, const RunOptions& options) {
+  ScenarioSpec resolved = spec;
+  if (options.quick) {
+    apply_quick(resolved);
+  } else {
+    resolved.quick.clear();
+  }
+  RunSet set;
+  set.scenario = resolved.name;
+  set.origin = "<builder>";
+  set.quick = options.quick;
+  for (const RunPoint& p : expand(resolved)) {
+    RunResult r = run_point(p);
+    if (options.on_result) options.on_result(p, r);
+    set.runs.push_back(std::move(r));
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// JSON report
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  // JSON has no inf/nan.
+  if (std::string(buf).find_first_of("in") != std::string::npos) return "null";
+  return buf;
+}
+
+void write_run(std::ostringstream& out, const RunResult& r,
+               const std::string& indent) {
+  auto key = [&out, &indent](const char* k) -> std::ostringstream& {
+    out << indent << "  ";
+    json_escape(out, k);
+    out << ": ";
+    return out;
+  };
+  out << indent << "{\n";
+  key("label");
+  json_escape(out, r.label);
+  out << ",\n";
+  key("axes") << "{";
+  for (std::size_t i = 0; i < r.axes.size(); ++i) {
+    if (i) out << ", ";
+    json_escape(out, r.axes[i].first);
+    out << ": ";
+    json_escape(out, r.axes[i].second);
+  }
+  out << "},\n";
+  if (r.skipped) {
+    key("skipped") << "true,\n";
+    key("skip_reason");
+    json_escape(out, r.skip_reason);
+    out << "\n" << indent << "}";
+    return;
+  }
+  key("skipped") << "false,\n";
+  key("protocol");
+  json_escape(out, r.protocol_label);
+  out << ",\n";
+  key("completed") << (r.completed ? "true" : "false") << ",\n";
+  key("sim_time_s") << json_num(r.sim_seconds()) << ",\n";
+  key("faults_injected") << r.report.faults_injected << ",\n";
+  const ftapi::RankStats t = r.report.totals();
+  key("app_msgs") << t.app_msgs_sent << ",\n";
+  key("app_bytes") << t.app_bytes_sent << ",\n";
+  key("pb_events") << t.pb_events_sent << ",\n";
+  key("pb_bytes") << t.pb_bytes_sent << ",\n";
+  key("pb_pct") << json_num(r.report.piggyback_pct()) << ",\n";
+  key("pb_send_cpu_s") << json_num(sim::to_sec(t.pb_send_cpu)) << ",\n";
+  key("pb_recv_cpu_s") << json_num(sim::to_sec(t.pb_recv_cpu)) << ",\n";
+  key("events_executed") << r.events_executed << ",\n";
+  key("wire_bytes") << r.wire_bytes << ",\n";
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(r.checksum_digest()));
+    key("checksum");
+    json_escape(out, buf);
+    out << ",\n";
+  }
+  if (r.flops > 0) {
+    key("mops") << json_num(r.mops()) << ",\n";
+  }
+  key("el") << "{\"events_stored\": " << r.report.el_stats.events_stored
+            << ", \"acks_sent\": " << r.report.el_stats.acks_sent
+            << ", \"peak_queue\": " << r.report.el_stats.peak_queue
+            << ", \"mean_ack_us\": " << json_num(t.el_ack_latency_us.mean())
+            << "},\n";
+  key("recovery") << "{\"events\": " << t.recovery_events
+                  << ", \"collect_ms\": "
+                  << json_num(sim::to_ms(t.recovery_collect_time))
+                  << ", \"total_ms\": "
+                  << json_num(sim::to_ms(t.recovery_total_time)) << "}";
+  if (r.has_reference) {
+    out << ",\n";
+    key("reference") << "{\"sim_time_s\": "
+                     << json_num(sim::to_sec(r.reference_time))
+                     << ", \"recovered_exact\": "
+                     << (r.recovered_exact ? "true" : "false") << "}";
+  }
+  if (!r.pingpong.points.empty()) {
+    out << ",\n";
+    key("points") << "[";
+    for (std::size_t i = 0; i < r.pingpong.points.size(); ++i) {
+      const auto& p = r.pingpong.points[i];
+      if (i) out << ", ";
+      out << "{\"bytes\": " << p.bytes
+          << ", \"latency_us\": " << json_num(p.latency_us)
+          << ", \"bandwidth_mbps\": " << json_num(p.bandwidth_mbps) << "}";
+    }
+    out << "]";
+  }
+  out << "\n" << indent << "}";
+}
+
+void write_set(std::ostringstream& out, const RunSet& set,
+               const std::string& indent) {
+  out << indent << "{\n";
+  out << indent << "  \"scenario\": ";
+  json_escape(out, set.scenario);
+  out << ",\n" << indent << "  \"origin\": ";
+  json_escape(out, set.origin);
+  out << ",\n" << indent << "  \"quick\": " << (set.quick ? "true" : "false");
+  out << ",\n" << indent << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < set.runs.size(); ++i) {
+    write_run(out, set.runs[i], indent + "    ");
+    out << (i + 1 < set.runs.size() ? ",\n" : "\n");
+  }
+  out << indent << "  ]\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string to_json(const RunSet& set) {
+  std::ostringstream out;
+  write_set(out, set, "");
+  out << "\n";
+  return out.str();
+}
+
+std::string to_json(const std::vector<RunSet>& sets) {
+  std::ostringstream out;
+  out << "{\n  \"reports\": [\n";
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    write_set(out, sets[i], "    ");
+    out << (i + 1 < sets.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace mpiv::scenario

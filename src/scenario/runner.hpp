@@ -1,0 +1,98 @@
+// Scenario execution: sweep expansion, lowering onto runtime::Cluster, and
+// the machine-readable report `mpiv_run` and the bench harness share.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "workloads/apps.hpp"
+
+namespace mpiv::scenario {
+
+/// One fully-resolved point of a scenario's sweep.
+struct RunPoint {
+  ScenarioSpec spec;
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> axes;
+  bool skipped = false;       // workload can't run at this point (e.g. BT/2)
+  std::string skip_reason;
+};
+
+/// Everything one cluster run produced, plus the reference run when the
+/// point uses the midrun-fault protocol.
+struct RunResult {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> axes;
+  bool skipped = false;
+  std::string skip_reason;
+
+  bool completed = false;
+  std::string protocol_label;
+  runtime::ClusterReport report;
+  std::uint64_t events_executed = 0;  // sim::Engine scheduling trace
+  std::uint64_t wire_bytes = 0;       // every byte on the fabric
+  std::vector<std::uint64_t> checksums;  // per-rank workload checksums
+  workloads::PingPongResult pingpong;    // filled by the pingpong workload
+  double flops = 0;                      // executed flops (nas), else 0
+
+  // Midrun-fault reference (fault-free pass of the same spec).
+  bool has_reference = false;
+  sim::Time reference_time = 0;
+  std::vector<std::uint64_t> reference_checksums;
+  bool recovered_exact = false;  // checksums == reference_checksums
+
+  double sim_seconds() const { return sim::to_sec(report.completion_time); }
+  double mops() const {
+    return flops > 0 && report.completion_time > 0
+               ? flops / sim::to_sec(report.completion_time) / 1e6
+               : 0.0;
+  }
+  /// Order-sensitive digest over the per-rank checksums (the determinism
+  /// fingerprint component).
+  std::uint64_t checksum_digest() const;
+};
+
+/// The report of one scenario execution.
+struct RunSet {
+  std::string scenario;
+  std::string origin;  // scenario file path or "<builder>"
+  bool quick = false;
+  std::vector<RunResult> runs;
+};
+
+/// Applies the [quick] overrides in place: a key naming a sweep axis
+/// replaces that axis (comma lists stay axes), anything else applies as a
+/// scalar setting.
+void apply_quick(ScenarioSpec& spec);
+
+/// Expands the sweep axes (cartesian, declaration order) into validated
+/// run points. Throws SpecError if any point fails validation; points
+/// whose workload rejects the rank count come back `skipped`.
+std::vector<RunPoint> expand(const ScenarioSpec& spec);
+
+/// Lowers a resolved spec onto the internal config (field-for-field; the
+/// determinism goldens pin this mapping).
+runtime::ClusterConfig lower(const ScenarioSpec& spec);
+
+/// Runs one point (including its reference pass in midrun-fault mode).
+RunResult run_point(const RunPoint& point);
+
+/// Validates, resolves and runs a single non-sweep spec.
+RunResult run_spec(const ScenarioSpec& spec);
+
+struct RunOptions {
+  bool quick = false;
+  /// Called after each point completes (progress reporting).
+  std::function<void(const RunPoint&, const RunResult&)> on_result;
+};
+
+/// Expands and runs a whole scenario.
+RunSet run(const ScenarioSpec& spec, const RunOptions& options = {});
+
+/// Serializes a report as JSON (the mpiv_run output format).
+std::string to_json(const RunSet& set);
+std::string to_json(const std::vector<RunSet>& sets);
+
+}  // namespace mpiv::scenario

@@ -1,0 +1,557 @@
+// Spec plumbing: typed parameter access, the shared key=value mutation
+// path, the scenario text format, and build-time validation.
+#include "scenario/spec.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/registry.hpp"
+
+namespace mpiv::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* expected) {
+  throw SpecError("bad value '" + value + "' for '" + key + "' (expected " +
+                  expected + ")");
+}
+
+std::int64_t parse_i64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(value, &used);
+    if (trim(value.substr(used)).empty()) return v;
+  } catch (const std::exception&) {
+  }
+  bad_value(key, value, "an integer");
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    if (!value.empty() && value[0] != '-') {
+      const std::uint64_t v = std::stoull(value, &used, 0);
+      if (trim(value.substr(used)).empty()) return v;
+    }
+  } catch (const std::exception&) {
+  }
+  bad_value(key, value, "an unsigned integer");
+}
+
+double parse_f64(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (trim(value.substr(used)).empty()) return v;
+  } catch (const std::exception&) {
+  }
+  bad_value(key, value, "a number");
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "on" || value == "1" || value == "yes") {
+    return true;
+  }
+  if (value == "false" || value == "off" || value == "0" || value == "no") {
+    return false;
+  }
+  bad_value(key, value, "a boolean (true/false)");
+}
+
+/// Durations accept a unit suffix: "250ms", "5s", "32us", "123456ns";
+/// a bare number is nanoseconds.
+sim::Time parse_time(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(value, &used);
+  } catch (const std::exception&) {
+    bad_value(key, value, "a duration like 250ms / 5s / 32us");
+  }
+  const std::string unit = trim(value.substr(used));
+  if (unit.empty() || unit == "ns") return static_cast<sim::Time>(v);
+  if (unit == "us") return sim::from_us(v);
+  if (unit == "ms") return sim::from_ms(v);
+  if (unit == "s") return sim::from_sec(v);
+  if (unit == "min") return static_cast<sim::Time>(v * sim::kMinute);
+  if (unit == "h") return static_cast<sim::Time>(v * 60 * sim::kMinute);
+  bad_value(key, value, "a duration like 250ms / 5s / 32us");
+}
+
+ckpt::Policy parse_policy(const std::string& key, const std::string& value) {
+  if (value == "none") return ckpt::Policy::kNone;
+  if (value == "round-robin") return ckpt::Policy::kRoundRobin;
+  if (value == "random") return ckpt::Policy::kRandom;
+  if (value == "all-at-once") return ckpt::Policy::kAllAtOnce;
+  bad_value(key, value, "none / round-robin / random / all-at-once");
+}
+
+std::string protocol_name(runtime::ProtocolKind kind) {
+  for (const auto& entry : protocols().entries()) {
+    if (entry.second.kind == kind) return entry.first;
+  }
+  return "?";
+}
+
+std::string strategy_name(causal::StrategyKind kind) {
+  for (const auto& entry : strategies().entries()) {
+    if (entry.second.kind == kind) return entry.first;
+  }
+  return "?";
+}
+
+/// Recomputes the canonical name + label after a piecemeal edit
+/// (protocol / strategy / event_logger keys).
+void refresh_variant(VariantSpec& v) {
+  if (v.protocol == runtime::ProtocolKind::kCausal) {
+    const StrategyEntry& s = strategy_entry(v.strategy);
+    v.name = strategy_name(v.strategy) + (v.event_logger ? ":el" : ":noel");
+    v.label = std::string(s.display) + (v.event_logger ? " (EL)" : " (no EL)");
+  } else {
+    const ProtocolEntry& p = protocol_entry(v.protocol);
+    v.name = protocol_name(v.protocol);
+    runtime::ClusterConfig tmp;
+    tmp.protocol = v.protocol;
+    v.label = p.label(tmp);
+  }
+}
+
+/// `cost.*` keys: the calibration knobs scenarios are allowed to retune.
+bool apply_cost_key(net::CostModel& cost, const std::string& key,
+                    const std::string& value) {
+  if (key == "cost.bandwidth_mbps") {
+    cost.bandwidth_bps = parse_f64(key, value) * 1e6;
+  } else if (key == "cost.wire_latency") {
+    cost.wire_latency = parse_time(key, value);
+  } else if (key == "cost.el_service") {
+    cost.el_service = parse_time(key, value);
+  } else if (key == "cost.el_ack_build") {
+    cost.el_ack_build = parse_time(key, value);
+  } else if (key == "cost.mlog_send_fixed") {
+    cost.mlog_send_fixed = parse_time(key, value);
+  } else if (key == "cost.mlog_recv_fixed") {
+    cost.mlog_recv_fixed = parse_time(key, value);
+  } else if (key == "cost.eager_threshold") {
+    cost.eager_threshold = parse_u64(key, value);
+  } else if (key == "cost.node_gflops") {
+    cost.node_gflops = parse_f64(key, value);
+  } else if (key == "cost.ckpt_disk_mbps") {
+    cost.ckpt_disk_bps = parse_f64(key, value) * 1e6 * 8;
+  } else if (key == "cost.slog_ns_per_byte") {
+    cost.slog_ns_per_byte = parse_f64(key, value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::string> split_list(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string tok = trim(csv.substr(pos, comma - pos));
+    if (!tok.empty()) out.push_back(tok);
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::int64_t WorkloadSpec::get_int(const std::string& key,
+                                   std::int64_t fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : parse_i64("workload." + key, it->second);
+}
+
+std::uint64_t WorkloadSpec::get_u64(const std::string& key,
+                                    std::uint64_t fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : parse_u64("workload." + key, it->second);
+}
+
+double WorkloadSpec::get_double(const std::string& key, double fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback
+                            : parse_f64("workload." + key, it->second);
+}
+
+std::string WorkloadSpec::get_str(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+void apply_key(ScenarioSpec& spec, const std::string& raw_key,
+               const std::string& raw_value) {
+  const std::string key = trim(raw_key);
+  const std::string value = trim(raw_value);
+  if (key == "name") {
+    spec.name = value;
+  } else if (key == "notes") {
+    spec.notes = value;
+  } else if (key == "variant") {
+    spec.variant = parse_variant(value);
+  } else if (key == "protocol") {
+    spec.variant.protocol = protocols().at(value).kind;
+    refresh_variant(spec.variant);
+  } else if (key == "strategy") {
+    spec.variant.strategy = strategies().at(value).kind;
+    refresh_variant(spec.variant);
+  } else if (key == "event_logger") {
+    spec.variant.event_logger = parse_bool(key, value);
+    refresh_variant(spec.variant);
+  } else if (key == "nranks") {
+    spec.nranks = static_cast<int>(parse_i64(key, value));
+  } else if (key == "el_shards") {
+    spec.el_shards = static_cast<int>(parse_i64(key, value));
+    spec.el_shards_set = true;
+  } else if (key == "seed") {
+    spec.seed = parse_u64(key, value);
+  } else if (key == "ckpt_policy") {
+    spec.ckpt_policy = parse_policy(key, value);
+  } else if (key == "ckpt_interval") {
+    spec.ckpt_interval = parse_time(key, value);
+  } else if (key == "detection_delay") {
+    spec.detection_delay = parse_time(key, value);
+  } else if (key == "max_sim_time") {
+    spec.max_sim_time = parse_time(key, value);
+  } else if (key == "faults_per_minute") {
+    spec.faults.faults_per_minute = parse_f64(key, value);
+  } else if (key == "fault") {
+    // "<time>:<rank>", e.g. "120ms:1" — repeat the key for more faults.
+    const std::size_t colon = value.rfind(':');
+    if (colon == std::string::npos) bad_value(key, value, "'<time>:<rank>'");
+    spec.faults.faults.push_back(runtime::FaultSpec{
+        parse_time(key, value.substr(0, colon)),
+        static_cast<int>(parse_i64(key, value.substr(colon + 1)))});
+  } else if (key == "midrun_fault_rank") {
+    spec.faults.midrun_rank = static_cast<int>(parse_i64(key, value));
+  } else if (key == "midrun_fault_frac") {
+    spec.faults.midrun_frac = parse_f64(key, value);
+  } else if (key == "workload") {
+    // Same contract as ScenarioBuilder::workload(): switching workloads
+    // drops the previous workload's parameters.
+    spec.workload.name = value;
+    spec.workload.params.clear();
+  } else if (key == "nas") {
+    // Compound NAS selector "<kernel>:<class>:<scale>" — one sweep axis
+    // value carries the kernel together with its calibrated scale.
+    const std::size_t c1 = value.find(':');
+    const std::size_t c2 = c1 == std::string::npos ? c1 : value.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      bad_value(key, value, "'<kernel>:<class>:<scale>' like bt:A:0.15");
+    }
+    spec.workload.name = "nas";
+    spec.workload.params.clear();
+    spec.workload.params["kernel"] = trim(value.substr(0, c1));
+    spec.workload.params["class"] = trim(value.substr(c1 + 1, c2 - c1 - 1));
+    spec.workload.params["scale"] = trim(value.substr(c2 + 1));
+  } else if (key.rfind("workload.", 0) == 0) {
+    spec.workload.params[key.substr(sizeof("workload.") - 1)] = value;
+  } else if (key.rfind("cost.", 0) == 0) {
+    if (!apply_cost_key(spec.cost, key, value)) {
+      throw SpecError("unknown cost key '" + key + "'");
+    }
+  } else {
+    throw SpecError("unknown scenario key '" + key + "'");
+  }
+}
+
+ScenarioSpec parse_scenario_text(const std::string& text,
+                                 const std::string& origin) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::string section = "scenario";
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    try {
+      if (line.front() == '[') {
+        if (line.back() != ']') throw SpecError("unterminated section header");
+        section = trim(line.substr(1, line.size() - 2));
+        if (section != "scenario" && section != "cost" && section != "sweep" &&
+            section != "quick") {
+          throw SpecError("unknown section [" + section +
+                          "] (use [scenario], [cost], [sweep], [quick])");
+        }
+        continue;
+      }
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        throw SpecError("expected 'key = value', got '" + line + "'");
+      }
+      const std::string key = trim(line.substr(0, eq));
+      const std::string value = trim(line.substr(eq + 1));
+      if (key.empty()) throw SpecError("empty key");
+      if (section == "scenario") {
+        apply_key(spec, key, value);
+      } else if (section == "cost") {
+        apply_key(spec, "cost." + key, value);
+      } else if (section == "sweep") {
+        const std::vector<std::string> values = split_list(value);
+        if (values.empty()) {
+          throw SpecError("sweep axis '" + key + "' has no values");
+        }
+        spec.sweep.emplace_back(key, values);
+      } else {  // quick
+        spec.quick.emplace_back(key, value);
+      }
+    } catch (const SpecError& e) {
+      throw SpecError(origin + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw SpecError("cannot open scenario file '" + path + "'");
+  std::ostringstream body;
+  body << f.rdbuf();
+  ScenarioSpec spec = parse_scenario_text(body.str(), path);
+  if (spec.name == "unnamed") {
+    // Default the name to the file stem.
+    std::string stem = path;
+    if (const std::size_t slash = stem.find_last_of('/'); slash != std::string::npos) {
+      stem = stem.substr(slash + 1);
+    }
+    if (const std::size_t dot = stem.find_last_of('.'); dot != std::string::npos) {
+      stem = stem.substr(0, dot);
+    }
+    spec.name = stem;
+  }
+  return spec;
+}
+
+std::string to_scenario_text(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  out << "[scenario]\n";
+  out << "name = " << spec.name << "\n";
+  if (!spec.notes.empty()) out << "notes = " << spec.notes << "\n";
+  out << "variant = " << spec.variant.name << "\n";
+  out << "nranks = " << spec.nranks << "\n";
+  if (spec.el_shards_set) out << "el_shards = " << spec.el_shards << "\n";
+  out << "seed = " << spec.seed << "\n";
+  if (spec.ckpt_policy != ckpt::Policy::kNone || spec.ckpt_interval != 0) {
+    out << "ckpt_policy = " << ckpt::policy_name(spec.ckpt_policy) << "\n";
+    out << "ckpt_interval = " << spec.ckpt_interval << "ns\n";
+  }
+  out << "detection_delay = " << spec.detection_delay << "ns\n";
+  out << "max_sim_time = " << spec.max_sim_time << "ns\n";
+  if (spec.faults.faults_per_minute > 0) {
+    out << "faults_per_minute = " << num(spec.faults.faults_per_minute) << "\n";
+  }
+  for (const runtime::FaultSpec& f : spec.faults.faults) {
+    out << "fault = " << f.at << "ns:" << f.rank << "\n";
+  }
+  if (spec.faults.midrun_rank >= 0) {
+    out << "midrun_fault_rank = " << spec.faults.midrun_rank << "\n";
+    out << "midrun_fault_frac = " << num(spec.faults.midrun_frac) << "\n";
+  }
+  out << "workload = " << spec.workload.name << "\n";
+  for (const auto& [k, v] : spec.workload.params) {
+    out << "workload." << k << " = " << v << "\n";
+  }
+  // The [cost] section is emitted only when a supported knob differs from
+  // the calibrated default.
+  const net::CostModel def{};
+  std::ostringstream cost_body;
+  const net::CostModel& c = spec.cost;
+  if (c.bandwidth_bps != def.bandwidth_bps) {
+    cost_body << "bandwidth_mbps = " << num(c.bandwidth_bps / 1e6) << "\n";
+  }
+  if (c.wire_latency != def.wire_latency) {
+    cost_body << "wire_latency = " << c.wire_latency << "ns\n";
+  }
+  if (c.el_service != def.el_service) {
+    cost_body << "el_service = " << c.el_service << "ns\n";
+  }
+  if (c.el_ack_build != def.el_ack_build) {
+    cost_body << "el_ack_build = " << c.el_ack_build << "ns\n";
+  }
+  if (c.mlog_send_fixed != def.mlog_send_fixed) {
+    cost_body << "mlog_send_fixed = " << c.mlog_send_fixed << "ns\n";
+  }
+  if (c.mlog_recv_fixed != def.mlog_recv_fixed) {
+    cost_body << "mlog_recv_fixed = " << c.mlog_recv_fixed << "ns\n";
+  }
+  if (c.eager_threshold != def.eager_threshold) {
+    cost_body << "eager_threshold = " << c.eager_threshold << "\n";
+  }
+  if (c.node_gflops != def.node_gflops) {
+    cost_body << "node_gflops = " << num(c.node_gflops) << "\n";
+  }
+  if (c.ckpt_disk_bps != def.ckpt_disk_bps) {
+    cost_body << "ckpt_disk_mbps = " << num(c.ckpt_disk_bps / 8 / 1e6) << "\n";
+  }
+  if (c.slog_ns_per_byte != def.slog_ns_per_byte) {
+    cost_body << "slog_ns_per_byte = " << num(c.slog_ns_per_byte) << "\n";
+  }
+  if (!cost_body.str().empty()) {
+    out << "\n[cost]\n" << cost_body.str();
+  }
+  if (!spec.sweep.empty()) {
+    out << "\n[sweep]\n";
+    for (const auto& [axis, values] : spec.sweep) {
+      out << axis << " = ";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        out << (i ? ", " : "") << values[i];
+      }
+      out << "\n";
+    }
+  }
+  if (!spec.quick.empty()) {
+    out << "\n[quick]\n";
+    for (const auto& [k, v] : spec.quick) out << k << " = " << v << "\n";
+  }
+  return out.str();
+}
+
+void validate(const ScenarioSpec& spec) {
+  auto fail = [&spec](const std::string& what) {
+    throw SpecError("scenario '" + spec.name + "': " + what);
+  };
+  if (spec.nranks <= 0) {
+    fail("nranks must be positive (got " + std::to_string(spec.nranks) + ")");
+  }
+  if (spec.nranks > 4096) {
+    fail("nranks " + std::to_string(spec.nranks) + " exceeds the 4096 limit");
+  }
+  if (spec.el_shards < 1) {
+    fail("el_shards must be >= 1 (got " + std::to_string(spec.el_shards) + ")");
+  }
+  if (spec.el_shards > spec.nranks) {
+    fail("el_shards (" + std::to_string(spec.el_shards) +
+         ") cannot exceed nranks (" + std::to_string(spec.nranks) + ")");
+  }
+  if (spec.el_shards_set && spec.el_shards > 1 && !spec.variant.event_logger) {
+    // Mirrors the Cluster-level check: one shard means no sharding, so an
+    // explicit el_shards = 1 stays legal without an event logger.
+    fail("el_shards = " + std::to_string(spec.el_shards) + " but variant '" +
+         spec.variant.name +
+         "' disables the event logger — sharding needs event_logger = true");
+  }
+  if (spec.variant.protocol == runtime::ProtocolKind::kP4 &&
+      spec.faults.any()) {
+    fail("MPICH-P4 is not fault tolerant — remove the fault plan");
+  }
+  for (const runtime::FaultSpec& f : spec.faults.faults) {
+    if (f.rank < 0 || f.rank >= spec.nranks) {
+      fail("fault plan names rank " + std::to_string(f.rank) +
+           " but only ranks 0.." + std::to_string(spec.nranks - 1) + " exist");
+    }
+    if (f.at < 0) fail("fault time must be >= 0");
+  }
+  if (spec.faults.midrun_rank >= spec.nranks) {
+    fail("midrun fault names rank " + std::to_string(spec.faults.midrun_rank) +
+         " but only ranks 0.." + std::to_string(spec.nranks - 1) + " exist");
+  }
+  if (spec.faults.midrun_rank >= 0 &&
+      (spec.faults.midrun_frac <= 0 || spec.faults.midrun_frac >= 1)) {
+    fail("midrun_fault_frac must be in (0, 1)");
+  }
+  if (spec.faults.faults_per_minute < 0) {
+    fail("faults_per_minute must be >= 0");
+  }
+  if (spec.ckpt_interval < 0) fail("ckpt_interval must be >= 0");
+  const WorkloadEntry& wl = workload_registry().at(spec.workload.name);
+  for (const auto& [param, value] : spec.workload.params) {
+    bool known = false;
+    for (const char* k : wl.params) known = known || param == k;
+    if (!known) {
+      std::string msg = "workload '" + spec.workload.name +
+                        "' has no parameter '" + param + "' (parameters: ";
+      for (std::size_t i = 0; i < wl.params.size(); ++i) {
+        if (i) msg += ", ";
+        msg += wl.params[i];
+      }
+      fail(msg + ")");
+    }
+  }
+}
+
+ScenarioBuilder& ScenarioBuilder::wparam(const std::string& key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return wparam(key, std::string(buf));
+}
+
+ScenarioBuilder& ScenarioBuilder::ring(int laps, std::uint64_t token_bytes) {
+  return workload("ring")
+      .wparam("laps", laps)
+      .wparam("bytes", token_bytes);
+}
+
+ScenarioBuilder& ScenarioBuilder::random_any(int iterations,
+                                             std::uint64_t wseed,
+                                             std::uint64_t bytes) {
+  return workload("random_any")
+      .wparam("iters", iterations)
+      .wparam("seed", wseed)
+      .wparam("bytes", bytes);
+}
+
+ScenarioBuilder& ScenarioBuilder::random_then_ring(int rand_iters,
+                                                   int ring_laps,
+                                                   std::uint64_t wseed,
+                                                   std::uint64_t bytes) {
+  return workload("random_then_ring")
+      .wparam("rand_iters", rand_iters)
+      .wparam("ring_laps", ring_laps)
+      .wparam("seed", wseed)
+      .wparam("bytes", bytes);
+}
+
+ScenarioBuilder& ScenarioBuilder::pingpong(
+    const std::vector<std::uint64_t>& sizes, int reps) {
+  std::string csv;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i) csv += ",";
+    csv += std::to_string(sizes[i]);
+  }
+  return workload("pingpong").wparam("sizes", csv).wparam("reps", reps);
+}
+
+ScenarioBuilder& ScenarioBuilder::nas(workloads::NasKernel kernel,
+                                      workloads::NasClass klass, double scale) {
+  const char* kname = "cg";
+  switch (kernel) {
+    case workloads::NasKernel::kBT: kname = "bt"; break;
+    case workloads::NasKernel::kCG: kname = "cg"; break;
+    case workloads::NasKernel::kLU: kname = "lu"; break;
+    case workloads::NasKernel::kFT: kname = "ft"; break;
+    case workloads::NasKernel::kMG: kname = "mg"; break;
+    case workloads::NasKernel::kSP: kname = "sp"; break;
+  }
+  return workload("nas")
+      .wparam("kernel", std::string(kname))
+      .wparam("class", std::string(1, workloads::nas_class_letter(klass)))
+      .wparam("scale", scale);
+}
+
+}  // namespace mpiv::scenario

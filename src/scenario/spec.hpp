@@ -1,0 +1,224 @@
+// Declarative experiment specs (the paper's comparison matrix as data).
+//
+// A ScenarioSpec names everything one experiment varies — protocol variant,
+// EL topology, cost model, checkpoint policy, fault plan, workload, sweep
+// axes — in registry-resolved strings, so a scenario is equally expressible
+// as fluent C++ (ScenarioBuilder), a text file (parse_scenario_file, the
+// `mpiv_run` driver), or a sweep axis value. runtime::ClusterConfig remains
+// the *lowered* form: scenario::lower() maps a validated spec onto it
+// field-for-field, so a spec-driven run is byte-identical to a hand-built
+// ClusterConfig run (tests/test_determinism.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ckpt/scheduler.hpp"
+#include "runtime/cluster.hpp"
+#include "workloads/nas.hpp"
+
+namespace mpiv::scenario {
+
+/// Recoverable configuration error: unknown names, out-of-range values,
+/// malformed scenario files. (MPIV_CHECK aborts; spec validation must be
+/// reportable to the user instead.)
+class SpecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One protocol variant of the evaluation, lowered from a name such as
+/// "p4", "vdummy", "pessimistic", "coordinated", "vcausal:el",
+/// "manetho:noel". Causal strategies default to ":el" when unsuffixed.
+struct VariantSpec {
+  std::string name = "vdummy";  // canonical registry name
+  std::string label = "MPICH-Vdummy";
+  runtime::ProtocolKind protocol = runtime::ProtocolKind::kVdummy;
+  causal::StrategyKind strategy = causal::StrategyKind::kVcausal;
+  bool event_logger = true;
+};
+
+/// Registry-resolved workload plus its string-typed parameters (exact for
+/// the integral knobs every bundled workload uses).
+struct WorkloadSpec {
+  std::string name = "ring";
+  std::map<std::string, std::string> params;
+
+  bool has(const std::string& key) const { return params.count(key) != 0; }
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_str(const std::string& key, const std::string& fallback) const;
+};
+
+/// When and whom to crash. `midrun_rank >= 0` is the paper's "middle of
+/// correct execution" protocol: the runner first executes a fault-free
+/// reference, then reruns with a crash of that rank at
+/// `midrun_frac * reference completion time`.
+struct FaultPlan {
+  std::vector<runtime::FaultSpec> faults;
+  double faults_per_minute = 0.0;
+  int midrun_rank = -1;
+  double midrun_frac = 0.5;
+
+  bool any() const {
+    return !faults.empty() || faults_per_minute > 0 || midrun_rank >= 0;
+  }
+};
+
+/// The full declarative experiment description. Field defaults mirror
+/// runtime::ClusterConfig so an empty spec lowers to the seed defaults.
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::string notes;
+
+  VariantSpec variant;
+  int nranks = 4;
+  bool el_shards_set = false;  // true once el_shards was explicitly chosen
+  int el_shards = 1;
+  std::uint64_t seed = 1;
+  net::CostModel cost{};
+
+  ckpt::Policy ckpt_policy = ckpt::Policy::kNone;
+  sim::Time ckpt_interval = 0;
+
+  FaultPlan faults;
+  sim::Time detection_delay = 250 * sim::kMillisecond;
+  sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
+
+  WorkloadSpec workload;
+
+  /// Cartesian sweep axes in declaration order: each key is any scalar
+  /// spec key ("variant", "nranks", "el_shards", "workload.kernel", ...).
+  std::vector<std::pair<std::string, std::vector<std::string>>> sweep;
+
+  /// Overrides applied in quick mode (mpiv_run --quick / CI smoke). A key
+  /// that names a sweep axis replaces that axis.
+  std::vector<std::pair<std::string, std::string>> quick;
+};
+
+/// Resolves a variant name through the protocol/strategy registries.
+/// Throws SpecError for unknown names, listing what is registered.
+VariantSpec parse_variant(const std::string& name);
+
+/// Applies one textual `key = value` setting to the spec — the single
+/// mutation path shared by the file parser, sweep expansion and quick
+/// overlays. Throws SpecError on unknown keys or unparsable values.
+void apply_key(ScenarioSpec& spec, const std::string& key,
+               const std::string& value);
+
+/// Splits a comma-separated value list, trimming each element (the sweep-
+/// axis and quick-overlay tokenizer).
+std::vector<std::string> split_list(const std::string& csv);
+
+/// Parses the `mpiv_run` scenario text format (INI-style sections
+/// [scenario] / [cost] / [sweep] / [quick], '#' comments). Throws
+/// SpecError with file:line context on malformed input.
+ScenarioSpec parse_scenario_text(const std::string& text,
+                                 const std::string& origin = "<string>");
+ScenarioSpec parse_scenario_file(const std::string& path);
+
+/// Serializes a spec back to scenario-file text (parse round-trip).
+std::string to_scenario_text(const ScenarioSpec& spec);
+
+/// Validates a fully-resolved spec (no sweep axes considered). Throws
+/// SpecError naming the scenario and the offending field.
+void validate(const ScenarioSpec& spec);
+
+/// Fluent, validating construction — the C++ face of the scenario API.
+/// Every setter returns *this; build() validates and throws SpecError.
+class ScenarioBuilder {
+ public:
+  explicit ScenarioBuilder(std::string name = "unnamed") {
+    spec_.name = std::move(name);
+  }
+
+  ScenarioBuilder& notes(std::string n) { spec_.notes = std::move(n); return *this; }
+  /// Compound variant name ("vcausal:el", "p4", ...).
+  ScenarioBuilder& variant(const std::string& v) {
+    spec_.variant = parse_variant(v);
+    return *this;
+  }
+  ScenarioBuilder& nranks(int n) { spec_.nranks = n; return *this; }
+  ScenarioBuilder& el_shards(int n) {
+    spec_.el_shards = n;
+    spec_.el_shards_set = true;
+    return *this;
+  }
+  ScenarioBuilder& seed(std::uint64_t s) { spec_.seed = s; return *this; }
+  ScenarioBuilder& cost(const net::CostModel& c) { spec_.cost = c; return *this; }
+  ScenarioBuilder& checkpoint(ckpt::Policy policy, sim::Time interval) {
+    spec_.ckpt_policy = policy;
+    spec_.ckpt_interval = interval;
+    return *this;
+  }
+  ScenarioBuilder& fault_at(sim::Time at, int rank) {
+    spec_.faults.faults.push_back(runtime::FaultSpec{at, rank});
+    return *this;
+  }
+  ScenarioBuilder& fault_rate(double per_minute) {
+    spec_.faults.faults_per_minute = per_minute;
+    return *this;
+  }
+  ScenarioBuilder& midrun_fault(int rank, double frac = 0.5) {
+    spec_.faults.midrun_rank = rank;
+    spec_.faults.midrun_frac = frac;
+    return *this;
+  }
+  ScenarioBuilder& detection_delay(sim::Time t) { spec_.detection_delay = t; return *this; }
+  ScenarioBuilder& max_sim_time(sim::Time t) { spec_.max_sim_time = t; return *this; }
+
+  ScenarioBuilder& workload(const std::string& name) {
+    spec_.workload.name = name;
+    spec_.workload.params.clear();
+    return *this;
+  }
+  ScenarioBuilder& wparam(const std::string& key, const std::string& value) {
+    spec_.workload.params[key] = value;
+    return *this;
+  }
+  ScenarioBuilder& wparam(const std::string& key, std::uint64_t value) {
+    return wparam(key, std::to_string(value));
+  }
+  ScenarioBuilder& wparam(const std::string& key, int value) {
+    return wparam(key, std::to_string(value));
+  }
+  ScenarioBuilder& wparam(const std::string& key, double value);
+
+  // Bundled-workload conveniences.
+  ScenarioBuilder& ring(int laps, std::uint64_t token_bytes);
+  ScenarioBuilder& random_any(int iterations, std::uint64_t wseed,
+                              std::uint64_t bytes);
+  ScenarioBuilder& random_then_ring(int rand_iters, int ring_laps,
+                                    std::uint64_t wseed, std::uint64_t bytes);
+  ScenarioBuilder& pingpong(const std::vector<std::uint64_t>& sizes, int reps);
+  ScenarioBuilder& nas(workloads::NasKernel kernel, workloads::NasClass klass,
+                       double scale);
+
+  /// Adds a cartesian sweep axis (expanded by scenario::expand / run).
+  ScenarioBuilder& sweep(const std::string& key,
+                         const std::vector<std::string>& values) {
+    spec_.sweep.emplace_back(key, values);
+    return *this;
+  }
+  /// Generic textual setting — same key space as scenario files.
+  ScenarioBuilder& set(const std::string& key, const std::string& value) {
+    apply_key(spec_, key, value);
+    return *this;
+  }
+
+  /// Validates and returns the finished spec. Throws SpecError.
+  ScenarioSpec build() const {
+    validate(spec_);
+    return spec_;
+  }
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace mpiv::scenario

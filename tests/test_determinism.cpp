@@ -1,17 +1,20 @@
-// Determinism-regression fingerprints for the hot-path storage/engine work.
+// Determinism-regression fingerprints for the hot-path storage/engine work
+// — now driven through the scenario layer.
 //
 // Runs one small mixed workload (wildcard traffic, then a ring) under every
-// causal strategy with and without the Event Logger and asserts that the
+// causal variant with and without the Event Logger and asserts that the
 // simulation fingerprint — events executed, wire bytes, piggyback bytes —
 // is byte-identical to golden values recorded before the sequence-indexed
 // storage and engine-lane rewrites. Any storage or scheduling change that
 // alters *semantics* (rather than host-side speed) moves at least one of
 // these counters; a refactor that keeps them is provably behaviour-
-// preserving for everything the paper measures.
+// preserving for everything the paper measures. Because the runs are built
+// from ScenarioSpecs, the goldens also pin the spec -> ClusterConfig
+// lowering: if the scenario layer lowered anything differently from the
+// hand-built configs these values were recorded with, every row would move.
 #include <gtest/gtest.h>
 
-#include "runtime/cluster.hpp"
-#include "workloads/apps.hpp"
+#include "scenario/runner.hpp"
 
 namespace mpiv {
 namespace {
@@ -23,65 +26,58 @@ struct Fingerprint {
   std::uint64_t checksum = 0;         // order-sensitive app checksum
 };
 
-Fingerprint run_variant(causal::StrategyKind strategy, bool el, bool ckpt) {
-  runtime::ClusterConfig cfg;
-  cfg.nranks = 4;
-  cfg.protocol = runtime::ProtocolKind::kCausal;
-  cfg.strategy = strategy;
-  cfg.event_logger = el;
-  cfg.seed = 7;
+Fingerprint run_variant(const char* variant, bool ckpt) {
+  scenario::ScenarioBuilder b("determinism");
+  b.variant(variant).nranks(4).seed(7);
   if (ckpt) {
     // Round-robin checkpoints exercise the GC paths: sender-log pruning,
     // Event Logger pruning, and stable-clock advances on the stores.
-    cfg.ckpt_policy = ckpt::Policy::kRoundRobin;
-    cfg.ckpt_interval = 5 * sim::kMillisecond;
+    b.checkpoint(ckpt::Policy::kRoundRobin, 5 * sim::kMillisecond);
+    b.random_any(/*iterations=*/24, /*wseed=*/7, /*bytes=*/2048);
+  } else {
+    b.random_then_ring(/*rand_iters=*/6, /*ring_laps=*/4, /*wseed=*/7,
+                       /*bytes=*/2048);
   }
-  auto result = std::make_shared<workloads::ChecksumResult>(cfg.nranks);
-  runtime::Cluster cluster(cfg);
-  runtime::ClusterReport rep = cluster.run(
-      ckpt ? workloads::make_random_any_app(24, 7, 2048, result)
-           : workloads::make_random_then_ring_app(6, 4, 7, 2048, result));
-  EXPECT_TRUE(rep.completed);
+  const scenario::RunResult r = scenario::run_spec(b.build());
+  EXPECT_TRUE(r.completed);
   Fingerprint fp;
-  fp.events_executed = cluster.engine().events_executed();
-  fp.wire_bytes = cluster.network().bytes_sent();
-  fp.pb_bytes = rep.totals().pb_bytes_sent;
-  for (std::uint64_t c : result->checksums) fp.checksum = workloads::word(fp.checksum, c, 0x5eedULL);
+  fp.events_executed = r.events_executed;
+  fp.wire_bytes = r.wire_bytes;
+  fp.pb_bytes = r.report.totals().pb_bytes_sent;
+  fp.checksum = r.checksum_digest();
   return fp;
 }
 
 struct Golden {
-  causal::StrategyKind strategy;
-  bool el;
+  const char* variant;
   bool ckpt;
   Fingerprint fp;
 };
 
 // Recorded from the pre-refactor tree (std::map storage, std::function
-// engine). The refactor must reproduce these exactly.
+// engine, hand-built ClusterConfigs). The scenario lowering must
+// reproduce these exactly.
 const Golden kGolden[] = {
-    {causal::StrategyKind::kVcausal, true, false, {1431ull, 113312ull, 5016ull, 0xd2b99efda9bae7f3ull}},
-    {causal::StrategyKind::kVcausal, false, false, {730ull, 98120ull, 8832ull, 0xa1c6926540643335ull}},
-    {causal::StrategyKind::kManetho, true, false, {1431ull, 113312ull, 5016ull, 0xd2b99efda9bae7f3ull}},
-    {causal::StrategyKind::kManetho, false, false, {730ull, 97798ull, 8510ull, 0xa1c6926540643335ull}},
-    {causal::StrategyKind::kLogOn, true, false, {1431ull, 113560ull, 5264ull, 0xd2b99efda9bae7f3ull}},
-    {causal::StrategyKind::kLogOn, false, false, {730ull, 99616ull, 10328ull, 0xa1c6926540643335ull}},
-    {causal::StrategyKind::kVcausal, true, true, {6818ull, 4784224ull, 11968ull, 0x85929bbaddbf9432ull}},
-    {causal::StrategyKind::kManetho, true, true, {6819ull, 4784224ull, 11968ull, 0x85929bbaddbf9432ull}},
-    {causal::StrategyKind::kLogOn, true, true, {6819ull, 4784832ull, 12576ull, 0x85929bbaddbf9432ull}},
+    {"vcausal:el", false, {1431ull, 113312ull, 5016ull, 0xd2b99efda9bae7f3ull}},
+    {"vcausal:noel", false, {730ull, 98120ull, 8832ull, 0xa1c6926540643335ull}},
+    {"manetho:el", false, {1431ull, 113312ull, 5016ull, 0xd2b99efda9bae7f3ull}},
+    {"manetho:noel", false, {730ull, 97798ull, 8510ull, 0xa1c6926540643335ull}},
+    {"logon:el", false, {1431ull, 113560ull, 5264ull, 0xd2b99efda9bae7f3ull}},
+    {"logon:noel", false, {730ull, 99616ull, 10328ull, 0xa1c6926540643335ull}},
+    {"vcausal:el", true, {6818ull, 4784224ull, 11968ull, 0x85929bbaddbf9432ull}},
+    {"manetho:el", true, {6819ull, 4784224ull, 11968ull, 0x85929bbaddbf9432ull}},
+    {"logon:el", true, {6819ull, 4784832ull, 12576ull, 0x85929bbaddbf9432ull}},
 };
 
 TEST(Determinism, FingerprintMatchesGolden) {
   for (const Golden& g : kGolden) {
-    const Fingerprint fp = run_variant(g.strategy, g.el, g.ckpt);
+    const Fingerprint fp = run_variant(g.variant, g.ckpt);
     SCOPED_TRACE(testing::Message()
-                 << causal::strategy_kind_name(g.strategy)
-                 << (g.el ? " (EL)" : " (no EL)") << (g.ckpt ? " +ckpt" : ""));
+                 << g.variant << (g.ckpt ? " +ckpt" : ""));
     if (g.fp.events_executed == 0) {
       // Recording mode: goldens not yet baked in — print what to record.
-      std::printf("GOLDEN {causal::StrategyKind::k%s, %s, %s, {%lluull, %lluull, %lluull, 0x%llxull}},\n",
-                  causal::strategy_kind_name(g.strategy), g.el ? "true" : "false",
-                  g.ckpt ? "true" : "false",
+      std::printf("GOLDEN {\"%s\", %s, {%lluull, %lluull, %lluull, 0x%llxull}},\n",
+                  g.variant, g.ckpt ? "true" : "false",
                   static_cast<unsigned long long>(fp.events_executed),
                   static_cast<unsigned long long>(fp.wire_bytes),
                   static_cast<unsigned long long>(fp.pb_bytes),
@@ -100,12 +96,37 @@ TEST(Determinism, FingerprintMatchesGolden) {
 // process must produce identical fingerprints (catches hidden global state
 // or address-dependent ordering in the storage containers).
 TEST(Determinism, RepeatRunIsIdentical) {
-  const Fingerprint a = run_variant(causal::StrategyKind::kManetho, true, true);
-  const Fingerprint b = run_variant(causal::StrategyKind::kManetho, true, true);
+  const Fingerprint a = run_variant("manetho:el", true);
+  const Fingerprint b = run_variant("manetho:el", true);
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(a.wire_bytes, b.wire_bytes);
   EXPECT_EQ(a.pb_bytes, b.pb_bytes);
   EXPECT_EQ(a.checksum, b.checksum);
+}
+
+// A scenario spec that parses from text lowers to the exact same run as
+// the equivalent builder spec (the file format is a faithful face of the
+// API, not an approximation).
+TEST(Determinism, ParsedScenarioMatchesBuilderScenario) {
+  const char* text =
+      "[scenario]\n"
+      "name = determinism\n"
+      "variant = manetho:el\n"
+      "nranks = 4\n"
+      "seed = 7\n"
+      "ckpt_policy = round-robin\n"
+      "ckpt_interval = 5ms\n"
+      "workload = random_any\n"
+      "workload.iters = 24\n"
+      "workload.seed = 7\n"
+      "workload.bytes = 2048\n";
+  const scenario::RunResult r =
+      scenario::run_spec(scenario::parse_scenario_text(text));
+  const Fingerprint direct = run_variant("manetho:el", true);
+  EXPECT_EQ(r.events_executed, direct.events_executed);
+  EXPECT_EQ(r.wire_bytes, direct.wire_bytes);
+  EXPECT_EQ(r.report.totals().pb_bytes_sent, direct.pb_bytes);
+  EXPECT_EQ(r.checksum_digest(), direct.checksum);
 }
 
 }  // namespace

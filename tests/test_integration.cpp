@@ -1,112 +1,74 @@
-// End-to-end tests of the full MPICH-V stack: fault-free runs across all
-// protocols produce identical application checksums, and — the crux of
-// message logging — runs with injected crashes reproduce the exact
-// fault-free results, including for wildcard (MPI_ANY_SOURCE) receptions
-// whose delivery order only a correct determinant replay can reproduce.
+// End-to-end tests of the full MPICH-V stack, driven through the scenario
+// API: fault-free runs across all protocols produce identical application
+// checksums, and — the crux of message logging — runs with injected
+// crashes reproduce the exact fault-free results, including for wildcard
+// (MPI_ANY_SOURCE) receptions whose delivery order only a correct
+// determinant replay can reproduce.
 #include <gtest/gtest.h>
 
-#include "runtime/cluster.hpp"
-#include "workloads/apps.hpp"
+#include "scenario/runner.hpp"
 
 namespace mpiv {
 namespace {
 
-using runtime::Cluster;
-using runtime::ClusterConfig;
-using runtime::ClusterReport;
-using runtime::FaultSpec;
-using runtime::ProtocolKind;
-using workloads::ChecksumResult;
+using scenario::RunResult;
+using scenario::ScenarioBuilder;
 
-struct RunOutput {
-  ClusterReport report;
-  ChecksumResult checksums{0};
-};
-
-RunOutput run_ring(ClusterConfig cfg, int laps = 40) {
-  auto result = std::make_shared<ChecksumResult>(cfg.nranks);
-  Cluster cluster(cfg);
-  ClusterReport rep =
-      cluster.run(workloads::make_ring_app(laps, 4096, result));
-  return {rep, *result};
+RunResult run_ring(const scenario::ScenarioSpec& spec) {
+  return scenario::run_spec(spec);
 }
 
-RunOutput run_random(ClusterConfig cfg, int iters = 30) {
-  auto result = std::make_shared<ChecksumResult>(cfg.nranks);
-  Cluster cluster(cfg);
-  ClusterReport rep =
-      cluster.run(workloads::make_random_any_app(iters, 42, 2048, result));
-  return {rep, *result};
-}
-
-ClusterConfig base_cfg(ProtocolKind p, int nranks = 4) {
-  ClusterConfig cfg;
-  cfg.nranks = nranks;
-  cfg.protocol = p;
-  cfg.ckpt_policy = ckpt::Policy::kRoundRobin;
-  cfg.ckpt_interval = 50 * sim::kMillisecond;
-  return cfg;
+ScenarioBuilder base_scenario(const char* variant, int nranks = 4) {
+  ScenarioBuilder b("integration");
+  b.variant(variant)
+      .nranks(nranks)
+      .checkpoint(ckpt::Policy::kRoundRobin, 50 * sim::kMillisecond)
+      .ring(/*laps=*/40, /*token_bytes=*/4096);
+  return b;
 }
 
 TEST(FaultFree, VdummyRingCompletes) {
-  RunOutput out = run_ring(base_cfg(ProtocolKind::kVdummy));
-  ASSERT_TRUE(out.report.completed);
-  for (const std::uint64_t c : out.checksums.checksums) EXPECT_NE(c, 0u);
+  const RunResult out = run_ring(base_scenario("vdummy").build());
+  ASSERT_TRUE(out.completed);
+  for (const std::uint64_t c : out.checksums) EXPECT_NE(c, 0u);
 }
 
 TEST(FaultFree, AllProtocolsAgreeOnRingChecksums) {
-  const RunOutput ref = run_ring(base_cfg(ProtocolKind::kVdummy));
-  ASSERT_TRUE(ref.report.completed);
-  for (ProtocolKind p : {ProtocolKind::kP4, ProtocolKind::kCausal,
-                         ProtocolKind::kPessimistic, ProtocolKind::kCoordinated}) {
-    for (bool el : {true, false}) {
-      if (p != ProtocolKind::kCausal && !el) continue;
-      ClusterConfig cfg = base_cfg(p);
-      cfg.event_logger = el;
-      RunOutput out = run_ring(cfg);
-      ASSERT_TRUE(out.report.completed)
-          << "protocol " << static_cast<int>(p) << " el=" << el;
-      EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums)
-          << "protocol " << static_cast<int>(p) << " el=" << el;
-    }
+  const RunResult ref = run_ring(base_scenario("vdummy").build());
+  ASSERT_TRUE(ref.completed);
+  for (const char* v : {"p4", "vcausal:el", "vcausal:noel", "pessimistic",
+                        "coordinated"}) {
+    const RunResult out = run_ring(base_scenario(v).build());
+    ASSERT_TRUE(out.completed) << "variant " << v;
+    EXPECT_EQ(out.checksums, ref.checksums) << "variant " << v;
   }
 }
 
 TEST(FaultFree, CausalStrategiesAgree) {
-  const RunOutput ref = run_ring(base_cfg(ProtocolKind::kVdummy));
-  for (causal::StrategyKind s :
-       {causal::StrategyKind::kVcausal, causal::StrategyKind::kManetho,
-        causal::StrategyKind::kLogOn}) {
-    for (bool el : {true, false}) {
-      ClusterConfig cfg = base_cfg(ProtocolKind::kCausal);
-      cfg.strategy = s;
-      cfg.event_logger = el;
-      RunOutput out = run_ring(cfg);
-      ASSERT_TRUE(out.report.completed);
-      EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums)
-          << causal::strategy_kind_name(s) << " el=" << el;
-    }
+  const RunResult ref = run_ring(base_scenario("vdummy").build());
+  for (const char* v : {"vcausal:el", "vcausal:noel", "manetho:el",
+                        "manetho:noel", "logon:el", "logon:noel"}) {
+    const RunResult out = run_ring(base_scenario(v).build());
+    ASSERT_TRUE(out.completed);
+    EXPECT_EQ(out.checksums, ref.checksums) << v;
   }
 }
 
 // The central correctness claim: a crash + recovery reproduces the exact
-// fault-free execution results.
-class FaultRecovery
-    : public ::testing::TestWithParam<std::tuple<causal::StrategyKind, bool>> {};
+// fault-free execution results. Parameterized over the scenario variant
+// names of the six causal configurations.
+class FaultRecovery : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(FaultRecovery, RingSurvivesMidRunCrash) {
-  const auto [strategy, el] = GetParam();
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal);
-  cfg.strategy = strategy;
-  cfg.event_logger = el;
-  const RunOutput ref = run_ring(cfg);
-  ASSERT_TRUE(ref.report.completed);
+  ScenarioBuilder b = base_scenario(GetParam());
+  const RunResult ref = run_ring(b.build());
+  ASSERT_TRUE(ref.completed);
 
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 2, 1});
-  RunOutput out = run_ring(cfg);
-  ASSERT_TRUE(out.report.completed);
+  b.fault_at(ref.report.completion_time / 2, 1);
+  const RunResult out = run_ring(b.build());
+  ASSERT_TRUE(out.completed);
   EXPECT_EQ(out.report.faults_injected, 1u);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  EXPECT_EQ(out.checksums, ref.checksums);
   EXPECT_GE(out.report.completion_time, ref.report.completion_time);
 }
 
@@ -116,111 +78,117 @@ TEST_P(FaultRecovery, WildcardReplayReproducesDeliveryOrder) {
   // phase 1 from determinants. The order-sensitive checksum matches the
   // fault-free run iff every nondeterministic delivery order was replayed
   // exactly.
-  const auto [strategy, el] = GetParam();
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal, 6);
-  cfg.ckpt_policy = ckpt::Policy::kNone;
-  cfg.ckpt_interval = 0;
-  cfg.strategy = strategy;
-  cfg.event_logger = el;
-  auto run_it = [&cfg] {
-    auto result = std::make_shared<ChecksumResult>(cfg.nranks);
-    Cluster cluster(cfg);
-    ClusterReport rep = cluster.run(
-        workloads::make_random_then_ring_app(12, 30, 42, 2048, result));
-    return RunOutput{rep, *result};
-  };
-  const RunOutput ref = run_it();
-  ASSERT_TRUE(ref.report.completed);
+  ScenarioBuilder b("integration");
+  b.variant(GetParam())
+      .nranks(6)
+      .random_then_ring(/*rand_iters=*/12, /*ring_laps=*/30, /*wseed=*/42,
+                        /*bytes=*/2048);
+  const RunResult ref = scenario::run_spec(b.build());
+  ASSERT_TRUE(ref.completed);
 
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time * 3 / 4, 2});
-  RunOutput out = run_it();
-  ASSERT_TRUE(out.report.completed);
+  b.fault_at(ref.report.completion_time * 3 / 4, 2);
+  const RunResult out = scenario::run_spec(b.build());
+  ASSERT_TRUE(out.completed);
   EXPECT_EQ(out.report.faults_injected, 1u);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  EXPECT_EQ(out.checksums, ref.checksums);
 }
 
 TEST_P(FaultRecovery, WildcardFaultRunIsDeterministic) {
   // A faulted wildcard run may legitimately diverge from the fault-free
   // order *after* the crash, but it must itself be reproducible.
-  const auto [strategy, el] = GetParam();
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal, 6);
-  cfg.strategy = strategy;
-  cfg.event_logger = el;
-  cfg.faults.push_back(FaultSpec{120 * sim::kMillisecond, 2});
-  const RunOutput a = run_random(cfg);
-  const RunOutput b = run_random(cfg);
-  ASSERT_TRUE(a.report.completed);
-  ASSERT_TRUE(b.report.completed);
-  EXPECT_EQ(a.checksums.checksums, b.checksums.checksums);
-  EXPECT_EQ(a.report.completion_time, b.report.completion_time);
+  ScenarioBuilder b("integration");
+  b.variant(GetParam())
+      .nranks(6)
+      .checkpoint(ckpt::Policy::kRoundRobin, 50 * sim::kMillisecond)
+      .random_any(/*iterations=*/30, /*wseed=*/42, /*bytes=*/2048)
+      .fault_at(120 * sim::kMillisecond, 2);
+  const RunResult a = scenario::run_spec(b.build());
+  const RunResult b_run = scenario::run_spec(b.build());
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b_run.completed);
+  EXPECT_EQ(a.checksums, b_run.checksums);
+  EXPECT_EQ(a.report.completion_time, b_run.report.completion_time);
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    AllStrategies, FaultRecovery,
-    ::testing::Combine(::testing::Values(causal::StrategyKind::kVcausal,
-                                         causal::StrategyKind::kManetho,
-                                         causal::StrategyKind::kLogOn),
-                       ::testing::Bool()),
-    [](const auto& info) {
-      return std::string(causal::strategy_kind_name(std::get<0>(info.param))) +
-             (std::get<1>(info.param) ? "_EL" : "_noEL");
-    });
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FaultRecovery,
+                         ::testing::Values("vcausal:el", "vcausal:noel",
+                                           "manetho:el", "manetho:noel",
+                                           "logon:el", "logon:noel"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           const std::size_t colon = name.find(':');
+                           return name.substr(0, colon) + "_" +
+                                  (name.substr(colon + 1) == "el" ? "EL"
+                                                                  : "noEL");
+                         });
 
 TEST(FaultRecovery, PessimisticSurvivesCrash) {
-  ClusterConfig cfg = base_cfg(ProtocolKind::kPessimistic);
-  const RunOutput ref = run_ring(cfg);
-  ASSERT_TRUE(ref.report.completed);
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 2, 0});
-  RunOutput out = run_ring(cfg);
-  ASSERT_TRUE(out.report.completed);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ScenarioBuilder b = base_scenario("pessimistic");
+  const RunResult ref = run_ring(b.build());
+  ASSERT_TRUE(ref.completed);
+  b.fault_at(ref.report.completion_time / 2, 0);
+  const RunResult out = run_ring(b.build());
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.checksums, ref.checksums);
 }
 
 TEST(FaultRecovery, CoordinatedRollsEveryoneBack) {
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCoordinated);
-  cfg.ckpt_policy = ckpt::Policy::kAllAtOnce;
-  cfg.ckpt_interval = 80 * sim::kMillisecond;
-  const RunOutput ref = run_ring(cfg);
-  ASSERT_TRUE(ref.report.completed);
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 2, 3});
-  RunOutput out = run_ring(cfg);
-  ASSERT_TRUE(out.report.completed);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ScenarioBuilder b = base_scenario("coordinated");
+  b.checkpoint(ckpt::Policy::kAllAtOnce, 80 * sim::kMillisecond);
+  const RunResult ref = run_ring(b.build());
+  ASSERT_TRUE(ref.completed);
+  b.fault_at(ref.report.completion_time / 2, 3);
+  const RunResult out = run_ring(b.build());
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.checksums, ref.checksums);
   EXPECT_GT(out.report.completion_time, ref.report.completion_time);
 }
 
 TEST(FaultRecovery, CrashBeforeFirstCheckpointRestartsFromScratch) {
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal);
-  cfg.ckpt_policy = ckpt::Policy::kNone;  // no checkpoints at all
-  cfg.ckpt_interval = 0;
-  const RunOutput ref = run_ring(cfg);
-  ASSERT_TRUE(ref.report.completed);
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 2, 1});
-  RunOutput out = run_ring(cfg);
-  ASSERT_TRUE(out.report.completed);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ScenarioBuilder b = base_scenario("vcausal:el");
+  b.checkpoint(ckpt::Policy::kNone, 0);  // no checkpoints at all
+  const RunResult ref = run_ring(b.build());
+  ASSERT_TRUE(ref.completed);
+  b.fault_at(ref.report.completion_time / 2, 1);
+  const RunResult out = run_ring(b.build());
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.checksums, ref.checksums);
 }
 
 TEST(FaultRecovery, TwoSequentialFaults) {
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal);
-  const RunOutput ref = run_ring(cfg, 60);
-  ASSERT_TRUE(ref.report.completed);
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 4, 1});
-  cfg.faults.push_back(FaultSpec{ref.report.completion_time / 2, 2});
-  RunOutput out = run_ring(cfg, 60);
-  ASSERT_TRUE(out.report.completed);
+  ScenarioBuilder b = base_scenario("vcausal:el");
+  b.ring(/*laps=*/60, /*token_bytes=*/4096);
+  const RunResult ref = run_ring(b.build());
+  ASSERT_TRUE(ref.completed);
+  b.fault_at(ref.report.completion_time / 4, 1);
+  b.fault_at(ref.report.completion_time / 2, 2);
+  const RunResult out = run_ring(b.build());
+  ASSERT_TRUE(out.completed);
   EXPECT_EQ(out.report.faults_injected, 2u);
-  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  EXPECT_EQ(out.checksums, ref.checksums);
+}
+
+TEST(FaultRecovery, MidrunFaultModeMatchesExplicitFault) {
+  // The runner's midrun-fault mode (reference + crash at half completion)
+  // is exactly the two-run pattern above, packaged.
+  ScenarioBuilder b = base_scenario("vcausal:el");
+  b.midrun_fault(/*rank=*/1);
+  const RunResult out = scenario::run_spec(b.build());
+  ASSERT_TRUE(out.completed);
+  ASSERT_TRUE(out.has_reference);
+  EXPECT_EQ(out.report.faults_injected, 1u);
+  EXPECT_TRUE(out.recovered_exact);
+  EXPECT_GE(out.report.completion_time, out.reference_time);
 }
 
 TEST(Determinism, IdenticalConfigIdenticalCompletionTime) {
-  ClusterConfig cfg = base_cfg(ProtocolKind::kCausal);
-  cfg.faults.push_back(FaultSpec{200 * sim::kMillisecond, 1});
-  const RunOutput a = run_ring(cfg);
-  const RunOutput b = run_ring(cfg);
-  ASSERT_TRUE(a.report.completed);
-  EXPECT_EQ(a.report.completion_time, b.report.completion_time);
-  EXPECT_EQ(a.checksums.checksums, b.checksums.checksums);
+  ScenarioBuilder b = base_scenario("vcausal:el");
+  b.fault_at(200 * sim::kMillisecond, 1);
+  const RunResult a = run_ring(b.build());
+  const RunResult c = run_ring(b.build());
+  ASSERT_TRUE(a.completed);
+  EXPECT_EQ(a.report.completion_time, c.report.completion_time);
+  EXPECT_EQ(a.checksums, c.checksums);
 }
 
 }  // namespace

@@ -1,0 +1,502 @@
+// Tests for the scenario layer: builder validation, registry lookups,
+// scenario-file parse round-trips, sweep expansion (cartesian + skip
+// semantics), quick overlays, lowering, and the JSON report shape.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+
+namespace mpiv {
+namespace {
+
+using scenario::ScenarioBuilder;
+using scenario::ScenarioSpec;
+using scenario::SpecError;
+
+std::string error_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const SpecError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation (build() must reject, with actionable messages)
+// ---------------------------------------------------------------------------
+
+TEST(Builder, RejectsNonPositiveRanks) {
+  const std::string msg =
+      error_of([] { ScenarioBuilder("t").nranks(0).build(); });
+  EXPECT_NE(msg.find("nranks must be positive"), std::string::npos) << msg;
+  EXPECT_THROW(ScenarioBuilder("t").nranks(-3).build(), SpecError);
+}
+
+TEST(Builder, RejectsBadShardCounts) {
+  const std::string msg = error_of(
+      [] { ScenarioBuilder("t").variant("vcausal:el").el_shards(0).build(); });
+  EXPECT_NE(msg.find("el_shards must be >= 1"), std::string::npos) << msg;
+  // More shards than ranks is impossible to place.
+  EXPECT_THROW(
+      ScenarioBuilder("t").variant("vcausal:el").nranks(4).el_shards(8).build(),
+      SpecError);
+}
+
+TEST(Builder, RejectsShardsWithoutEventLogger) {
+  const std::string msg = error_of([] {
+    ScenarioBuilder("t").variant("vcausal:noel").nranks(8).el_shards(2).build();
+  });
+  EXPECT_NE(msg.find("disables the event logger"), std::string::npos) << msg;
+  // Unset shards with a no-EL variant stays fine, and so does an explicit
+  // el_shards = 1 (no sharding) — matching the Cluster-level check.
+  EXPECT_NO_THROW(ScenarioBuilder("t").variant("vcausal:noel").build());
+  EXPECT_NO_THROW(
+      ScenarioBuilder("t").variant("vcausal:noel").el_shards(1).build());
+}
+
+TEST(Builder, RejectsFaultPlanNamingMissingRank) {
+  const std::string msg = error_of([] {
+    ScenarioBuilder("t").nranks(4).variant("vcausal:el").fault_at(1000, 4).build();
+  });
+  EXPECT_NE(msg.find("names rank 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("0..3"), std::string::npos) << msg;
+  EXPECT_THROW(
+      ScenarioBuilder("t").nranks(4).variant("vcausal:el").midrun_fault(9).build(),
+      SpecError);
+}
+
+TEST(Builder, RejectsFaultsUnderP4) {
+  EXPECT_THROW(ScenarioBuilder("t").variant("p4").fault_at(10, 0).build(),
+               SpecError);
+}
+
+TEST(Builder, RejectsUnknownWorkloadParameters) {
+  const std::string msg = error_of([] {
+    ScenarioBuilder("t").workload("ring").wparam("lapz", 20).build();
+  });
+  EXPECT_NE(msg.find("no parameter 'lapz'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("laps, bytes"), std::string::npos) << msg;
+}
+
+TEST(Builder, SwitchingWorkloadsDropsStaleParameters) {
+  // The textual path (apply_key / scenario files / --set) matches the
+  // builder contract: a new workload name clears the old workload's
+  // parameters instead of leaking them into the new one.
+  ScenarioSpec spec = scenario::parse_scenario_text(
+      "workload = random_any\n"
+      "workload.bytes = 1111\n"
+      "workload = ring\n");
+  EXPECT_TRUE(spec.workload.params.empty());
+  scenario::apply_key(spec, "nas", "lu:A:0.1");
+  EXPECT_EQ(spec.workload.params.size(), 3u);  // kernel/class/scale only
+}
+
+TEST(Builder, AcceptsTheDefaultSpec) {
+  const ScenarioSpec spec = ScenarioBuilder("defaults").build();
+  EXPECT_EQ(spec.nranks, 4);
+  EXPECT_EQ(spec.variant.protocol, runtime::ProtocolKind::kVdummy);
+  EXPECT_EQ(spec.workload.name, "ring");
+}
+
+// ---------------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ResolvesKnownNames) {
+  EXPECT_EQ(scenario::protocols().at("p4").kind, runtime::ProtocolKind::kP4);
+  EXPECT_EQ(scenario::strategies().at("manetho").kind,
+            causal::StrategyKind::kManetho);
+  EXPECT_NE(scenario::workload_registry().find("nas"), nullptr);
+  EXPECT_EQ(scenario::workload_registry().find("no_such_thing"), nullptr);
+}
+
+TEST(Registry, UnknownNameErrorListsWhatIsRegistered) {
+  const std::string msg =
+      error_of([] { scenario::strategies().at("vclausal"); });
+  EXPECT_NE(msg.find("unknown strategy 'vclausal'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("vcausal"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("logon"), std::string::npos) << msg;
+}
+
+TEST(Registry, StrategyFactoryResolvesThroughRegistry) {
+  // causal::make_strategy is now a registry lookup; names must agree.
+  auto s = causal::make_strategy(causal::StrategyKind::kLogOn);
+  EXPECT_STREQ(s->name(), "LogOn");
+  EXPECT_STREQ(causal::strategy_kind_name(causal::StrategyKind::kVcausal),
+               "Vcausal");
+}
+
+TEST(Registry, VariantNamesParse) {
+  const scenario::VariantSpec v = scenario::parse_variant("manetho:noel");
+  EXPECT_EQ(v.protocol, runtime::ProtocolKind::kCausal);
+  EXPECT_EQ(v.strategy, causal::StrategyKind::kManetho);
+  EXPECT_FALSE(v.event_logger);
+  EXPECT_EQ(v.label, "Manetho (no EL)");
+  // Unsuffixed causal strategies default to the EL being on.
+  EXPECT_TRUE(scenario::parse_variant("vcausal").event_logger);
+  EXPECT_THROW(scenario::parse_variant("p4:noel"), SpecError);
+  const std::string msg =
+      error_of([] { scenario::parse_variant("mpich-p5"); });
+  EXPECT_NE(msg.find("unknown variant"), std::string::npos) << msg;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario file format
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioFile, ParseRoundTripPreservesTheSpec) {
+  ScenarioBuilder b("roundtrip");
+  net::CostModel cost;
+  cost.el_service = 120 * sim::kMicrosecond;
+  b.variant("logon:el")
+      .nranks(9)
+      .el_shards(3)
+      .seed(42)
+      .cost(cost)
+      .checkpoint(ckpt::Policy::kRandom, 75 * sim::kMillisecond)
+      .fault_at(120 * sim::kMillisecond, 2)
+      .fault_rate(0.5)
+      .nas(workloads::NasKernel::kBT, workloads::NasClass::kA, 0.15)
+      .sweep("nranks", {"4", "9", "16"});
+  const ScenarioSpec spec = b.build();
+
+  const ScenarioSpec reparsed =
+      scenario::parse_scenario_text(scenario::to_scenario_text(spec));
+  EXPECT_EQ(reparsed.name, spec.name);
+  EXPECT_EQ(reparsed.variant.name, spec.variant.name);
+  EXPECT_EQ(reparsed.variant.protocol, spec.variant.protocol);
+  EXPECT_EQ(reparsed.variant.strategy, spec.variant.strategy);
+  EXPECT_EQ(reparsed.nranks, spec.nranks);
+  EXPECT_EQ(reparsed.el_shards, spec.el_shards);
+  EXPECT_EQ(reparsed.seed, spec.seed);
+  EXPECT_EQ(reparsed.cost.el_service, spec.cost.el_service);
+  EXPECT_EQ(reparsed.ckpt_policy, spec.ckpt_policy);
+  EXPECT_EQ(reparsed.ckpt_interval, spec.ckpt_interval);
+  ASSERT_EQ(reparsed.faults.faults.size(), 1u);
+  EXPECT_EQ(reparsed.faults.faults[0].at, spec.faults.faults[0].at);
+  EXPECT_EQ(reparsed.faults.faults[0].rank, spec.faults.faults[0].rank);
+  EXPECT_DOUBLE_EQ(reparsed.faults.faults_per_minute, 0.5);
+  EXPECT_EQ(reparsed.workload.name, "nas");
+  EXPECT_EQ(reparsed.workload.params, spec.workload.params);
+  ASSERT_EQ(reparsed.sweep.size(), 1u);
+  EXPECT_EQ(reparsed.sweep[0].first, "nranks");
+  EXPECT_EQ(reparsed.sweep[0].second,
+            (std::vector<std::string>{"4", "9", "16"}));
+}
+
+TEST(ScenarioFile, ParseErrorsCarryFileAndLine) {
+  const std::string msg = error_of([] {
+    scenario::parse_scenario_text("[scenario]\nnranks = 4\nbogus_key = 1\n",
+                                  "demo.scn");
+  });
+  EXPECT_NE(msg.find("demo.scn:3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unknown scenario key 'bogus_key'"), std::string::npos)
+      << msg;
+  EXPECT_THROW(scenario::parse_scenario_text("[nonsense]\n"), SpecError);
+  EXPECT_THROW(scenario::parse_scenario_text("no equals sign\n"), SpecError);
+  EXPECT_THROW(scenario::parse_scenario_text("nranks = twelve\n"), SpecError);
+}
+
+TEST(ScenarioFile, DurationsAndCommentsParse) {
+  const ScenarioSpec spec = scenario::parse_scenario_text(
+      "# comment\n"
+      "ckpt_policy = round-robin   # trailing comment\n"
+      "ckpt_interval = 75ms\n"
+      "detection_delay = 250us\n"
+      "max_sim_time = 2h\n");
+  EXPECT_EQ(spec.ckpt_policy, ckpt::Policy::kRoundRobin);
+  EXPECT_EQ(spec.ckpt_interval, 75 * sim::kMillisecond);
+  EXPECT_EQ(spec.detection_delay, 250 * sim::kMicrosecond);
+  EXPECT_EQ(spec.max_sim_time, 2LL * 3600 * sim::kSecond);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep expansion and quick overlays
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, CartesianExpansionWithSkips) {
+  ScenarioSpec spec = scenario::parse_scenario_text(
+      "workload = nas\n"
+      "nas = bt:A:0.1\n"
+      "[sweep]\n"
+      "nranks = 2, 4, 9\n"
+      "variant = vcausal:el, manetho:el\n");
+  const std::vector<scenario::RunPoint> points = scenario::expand(spec);
+  ASSERT_EQ(points.size(), 6u);  // 3 x 2
+  // BT needs square rank counts: the nranks=2 points are skipped, not lost.
+  EXPECT_TRUE(points[0].skipped);
+  EXPECT_NE(points[0].skip_reason.find("BT"), std::string::npos);
+  EXPECT_FALSE(points[2].skipped);  // nranks=4
+  EXPECT_EQ(points[2].spec.nranks, 4);
+  EXPECT_EQ(points[2].spec.variant.strategy, causal::StrategyKind::kVcausal);
+  EXPECT_EQ(points[3].spec.variant.strategy, causal::StrategyKind::kManetho);
+  EXPECT_NE(points[3].label.find("Manetho (EL)"), std::string::npos);
+  EXPECT_NE(points[3].label.find("nranks=4"), std::string::npos);
+}
+
+TEST(Sweep, InfeasibleSweepCornersAreSkippedNotFatal) {
+  // A cross-product sweep may have corners the spec validator rejects
+  // (8 shards on 4 ranks, shards crossed with a no-EL variant); those
+  // become skipped points with the validation message as the reason,
+  // while the feasible corners still run.
+  ScenarioSpec spec = scenario::parse_scenario_text(
+      "nranks = 4\n"
+      "[sweep]\n"
+      "variant = vcausal:el, vcausal:noel\n"
+      "el_shards = 1, 8\n");
+  const std::vector<scenario::RunPoint> points = scenario::expand(spec);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_FALSE(points[0].skipped);  // el, 1 shard
+  EXPECT_TRUE(points[1].skipped);   // el, 8 shards > 4 ranks
+  EXPECT_NE(points[1].skip_reason.find("cannot exceed"), std::string::npos);
+  EXPECT_FALSE(points[2].skipped);  // noel, 1 shard (no sharding)
+  EXPECT_TRUE(points[3].skipped);   // noel, 8 shards
+  // A sweepless spec still escalates the same failure to an error.
+  ScenarioSpec bad = scenario::parse_scenario_text(
+      "variant = vcausal:el\nnranks = 4\nel_shards = 8\n");
+  EXPECT_THROW(scenario::expand(bad), SpecError);
+}
+
+TEST(Quick, OverlayReplacesAxesAndScalars) {
+  ScenarioSpec spec = scenario::parse_scenario_text(
+      "nranks = 8\n"
+      "workload = ring\n"
+      "workload.laps = 60\n"
+      "[sweep]\n"
+      "variant = vcausal:el, manetho:el, logon:el\n"
+      "[quick]\n"
+      "workload.laps = 5\n"
+      "variant = vcausal:el\n");
+  scenario::apply_quick(spec);
+  EXPECT_EQ(spec.workload.params.at("laps"), "5");
+  ASSERT_EQ(spec.sweep.size(), 1u);  // axis replaced, not duplicated
+  EXPECT_EQ(spec.sweep[0].second, (std::vector<std::string>{"vcausal:el"}));
+  EXPECT_TRUE(spec.quick.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+TEST(Lowering, MapsEveryFieldOntoClusterConfig) {
+  ScenarioBuilder b("lowering");
+  b.variant("manetho:noel")
+      .nranks(6)
+      .seed(99)
+      .checkpoint(ckpt::Policy::kRoundRobin, 50 * sim::kMillisecond)
+      .fault_at(70 * sim::kMillisecond, 5)
+      .detection_delay(100 * sim::kMillisecond)
+      .max_sim_time(30 * sim::kSecond);
+  const runtime::ClusterConfig cfg = scenario::lower(b.build());
+  EXPECT_EQ(cfg.nranks, 6);
+  EXPECT_EQ(cfg.protocol, runtime::ProtocolKind::kCausal);
+  EXPECT_EQ(cfg.strategy, causal::StrategyKind::kManetho);
+  EXPECT_FALSE(cfg.event_logger);
+  EXPECT_EQ(cfg.el_shards, 1);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.ckpt_policy, ckpt::Policy::kRoundRobin);
+  EXPECT_EQ(cfg.ckpt_interval, 50 * sim::kMillisecond);
+  ASSERT_EQ(cfg.faults.size(), 1u);
+  EXPECT_EQ(cfg.faults[0].rank, 5);
+  EXPECT_EQ(cfg.detection_delay, 100 * sim::kMillisecond);
+  EXPECT_EQ(cfg.max_sim_time, 30 * sim::kSecond);
+}
+
+// Legacy construction validates too: a hand-built ClusterConfig that the
+// builder would reject dies with the same story.
+using ClusterDeath = ::testing::Test;
+
+TEST(ClusterDeath, RejectsShardsWithoutEventLogger) {
+  runtime::ClusterConfig cfg;
+  cfg.nranks = 8;
+  cfg.protocol = runtime::ProtocolKind::kCausal;
+  cfg.event_logger = false;
+  cfg.el_shards = 2;
+  EXPECT_DEATH(runtime::Cluster{cfg}, "requires event_logger");
+}
+
+TEST(ClusterDeath, RejectsFaultOnMissingRank) {
+  runtime::ClusterConfig cfg;
+  cfg.nranks = 4;
+  cfg.protocol = runtime::ProtocolKind::kCausal;
+  cfg.faults.push_back(runtime::FaultSpec{1000, 7});
+  EXPECT_DEATH(runtime::Cluster{cfg}, "names rank 7");
+}
+
+// ---------------------------------------------------------------------------
+// Runner + JSON report shape
+// ---------------------------------------------------------------------------
+
+/// Minimal recursive-descent JSON well-formedness checker (no external
+/// dependencies; enough to catch every malformed report).
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            std::strchr("+-.eE", s_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Report, JsonIsWellFormedAndCarriesTheSweep) {
+  ScenarioBuilder b("report");
+  b.nranks(4)
+      .ring(/*laps=*/5, /*token_bytes=*/256)
+      .sweep("variant", {"vdummy", "vcausal:el"});
+  scenario::RunSet set = scenario::run(b.build());
+  set.origin = "test";
+  ASSERT_EQ(set.runs.size(), 2u);
+  EXPECT_TRUE(set.runs[0].completed);
+  EXPECT_TRUE(set.runs[1].completed);
+
+  const std::string json = scenario::to_json(set);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  for (const char* needle :
+       {"\"scenario\": \"report\"", "\"runs\":", "\"label\": \"Vcausal (EL)\"",
+        "\"completed\": true", "\"pb_bytes\":", "\"checksum\":",
+        "\"sim_time_s\":", "\"el\":", "\"recovery\":", "\"axes\":"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n" << json;
+  }
+  // Multi-report envelope is valid too.
+  EXPECT_TRUE(JsonChecker(scenario::to_json(std::vector<scenario::RunSet>{
+                              set, set}))
+                  .valid());
+}
+
+TEST(Report, SkippedPointsAreReportedNotDropped) {
+  ScenarioSpec spec = scenario::parse_scenario_text(
+      "workload = nas\n"
+      "nas = bt:A:0.05\n"
+      "variant = vcausal:el\n"
+      "[sweep]\n"
+      "nranks = 2, 4\n");
+  const scenario::RunSet set = scenario::run(spec);
+  ASSERT_EQ(set.runs.size(), 2u);
+  EXPECT_TRUE(set.runs[0].skipped);
+  EXPECT_FALSE(set.runs[1].skipped);
+  const std::string json = scenario::to_json(set);
+  EXPECT_TRUE(JsonChecker(json).valid());
+  EXPECT_NE(json.find("\"skipped\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"skip_reason\":"), std::string::npos);
+}
+
+TEST(Runner, PingpongResultsLandInTheReport) {
+  ScenarioBuilder b("pp");
+  b.variant("vcausal:el").nranks(2).pingpong({1, 1024}, 20);
+  const scenario::RunResult r = scenario::run_spec(b.build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.pingpong.points.size(), 2u);
+  EXPECT_GT(r.pingpong.points[0].latency_us, 0);
+  const std::string json =
+      scenario::to_json(scenario::RunSet{"pp", "t", false, {r}});
+  EXPECT_NE(json.find("\"points\":"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(Runner, MidrunFaultProducesReferenceAndExactRecovery) {
+  ScenarioBuilder b("midrun");
+  b.variant("vcausal:el")
+      .nranks(4)
+      .checkpoint(ckpt::Policy::kRoundRobin, 20 * sim::kMillisecond)
+      .ring(/*laps=*/30, /*token_bytes=*/1024)
+      .midrun_fault(/*rank=*/2);
+  const scenario::RunResult r = scenario::run_spec(b.build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_TRUE(r.has_reference);
+  EXPECT_GT(r.reference_time, 0);
+  EXPECT_EQ(r.report.faults_injected, 1u);
+  EXPECT_TRUE(r.recovered_exact);
+  const std::string json =
+      scenario::to_json(scenario::RunSet{"midrun", "t", false, {r}});
+  EXPECT_NE(json.find("\"recovered_exact\": true"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+}  // namespace
+}  // namespace mpiv
