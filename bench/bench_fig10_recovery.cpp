@@ -10,6 +10,11 @@
 // barely grows with the cluster; without it every survivor ships its whole
 // copy of the failed rank's history and the time explodes with #procs
 // (paper: CG +18.7% from 1 to 15 peers with EL, +930.6% without).
+//
+// The fault engine's RecoveryTimeline additionally decomposes each recovery
+// into detect / image / collect / replay phases; the collect phase is the
+// paper's Fig. 10 quantity, and the phase columns show where the rest of
+// the wall clock goes (detection dominates; replay scales with history).
 #include "bench/bench_common.hpp"
 
 namespace mpiv::bench {
@@ -22,7 +27,14 @@ struct Config {
   double scale;
 };
 
-double recover_ms(const Config& c, int procs, bool el) {
+struct Phases {
+  double collect_ms = 0;  // the Fig. 10 quantity
+  double image_ms = 0;
+  double replay_ms = 0;
+  std::uint64_t events = 0;
+};
+
+Phases recover_phases(const Config& c, int procs, bool el) {
   // Midrun-fault mode: the runner executes a fault-free reference, then
   // reruns the same spec killing rank 0 halfway. No checkpoints: the full
   // determinant history must be recovered (the paper's "middle of correct
@@ -35,14 +47,23 @@ double recover_ms(const Config& c, int procs, bool el) {
   MPIV_CHECK(r.completed, "fig10 run did not complete");
   MPIV_CHECK(r.report.faults_injected == 1, "fig10: expected 1 fault, got %llu",
              static_cast<unsigned long long>(r.report.faults_injected));
-  return sim::to_ms(r.report.rank_stats[0].recovery_collect_time);
+  MPIV_CHECK(r.report.recoveries.size() == 1 && r.report.recoveries[0].complete(),
+             "fig10: expected one complete recovery timeline");
+  const fault::RecoveryRecord& rec = r.report.recoveries[0];
+  Phases p;
+  p.collect_ms = sim::to_ms(rec.collect_ns());
+  p.image_ms = sim::to_ms(rec.image_ns());
+  p.replay_ms = sim::to_ms(rec.replay_ns());
+  p.events = rec.replay_events;
+  return p;
 }
 
 int run() {
   using workloads::NasClass;
   using workloads::NasKernel;
   print_header("Fig. 10 — time to recover all events to replay (ms), Vcausal",
-               "EL: one transfer, flat in #procs; no EL: all survivors ship copies");
+               "EL: one transfer, flat in #procs; no EL: all survivors ship "
+               "copies. Phase columns from the recovery timeline.");
   const std::vector<Config> configs = {
       {NasKernel::kBT, NasClass::kA, {4, 9, 16, 25}, 0.15},
       {NasKernel::kCG, NasClass::kB, {2, 4, 8, 16}, 0.2},
@@ -51,13 +72,20 @@ int run() {
   for (const Config& c : configs) {
     std::printf("\n-- %s class %c --\n", workloads::nas_kernel_name(c.kernel),
                 workloads::nas_class_letter(c.klass));
-    util::Table table({"#procs", "with EL (ms)", "without EL (ms)", "ratio"});
+    util::Table table({"#procs", "with EL (ms)", "without EL (ms)", "ratio",
+                       "image (ms)", "replay (ms)", "events"});
     for (const int procs : c.procs) {
-      const double with_el = recover_ms(c, procs, true);
-      const double without_el = recover_ms(c, procs, false);
-      table.add_row({util::cell("%d", procs), util::cell("%.3f", with_el),
-                     util::cell("%.3f", without_el),
-                     util::cell("%.1fx", without_el / std::max(0.001, with_el))});
+      const Phases with_el = recover_phases(c, procs, true);
+      const Phases without_el = recover_phases(c, procs, false);
+      table.add_row(
+          {util::cell("%d", procs), util::cell("%.3f", with_el.collect_ms),
+           util::cell("%.3f", without_el.collect_ms),
+           util::cell("%.1fx", without_el.collect_ms /
+                                   std::max(0.001, with_el.collect_ms)),
+           util::cell("%.3f", with_el.image_ms),
+           util::cell("%.3f", with_el.replay_ms),
+           util::cell("%llu",
+                      static_cast<unsigned long long>(with_el.events))});
     }
     table.print();
   }

@@ -87,6 +87,27 @@ if [[ -x "$BUILD_DIR/mpiv_run" ]]; then
   done
 fi
 
+# Fault-campaign phase artifact: run the EL-shard-crash scenario and embed
+# its per-recovery phase breakdown (the Fig. 10 decomposition) in the
+# report, so recovery-path timings ride the same history as the hot-path
+# numbers.
+FAULT_JSON=""
+if [[ -x "$BUILD_DIR/mpiv_run" && -f scenarios/fault_campaign.scn ]]; then
+  echo "== fault campaign (recovery phases) =="
+  FC_TMP=$(mktemp)
+  if "$BUILD_DIR/mpiv_run" --quick --out "$FC_TMP" scenarios/fault_campaign.scn > /dev/null 2>&1; then
+    # Pull the recoveries arrays through grep (one line per run in our
+    # emitter); fall back to the empty list if the shape ever changes.
+    FAULT_JSON=$(grep -o '"recoveries": \[[^]]*\]' "$FC_TMP" | head -1 || true)
+    [[ -n $FAULT_JSON ]] && echo "  ${FAULT_JSON}"
+  else
+    echo "error: mpiv_run failed on scenarios/fault_campaign.scn" >&2
+    rm -f "$FC_TMP"
+    exit 1
+  fi
+  rm -f "$FC_TMP"
+fi
+
 echo "== figure benches =="
 FIG_ROWS=""
 for b in "${FIGS[@]}"; do
@@ -122,6 +143,9 @@ done
     echo "  \"scenarios\": ["
     printf '%s\n' "$SCN_ROWS"
     echo "  ],"
+  fi
+  if [[ -n $FAULT_JSON ]]; then
+    echo "  \"fault_campaign\": {${FAULT_JSON}},"
   fi
   echo "  \"micro\":"
   sed 's/^/  /' "$MICRO_JSON"

@@ -79,4 +79,23 @@ if [[ $fail -ne 0 ]]; then
   echo "scenario smoke FAILED" >&2
   exit 1
 fi
+
+# Fault-campaign smoke: the EL-shard-crash scenario must have actually
+# exercised the failover machinery — the report needs a failover, a complete
+# per-phase recovery timeline, and an exact recovery against the fault-free
+# reference. (The quick loop above already ran it; this checks the content.)
+FC_JSON="$OUT_DIR/fault_campaign.json"
+if [[ -f "$FC_JSON" ]]; then
+  for marker in '"el_failovers": 1' '"detect_ms"' '"recovered_exact": true' '"complete": true'; do
+    if ! grep -q "$marker" "$FC_JSON"; then
+      echo "fault-campaign smoke FAILED: missing $marker in $FC_JSON" >&2
+      exit 1
+    fi
+  done
+  echo "fault-campaign smoke OK (failover + recovery timeline present)"
+else
+  echo "fault-campaign smoke FAILED: $FC_JSON missing" >&2
+  exit 1
+fi
+
 echo "all scenarios OK (reports in $OUT_DIR)"

@@ -39,7 +39,23 @@ class ElClient {
     m.src_rank = svc_.rank;
     m.body.put_u32(1);
     d.serialize(m.body);
-    svc_.send_ctl(svc_.layout.el_node_for_rank(svc_.rank), std::move(m));
+    svc_.send_ctl(svc_.el_node_for(svc_.rank), std::move(m));
+  }
+
+  /// Re-ships a batch of determinants in one frame — the EL failover path:
+  /// after re-homing, everything the dead shard never durably acknowledged
+  /// is persisted again on the successor.
+  void submit_batch(const ftapi::DeterminantList& dets) {
+    if (dets.empty()) return;
+    net::Message m;
+    m.kind = net::MsgKind::kElEvent;
+    m.src_rank = svc_.rank;
+    m.body.put_u32(static_cast<std::uint32_t>(dets.size()));
+    for (const ftapi::Determinant& d : dets) {
+      pending_.emplace(d.seq, svc_.eng->now());
+      d.serialize(m.body);
+    }
+    svc_.send_ctl(svc_.el_node_for(svc_.rank), std::move(m));
   }
 
   /// Handles a stable-clock acknowledgement from the EL.
@@ -81,15 +97,37 @@ class ElClient {
   }
 
   /// Recovery: fetches every determinant of this rank stored at the EL.
+  /// With svc_.service_retry armed (fault campaigns), an unanswered request
+  /// is retransmitted — re-routed through the directory, so a fetch that
+  /// raced a shard crash lands on the successor once failover completes.
   sim::Task<ftapi::DeterminantList> fetch_mine() {
     fetch_done_->reset();
     fetched_.clear();
-    net::Message m;
-    m.kind = net::MsgKind::kElRecoveryReq;
-    m.src_rank = svc_.rank;
-    m.arg = static_cast<std::uint64_t>(svc_.rank);
-    svc_.send_ctl(svc_.layout.el_node_for_rank(svc_.rank), std::move(m));
-    co_await fetch_done_->wait();
+    for (;;) {
+      // A cascade may abandon our home shard while the fetch is in flight
+      // (dead, no successor): stop retrying into a hole — survivors are
+      // the only source left.
+      if (svc_.el_dir != nullptr &&
+          svc_.el_dir->abandoned(svc_.el_shard_for(svc_.rank))) {
+        fetched_.clear();
+        break;
+      }
+      net::Message m;
+      m.kind = net::MsgKind::kElRecoveryReq;
+      m.src_rank = svc_.rank;
+      m.arg = static_cast<std::uint64_t>(svc_.rank);
+      svc_.send_ctl(svc_.el_node_for(svc_.rank), std::move(m));
+      if (svc_.service_retry <= 0) {
+        co_await fetch_done_->wait();
+        break;
+      }
+      const sim::Time deadline = svc_.eng->now() + svc_.service_retry;
+      svc_.eng->at(deadline, [done = fetch_done_.get()] { done->poke(); });
+      while (!fetch_done_->ready() && svc_.eng->now() < deadline) {
+        co_await fetch_done_->wait_once();
+      }
+      if (fetch_done_->ready()) break;
+    }
     co_return std::move(fetched_);
   }
   void on_recovery_resp(net::Message&& m) {

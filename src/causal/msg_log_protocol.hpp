@@ -15,6 +15,7 @@
 #include "causal/event_store.hpp"
 #include "causal/sender_log.hpp"
 #include "ftapi/vprotocol.hpp"
+#include "mpi/rank_runtime.hpp"
 #include "sim/sync.hpp"
 
 namespace mpiv::causal {
@@ -60,9 +61,40 @@ class MsgLogProtocolBase : public ftapi::VProtocol {
         resp_latch_->arrive();
         return;
       }
+      case net::MsgKind::kControl:
+        if (static_cast<mpi::CtlSub>(m.tag) == mpi::CtlSub::kElFailover) {
+          on_el_failover(m.arg);
+        }
+        return;
       default:
         return;  // not ours (e.g. stray frames after restart)
     }
+  }
+
+  /// EL-shard failover notice: our home shard died and (when a successor
+  /// exists) the directory already re-homed us. Everything the dead shard
+  /// never durably acknowledged — our unstable suffix, still held locally —
+  /// is re-persisted on the successor; until its acks land, stability is
+  /// frozen and piggybacks regrow, exactly the paper's no-EL regime entered
+  /// dynamically.
+  void on_el_failover(std::uint64_t arg) {
+    if (!use_el_) return;
+    if (mpi::el_failover_successor(arg) < 0) return;  // abandoned: no-EL now
+    const auto me = static_cast<std::uint32_t>(svc_.rank);
+    ftapi::DeterminantList mine;
+    store_->for_range(me, el_.own_stable(), store_->known(me),
+                      [&mine](const ftapi::Determinant& d) {
+                        mine.push_back(d);
+                      });
+    el_.submit_batch(mine);
+  }
+
+  /// True when this rank's determinants are unreachable at any Event Logger
+  /// (home shard dead with no successor): recovery and the send gate must
+  /// not wait on it.
+  bool el_unreachable() const {
+    return svc_.el_dir != nullptr &&
+           svc_.el_dir->abandoned(svc_.el_shard_for(svc_.rank));
   }
 
   sim::Task<ftapi::DeterminantList> recover(
@@ -70,7 +102,7 @@ class MsgLogProtocolBase : public ftapi::VProtocol {
       const std::vector<std::uint64_t>& arr_watermarks) override {
     (void)already_rsn;
     ftapi::DeterminantList all;
-    if (use_el_) {
+    if (use_el_ && !el_unreachable()) {
       all = co_await el_.fetch_mine();
     }
     // Ask every survivor for the determinants it holds about us and for the

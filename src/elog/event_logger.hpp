@@ -7,11 +7,20 @@
 // (LU, 16 ranks), its ingress and service queue saturate, acks lag, nodes
 // prune later and piggybacks grow — the bottleneck the paper observes and
 // proposes distributing in future work.
+//
+// Failure semantics (fault engine): the determinant log is on stable
+// storage, the *service* is not. crash_service() models the paper's §VI
+// single-point-of-failure concern — queued-but-unserviced records are lost
+// (clients never see an ack and keep them piggybackable), acks stop, and a
+// successor shard can later mount_log() the dead shard's committed records
+// and take over its ranks through the ElDirectory.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "elog/el_directory.hpp"
 #include "ftapi/determinant.hpp"
 #include "ftapi/services.hpp"
 #include "ftapi/stats.hpp"
@@ -27,19 +36,24 @@ class EventLogger {
   /// "assigning a subset of the nodes to one Event Logger"). With more than
   /// one shard, each periodically multicasts its local stable-clock array
   /// to the others so that every ack can still carry the global view.
+  /// `dir` (optional) overrides the layout's static round-robin ownership
+  /// with live routing; `obs` (optional) receives store-count events for
+  /// trigger-based fault injection.
   EventLogger(net::Network& net, const ftapi::NodeLayout& layout,
-              ftapi::ElStats* stats, int shard = 0)
+              ftapi::ElStats* stats, int shard = 0,
+              const ElDirectory* dir = nullptr,
+              ftapi::FaultObserver* obs = nullptr)
       : net_(net),
         layout_(layout),
         stats_(stats),
         shard_(shard),
+        dir_(dir),
+        obs_(obs),
         port_(net, layout.el_node(shard)),
         per_(static_cast<std::size_t>(layout.nranks)) {
     net.attach(layout.el_node(shard),
                [this](net::Message&& m) { on_frame(std::move(m)); });
-    if (layout_.el_count > 1) {
-      net_.engine().after(kExchangeInterval, [this] { exchange_clocks(); });
-    }
+    if (layout_.el_count > 1) arm_exchange();
   }
 
   /// Period of the shard-to-shard stable-clock multicast (paper §VI).
@@ -52,11 +66,73 @@ class EventLogger {
     return per_[creator].contiguous;
   }
   int shard() const { return shard_; }
-  bool owns_rank(int r) const { return layout_.el_shard_for_rank(r) == shard_; }
+  /// Late-bound trigger sink (the fault engine is constructed after the
+  /// shards it observes).
+  void set_observer(ftapi::FaultObserver* obs) { obs_ = obs; }
+  bool owns_rank(int r) const {
+    return dir_ != nullptr ? dir_->shard_of(r) == shard_
+                           : layout_.el_shard_for_rank(r) == shard_;
+  }
+  bool service_down() const { return down_; }
   std::size_t stored_count() const {
     std::size_t n = 0;
     for (const Per& p : per_) n += p.dets.size();
     return n;
+  }
+  /// Determinant store operations performed (trigger-threshold counter).
+  std::uint64_t stored_ops() const { return stored_ops_; }
+
+  // --- failure injection (driven by the fault engine) ----------------------
+  /// Service crash: queued-but-unserviced work is lost (those clients never
+  /// get an ack), the exchange loop stops. The committed log in `per_` is
+  /// stable storage and survives.
+  void crash_service() {
+    down_ = true;
+    ++svc_gen_;  // in-flight charge_then closures become inert
+    pending_ = 0;
+  }
+  /// Transient-outage recovery: the service process is back with its log
+  /// intact (the network node restart is the caller's job).
+  void restore_service() {
+    if (!down_) return;
+    down_ = false;
+    if (layout_.el_count > 1) arm_exchange();
+  }
+  /// Failover: mounts `dead`'s persistent determinant log for `ranks`
+  /// (sequential read priced like recovery read-out), then runs `done` —
+  /// the fault engine re-homes the ranks and notifies them from there.
+  void mount_log(const EventLogger& dead, const std::vector<int>& ranks,
+                 std::function<void()> done) {
+    std::size_t to_read = 0;
+    for (const int r : ranks) {
+      to_read += dead.per_[static_cast<std::size_t>(r)].dets.size();
+    }
+    const net::CostModel& c = net_.cost();
+    port_.charge_then(
+        static_cast<sim::Time>(to_read) * c.el_recovery_read + c.el_ack_build,
+        [this, &dead, ranks, done = std::move(done)] {
+          if (down_) {
+            // This shard died mid-mount: the transaction never commits.
+            // The caller's completion hook re-runs the failover elsewhere.
+            done();
+            return;
+          }
+          for (const int r : ranks) {
+            Per& mine = per_[static_cast<std::size_t>(r)];
+            const Per& theirs = dead.per_[static_cast<std::size_t>(r)];
+            // Copy the log wholesale: our `contiguous` for a never-owned
+            // rank came from the clock exchange and has NO backing storage —
+            // every committed determinant of the dead shard is needed for
+            // recovery, including those below the exchanged watermark.
+            theirs.dets.for_each(
+                [&mine](std::uint64_t, const ftapi::Determinant& d) {
+                  mine.dets.emplace(d.seq, d);
+                });
+            mine.contiguous = std::max(mine.contiguous, theirs.contiguous);
+            while (mine.dets.contains(mine.contiguous + 1)) ++mine.contiguous;
+          }
+          done();
+        });
   }
 
  private:
@@ -69,6 +145,7 @@ class EventLogger {
   };
 
   void on_frame(net::Message&& m) {
+    if (down_) return;  // crashed service: nothing is accepted
     const net::CostModel& c = net_.cost();
     switch (m.kind) {
       case net::MsgKind::kElEvent: {
@@ -80,11 +157,14 @@ class EventLogger {
         }
         stats_->bytes_in += m.wire_bytes;
         const net::NodeId reply_to = m.src;
+        const std::uint64_t gen = svc_gen_;
         port_.charge_then(
             static_cast<sim::Time>(n) * c.el_service,
-            [this, dets = std::move(dets), reply_to] {
+            [this, dets = std::move(dets), reply_to, gen] {
+              if (gen != svc_gen_) return;  // queue entry died with the service
               for (const ftapi::Determinant& d : dets) store(d);
               ack(reply_to);
+              if (obs_ != nullptr) obs_->on_el_stored(shard_, stored_ops_);
             });
         ++pending_;
         stats_->peak_queue = std::max(stats_->peak_queue, pending_);
@@ -144,6 +224,7 @@ class EventLogger {
   void store(const ftapi::Determinant& d) {
     Per& p = per_[d.creator];
     ++stats_->events_stored;
+    ++stored_ops_;
     if (d.seq <= p.contiguous) return;  // duplicate (replayed resubmission)
     p.dets.emplace(d.seq, d);
     while (p.dets.contains(p.contiguous + 1)) ++p.contiguous;
@@ -159,9 +240,19 @@ class EventLogger {
     port_.send_after(net_.cost().el_ack_build, std::move(a));
   }
 
+  /// The exchange loop is generation-stamped so a service crash retires the
+  /// pending tick and restore_service() can arm a fresh loop without racing
+  /// it.
+  void arm_exchange() {
+    net_.engine().after(kExchangeInterval, [this, gen = svc_gen_] {
+      if (gen == svc_gen_) exchange_clocks();
+    });
+  }
+
   void exchange_clocks() {
     for (int other = 0; other < layout_.el_count; ++other) {
       if (other == shard_) continue;
+      if (dir_ != nullptr && dir_->dead(other)) continue;
       net::Message m;
       m.kind = net::MsgKind::kControl;
       m.tag = static_cast<std::int32_t>(mpi::CtlSub::kElShardClock);
@@ -170,16 +261,21 @@ class EventLogger {
       for (const Per& p : per_) m.body.put_u64(p.contiguous);
       port_.send_after(net_.cost().el_ack_build, std::move(m));
     }
-    net_.engine().after(kExchangeInterval, [this] { exchange_clocks(); });
+    arm_exchange();
   }
 
   net::Network& net_;
   ftapi::NodeLayout layout_;
   ftapi::ElStats* stats_;
   int shard_;
+  const ElDirectory* dir_;
+  ftapi::FaultObserver* obs_;
   net::ServicePort port_;
   std::vector<Per> per_;
   std::uint64_t pending_ = 0;
+  std::uint64_t stored_ops_ = 0;
+  std::uint64_t svc_gen_ = 0;
+  bool down_ = false;
 };
 
 }  // namespace mpiv::elog

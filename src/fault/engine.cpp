@@ -1,0 +1,244 @@
+#include "fault/engine.hpp"
+
+#include "elog/event_logger.hpp"
+#include "mpi/rank_runtime.hpp"
+
+namespace mpiv::fault {
+
+FaultEngine::FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b)
+    : campaign_(std::move(campaign)), b_(std::move(b)) {
+  // The legacy Poisson stream keeps the historical derivation so pre-engine
+  // fault-rate experiments reproduce run for run; campaign streams fold in
+  // the salt so fault schedules sweep independently of the workload seed.
+  rng_.reseed(seed ^ 0xFA17'2005ULL ^ campaign_.seed_salt);
+  fired_.assign(campaign_.injections.size(), 0);
+  if (b_.directory != nullptr) {
+    in_outage_.assign(static_cast<std::size_t>(b_.directory->total_shards()), 0);
+  }
+}
+
+void FaultEngine::arm(const std::vector<std::pair<sim::Time, int>>& legacy_faults,
+                      double legacy_rate_per_minute) {
+  // Legacy deterministic plan first (same scheduling order the dispatcher
+  // used), then the campaign, then the stochastic streams.
+  for (const auto& [at, rank] : legacy_faults) {
+    b_.eng->at(at, [this, rank = rank] { b_.crash_rank(rank); });
+  }
+  for (std::size_t i = 0; i < campaign_.injections.size(); ++i) {
+    const Injection& inj = campaign_.injections[i];
+    switch (inj.trigger) {
+      case Trigger::kAt:
+        b_.eng->at(inj.at, [this, i] { fire(i); });
+        break;
+      case Trigger::kRate:
+        arm_poisson(i);
+        break;
+      case Trigger::kOnCheckpoint:
+      case Trigger::kOnElStored:
+        break;  // observer-driven
+    }
+  }
+  if (legacy_rate_per_minute > 0) {
+    legacy_poisson_mean_ns_ = 60.0 * 1e9 / legacy_rate_per_minute;
+    arm_legacy_poisson();
+  }
+}
+
+void FaultEngine::on_rank_checkpoint(int rank, std::uint64_t completed) {
+  for (std::size_t i = 0; i < campaign_.injections.size(); ++i) {
+    const Injection& inj = campaign_.injections[i];
+    if (fired_[i] || inj.trigger != Trigger::kOnCheckpoint) continue;
+    if (inj.index == rank && completed >= inj.nth) trigger_async(i);
+  }
+}
+
+void FaultEngine::on_el_stored(int shard, std::uint64_t stored) {
+  for (std::size_t i = 0; i < campaign_.injections.size(); ++i) {
+    const Injection& inj = campaign_.injections[i];
+    if (fired_[i] || inj.trigger != Trigger::kOnElStored) continue;
+    if (inj.index == shard && stored >= inj.nth) trigger_async(i);
+  }
+}
+
+void FaultEngine::trigger_async(std::size_t idx) {
+  // Observer notifications arrive from inside the observed component — the
+  // checkpointing rank's own coroutine, the EL's service loop. Injecting
+  // there would have a process kill itself mid-execution; a zero-delay
+  // engine event detaches the injection (and models the detector hop).
+  fired_[idx] = 1;
+  b_.eng->at(b_.eng->now(), [this, idx] {
+    if (!b_.run_done()) execute(campaign_.injections[idx]);
+  });
+}
+
+void FaultEngine::fire(std::size_t idx) {
+  if (fired_[idx] || b_.run_done()) return;
+  fired_[idx] = 1;
+  execute(campaign_.injections[idx]);
+}
+
+void FaultEngine::execute(const Injection& inj) {
+  switch (inj.target) {
+    case Target::kRank:
+      ++counts_.rank_crashes;
+      b_.crash_rank(inj.index);
+      return;
+    case Target::kElShard:
+      if (inj.action == Action::kOutage) {
+        el_outage(inj.index, inj.duration);
+      } else {
+        crash_el_shard(inj.index);
+      }
+      return;
+    case Target::kCkptServer:
+      ckpt_outage(inj.duration);
+      return;
+    case Target::kLink:
+      link_fault(inj.index, inj.action, inj.magnitude, inj.duration);
+      return;
+  }
+}
+
+void FaultEngine::arm_poisson(std::size_t idx) {
+  const Injection& inj = campaign_.injections[idx];
+  const double mean_ns = 60.0 * 1e9 / inj.rate_per_minute;
+  const sim::Time dt = static_cast<sim::Time>(rng_.next_exponential(mean_ns));
+  b_.eng->after(dt, [this, idx] {
+    if (b_.run_done()) return;
+    const Injection& i = campaign_.injections[idx];
+    if (i.target == Target::kRank && i.index < 0) {
+      // Uniformly random not-yet-finished victim (the paper's fault model).
+      const std::vector<int> alive = b_.alive_ranks();
+      if (!alive.empty()) {
+        ++counts_.rank_crashes;
+        b_.crash_rank(alive[rng_.next_below(alive.size())]);
+      }
+    } else {
+      execute(i);  // rate streams repeat
+    }
+    arm_poisson(idx);
+  });
+}
+
+void FaultEngine::arm_legacy_poisson() {
+  const sim::Time dt =
+      static_cast<sim::Time>(rng_.next_exponential(legacy_poisson_mean_ns_));
+  b_.eng->after(dt, [this] {
+    if (b_.run_done()) return;
+    const std::vector<int> alive = b_.alive_ranks();
+    if (!alive.empty()) {
+      ++counts_.rank_crashes;
+      b_.crash_rank(alive[rng_.next_below(alive.size())]);
+    }
+    arm_legacy_poisson();
+  });
+}
+
+void FaultEngine::crash_el_shard(int shard) {
+  if (b_.directory == nullptr || b_.els.empty()) return;
+  if (shard < 0 || shard >= b_.directory->total_shards()) return;
+  if (b_.directory->dead(shard)) return;
+  ++counts_.el_crashes;
+  if (first_el_fault_ == 0) first_el_fault_ = b_.eng->now();
+  b_.net->crash_node(b_.layout.el_node(shard));
+  b_.els[static_cast<std::size_t>(shard)]->crash_service();
+  b_.directory->mark_dead(shard);
+  b_.eng->after(campaign_.el_failover_delay, [this, shard] { fail_over(shard); });
+}
+
+void FaultEngine::el_outage(int shard, sim::Time duration) {
+  if (b_.directory == nullptr || b_.els.empty()) return;
+  if (shard < 0 || shard >= b_.directory->total_shards()) return;
+  if (b_.directory->dead(shard)) return;
+  ++counts_.el_outages;
+  if (first_el_fault_ == 0) first_el_fault_ = b_.eng->now();
+  in_outage_[static_cast<std::size_t>(shard)] = 1;
+  b_.net->crash_node(b_.layout.el_node(shard));
+  b_.els[static_cast<std::size_t>(shard)]->crash_service();
+  b_.directory->mark_dead(shard);
+  b_.eng->after(duration, [this, shard] {
+    // Service restart on the same node: the persistent log was never lost,
+    // but everything queued or in flight during the outage was — the owned
+    // ranks re-persist their unacked suffix exactly like a failover.
+    in_outage_[static_cast<std::size_t>(shard)] = 0;
+    b_.net->restart_node(b_.layout.el_node(shard));
+    b_.els[static_cast<std::size_t>(shard)]->restore_service();
+    b_.directory->mark_alive(shard);
+    announce_failover(b_.directory->ranks_on(shard), shard, shard);
+  });
+}
+
+void FaultEngine::fail_over(int dead_shard) {
+  const std::vector<int> ranks = b_.directory->ranks_on(dead_shard);
+  const int succ = b_.directory->pick_successor(
+      dead_shard, campaign_.el_failover == ElFailover::kStandby);
+  if (succ < 0) {
+    // No live successor right now. A shard in a *transient* outage will be
+    // back with its log intact — retry the failover rather than condemning
+    // the ranks to the permanent no-EL regime for a passing blip.
+    for (std::size_t s = 0; s < in_outage_.size(); ++s) {
+      if (in_outage_[s] && static_cast<int>(s) != dead_shard) {
+        b_.eng->after(campaign_.el_failover_delay,
+                      [this, dead_shard] { fail_over(dead_shard); });
+        return;
+      }
+    }
+    // Nothing survives: those ranks are permanently in the no-EL regime.
+    b_.directory->mark_abandoned(dead_shard);
+    announce_failover(ranks, dead_shard, -1);
+    return;
+  }
+  elog::EventLogger& successor = *b_.els[static_cast<std::size_t>(succ)];
+  elog::EventLogger& dead = *b_.els[static_cast<std::size_t>(dead_shard)];
+  // Mount the dead shard's persistent log on the successor, then switch the
+  // routing and tell the moved ranks — ordering matters: a resubmission or
+  // recovery fetch must never observe the successor without the log.
+  successor.mount_log(dead, ranks, [this, ranks, dead_shard, succ] {
+    if (b_.directory->dead(succ)) {
+      // The successor itself died while the mount was in flight (cascading
+      // crash): the ranks are still homed on the dead shard — run the
+      // failover again against whatever now survives.
+      fail_over(dead_shard);
+      return;
+    }
+    b_.directory->rehome(dead_shard, succ);
+    ++counts_.el_failovers;
+    announce_failover(ranks, dead_shard, succ);
+  });
+}
+
+void FaultEngine::announce_failover(const std::vector<int>& ranks,
+                                    int dead_shard, int successor) {
+  for (const int r : ranks) {
+    net::Message m;
+    m.kind = net::MsgKind::kControl;
+    m.tag = static_cast<std::int32_t>(mpi::CtlSub::kElFailover);
+    m.arg = mpi::pack_el_failover(dead_shard, successor);
+    m.dst = b_.layout.rank_node(r);
+    b_.send_ctl(std::move(m));
+  }
+}
+
+void FaultEngine::ckpt_outage(sim::Time duration) {
+  ++counts_.ckpt_outages;
+  // Service outage only: committed images are on disk and survive; clients
+  // retransmit unacked store/fetch requests until the node returns.
+  b_.net->crash_node(b_.layout.ckpt_node());
+  b_.eng->after(duration, [this] {
+    b_.net->restart_node(b_.layout.ckpt_node());
+  });
+}
+
+void FaultEngine::link_fault(int rank, Action action, sim::Time magnitude,
+                             sim::Time duration) {
+  if (rank < 0 || rank >= b_.layout.nranks) return;
+  ++counts_.link_faults;
+  const net::NodeId node = b_.layout.rank_node(rank);
+  if (action == Action::kDropWindow) {
+    b_.net->perturb_drop(node, duration, magnitude);
+  } else {
+    b_.net->perturb_latency(node, magnitude, duration);
+  }
+}
+
+}  // namespace mpiv::fault

@@ -1,0 +1,100 @@
+// FaultEngine — owns a declarative fault Campaign and sequences it against
+// a running cluster.
+//
+// The engine is the single place failures enter the simulation:
+//  - timed and Poisson rank crashes go through the dispatcher's serialized
+//    fault path (exactly the plumbing the pre-engine Cluster had inline),
+//  - Event Logger shard crashes/outages drive the elog failover machinery
+//    (service down -> detection -> successor mounts the persistent log ->
+//    directory re-home -> re-homed ranks re-persist their unacked suffix),
+//  - checkpoint-server outages toggle the service node (the disk persists;
+//    clients ride it out with retransmits),
+//  - link faults perturb the network (latency spikes, drop-with-retransmit
+//    windows).
+// Event-triggered injections ("kill rank 3 on its 5th checkpoint", "crash
+// shard 0 once N determinants are stored") arrive through the
+// ftapi::FaultObserver hooks the cluster wires into the rank runtimes and
+// EL shards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "elog/el_directory.hpp"
+#include "fault/campaign.hpp"
+#include "ftapi/services.hpp"
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace mpiv::elog {
+class EventLogger;
+}
+
+namespace mpiv::fault {
+
+class FaultEngine final : public ftapi::FaultObserver {
+ public:
+  /// Everything the engine acts on, wired by runtime::Cluster. The rank
+  /// path goes through callbacks so the engine stays below the runtime
+  /// layer.
+  struct Bindings {
+    sim::Engine* eng = nullptr;
+    net::Network* net = nullptr;
+    ftapi::NodeLayout layout{};
+    elog::ElDirectory* directory = nullptr;      // null when EL disabled
+    std::vector<elog::EventLogger*> els;         // all shards incl. standby
+    std::function<void(int)> crash_rank;         // dispatcher serialized path
+    std::function<std::vector<int>()> alive_ranks;
+    std::function<bool()> run_done;
+    std::function<void(net::Message&&)> send_ctl;  // from the dispatcher node
+  };
+
+  FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b);
+
+  /// Schedules the timed and stochastic injections plus a legacy
+  /// deterministic fault plan and Poisson rate (the pre-engine
+  /// ClusterConfig surface). Call once, before the run starts.
+  void arm(const std::vector<std::pair<sim::Time, int>>& legacy_faults,
+           double legacy_rate_per_minute);
+
+  // --- execution-event triggers (ftapi::FaultObserver) ---------------------
+  void on_rank_checkpoint(int rank, std::uint64_t completed) override;
+  void on_el_stored(int shard, std::uint64_t stored) override;
+
+  // --- direct injection (benches/tests may drive the engine manually) -----
+  void crash_el_shard(int shard);
+  void el_outage(int shard, sim::Time duration);
+  void ckpt_outage(sim::Time duration);
+  void link_fault(int rank, Action action, sim::Time magnitude,
+                  sim::Time duration);
+
+  const Campaign& campaign() const { return campaign_; }
+  const FaultCounts& counts() const { return counts_; }
+  /// Time of the first EL shard loss (0 = none): the piggyback-regrowth
+  /// reference point. The pointer form is stable for the lifetime of the
+  /// engine (RankHooks::el_fault_at).
+  sim::Time first_el_fault() const { return first_el_fault_; }
+  const sim::Time* first_el_fault_ptr() const { return &first_el_fault_; }
+
+ private:
+  void fire(std::size_t idx);
+  void execute(const Injection& inj);
+  void trigger_async(std::size_t idx);
+  void arm_poisson(std::size_t idx);
+  void arm_legacy_poisson();
+  void fail_over(int dead_shard);
+  void announce_failover(const std::vector<int>& ranks, int dead_shard,
+                         int successor);
+
+  Campaign campaign_;
+  Bindings b_;
+  util::Rng rng_;
+  std::vector<char> fired_;      // one-shot latch per injection
+  std::vector<char> in_outage_;  // per shard: down transiently, will return
+  FaultCounts counts_;
+  sim::Time first_el_fault_ = 0;
+  double legacy_poisson_mean_ns_ = 0;
+};
+
+}  // namespace mpiv::fault

@@ -1,0 +1,95 @@
+// Recovery timelines — the instrument that turns the paper's Fig. 10
+// "time to recover" scalar into an attributable per-phase breakdown.
+//
+// Every recovery decomposes into the phases of §IV's restart protocol:
+//   detect   fault -> dispatcher initiates the restart (failure detector)
+//   image    restart -> checkpoint image fetched and state restored
+//   collect  image -> replay set gathered (Event Logger + survivors)
+//   replay   collect -> forced replay drained (includes the overlapped
+//            payload re-sends from survivors' sender logs)
+// The timeline keeps one record per recovery (a rank crashing twice opens
+// two records; a coordinated rollback opens one per rolled-back rank).
+// Marks arrive from the dispatcher (detect) and the rank runtime (the
+// rest); an interrupted recovery — the rank crashed again mid-recovery —
+// stays open-ended (replay_done_at == 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mpiv::fault {
+
+struct RecoveryRecord {
+  int rank = -1;
+  bool coordinated = false;  // part of a coordinated global rollback
+  sim::Time fault_at = 0;
+  sim::Time restart_at = 0;      // detection done, new incarnation launched
+  sim::Time image_at = 0;        // checkpoint image fetched + state restored
+  sim::Time collect_at = 0;      // replay set (EL + survivors) assembled
+  sim::Time replay_done_at = 0;  // forced replay drained: execution live
+  std::uint64_t replay_events = 0;
+
+  bool complete() const { return replay_done_at != 0; }
+  sim::Time detect_ns() const { return restart_at - fault_at; }
+  sim::Time image_ns() const { return image_at - restart_at; }
+  sim::Time collect_ns() const { return collect_at - image_at; }
+  sim::Time replay_ns() const { return replay_done_at - collect_at; }
+  sim::Time total_ns() const { return replay_done_at - fault_at; }
+};
+
+class RecoveryTimeline {
+ public:
+  void reset(int nranks) {
+    records_.clear();
+    open_.assign(static_cast<std::size_t>(nranks), -1);
+  }
+
+  /// Opens a record at fault-injection time. A still-open record for the
+  /// same rank (crash during recovery) is left incomplete.
+  void begin(int rank, sim::Time fault_at, bool coordinated) {
+    if (static_cast<std::size_t>(rank) >= open_.size()) return;
+    RecoveryRecord r;
+    r.rank = rank;
+    r.coordinated = coordinated;
+    r.fault_at = fault_at;
+    open_[static_cast<std::size_t>(rank)] = static_cast<int>(records_.size());
+    records_.push_back(r);
+  }
+
+  void mark_restart(int rank, sim::Time t) {
+    if (RecoveryRecord* r = open_record(rank)) r->restart_at = t;
+  }
+  void mark_image(int rank, sim::Time t) {
+    if (RecoveryRecord* r = open_record(rank)) r->image_at = t;
+  }
+  void mark_collect(int rank, sim::Time t, std::uint64_t replay_events) {
+    if (RecoveryRecord* r = open_record(rank)) {
+      r->collect_at = t;
+      r->replay_events = replay_events;
+    }
+  }
+  /// Closes the record: the rank matched its last forced reception (or had
+  /// nothing to replay) and is executing live again.
+  void mark_replay_done(int rank, sim::Time t) {
+    if (RecoveryRecord* r = open_record(rank)) {
+      r->replay_done_at = t;
+      open_[static_cast<std::size_t>(rank)] = -1;
+    }
+  }
+
+  const std::vector<RecoveryRecord>& records() const { return records_; }
+
+ private:
+  RecoveryRecord* open_record(int rank) {
+    if (static_cast<std::size_t>(rank) >= open_.size()) return nullptr;
+    const int idx = open_[static_cast<std::size_t>(rank)];
+    return idx < 0 ? nullptr : &records_[static_cast<std::size_t>(idx)];
+  }
+
+  std::vector<RecoveryRecord> records_;
+  std::vector<int> open_;  // per rank: index of the open record, or -1
+};
+
+}  // namespace mpiv::fault

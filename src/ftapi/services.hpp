@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "elog/el_directory.hpp"
 #include "ftapi/stats.hpp"
 #include "net/cost_model.hpp"
 #include "net/daemon.hpp"
@@ -10,6 +11,24 @@
 #include "sim/engine.hpp"
 
 namespace mpiv::ftapi {
+
+/// Execution-event sink for trigger-based fault injection ("kill rank 3 on
+/// its 5th checkpoint", "crash shard 0 once N determinants are stored").
+/// The fault engine implements it; a null observer costs nothing.
+class FaultObserver {
+ public:
+  virtual ~FaultObserver() = default;
+  /// `completed` = how many checkpoint transactions this rank has committed.
+  virtual void on_rank_checkpoint(int rank, std::uint64_t completed) {
+    (void)rank;
+    (void)completed;
+  }
+  /// `stored` = determinant store operations the shard has performed.
+  virtual void on_el_stored(int shard, std::uint64_t stored) {
+    (void)shard;
+    (void)stored;
+  }
+};
 
 /// Cluster node numbering: ranks first, then the stable auxiliary servers
 /// (Fig. 5 of the paper: checkpoint server, Event Logger(s), dispatcher
@@ -51,6 +70,18 @@ struct RankServices {
   NodeLayout layout{};
   bool el_enabled = false;
   RankStats* stats = nullptr;
+  /// Dynamic rank -> EL shard routing (null = the layout's static
+  /// round-robin; clusters with fault campaigns install a live directory so
+  /// shard failover re-routes every client automatically).
+  const elog::ElDirectory* el_dir = nullptr;
+  /// > 0: retransmit interval for unacked checkpoint/EL requests (armed
+  /// only under fault campaigns, so fault-free runs schedule no timers).
+  sim::Time service_retry = 0;
+
+  int el_shard_for(int r) const {
+    return el_dir != nullptr ? el_dir->shard_of(r) : layout.el_shard_for_rank(r);
+  }
+  net::NodeId el_node_for(int r) const { return layout.el_node(el_shard_for(r)); }
 
   /// Sends a control frame from this rank's node.
   void send_ctl(net::NodeId dst, net::Message&& m) const {

@@ -19,6 +19,15 @@ struct RankStats {
   std::uint64_t pb_events_sent = 0;
   std::uint64_t pb_bytes_sent = 0;
   std::uint64_t pb_empty_msgs = 0;  // app messages that carried no events
+  // Worst single-message piggyback — the regrowth probe: during an Event
+  // Logger outage stability freezes and this peak climbs toward the no-EL
+  // regime, then shrinks back once the failover shard starts acking. The
+  // post_el_fault pair counts only messages sent after the first EL fault,
+  // so a single report shows the regrowth against the startup transient.
+  std::uint64_t pb_peak_msg_bytes = 0;
+  std::uint64_t pb_peak_msg_events = 0;
+  std::uint64_t pb_peak_post_el_fault_bytes = 0;
+  std::uint64_t pb_peak_post_el_fault_events = 0;
   // Piggyback management time (Fig. 8): simulated CPU charged.
   sim::Time pb_send_cpu = 0;   // select + serialize on the send path
   sim::Time pb_recv_cpu = 0;   // parse + merge on the receive path
@@ -41,6 +50,12 @@ struct RankStats {
     pb_events_sent += o.pb_events_sent;
     pb_bytes_sent += o.pb_bytes_sent;
     pb_empty_msgs += o.pb_empty_msgs;
+    pb_peak_msg_bytes = std::max(pb_peak_msg_bytes, o.pb_peak_msg_bytes);
+    pb_peak_msg_events = std::max(pb_peak_msg_events, o.pb_peak_msg_events);
+    pb_peak_post_el_fault_bytes =
+        std::max(pb_peak_post_el_fault_bytes, o.pb_peak_post_el_fault_bytes);
+    pb_peak_post_el_fault_events =
+        std::max(pb_peak_post_el_fault_events, o.pb_peak_post_el_fault_events);
     pb_send_cpu += o.pb_send_cpu;
     pb_recv_cpu += o.pb_recv_cpu;
     dets_created += o.dets_created;

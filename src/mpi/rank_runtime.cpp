@@ -8,11 +8,13 @@ RankRuntime::RankRuntime(sim::Engine& eng, net::Network& net,
                          const ftapi::NodeLayout& layout, int rank,
                          net::ChannelKind channel,
                          std::unique_ptr<ftapi::VProtocol> proto,
-                         ftapi::RankStats* stats, std::uint64_t seed)
+                         ftapi::RankStats* stats, std::uint64_t seed,
+                         RankHooks hooks)
     : eng_(eng),
       net_(net),
       layout_(layout),
       rank_(rank),
+      hooks_(hooks),
       daemon_(std::make_unique<net::Daemon>(net, layout.rank_node(rank), channel)),
       proto_(std::move(proto)),
       stats_(stats),
@@ -35,6 +37,8 @@ RankRuntime::RankRuntime(sim::Engine& eng, net::Network& net,
   svc.layout = layout_;
   svc.el_enabled = true;  // protocols that ignore the EL simply never use it
   svc.stats = stats_;
+  svc.el_dir = hooks_.el_directory;
+  svc.service_retry = hooks_.service_retry;
   proto_->bind(svc);
 }
 
@@ -87,6 +91,8 @@ void RankRuntime::reset_volatile() {
   store_ack_.reset();
   fetch_done_.reset();
   fetch_resp_.reset();
+  awaiting_store_ack_ = false;
+  awaiting_fetch_ = false;
 }
 
 sim::Task<void> RankRuntime::app_main(AppFactory factory) {
@@ -107,15 +113,30 @@ void RankRuntime::notify_dispatcher(CtlSub sub) {
 
 sim::Task<std::optional<util::Buffer>> RankRuntime::fetch_image(
     std::uint64_t image_version) {
-  net::Message req;
-  req.kind = net::MsgKind::kCkptFetchReq;
-  req.arg = static_cast<std::uint64_t>(rank_);
-  req.ssn = image_version;
-  req.src_rank = rank_;
-  req.src = layout_.rank_node(rank_);
-  req.dst = layout_.ckpt_node();
-  daemon_->submit_ctl(std::move(req));
-  co_await fetch_done_.wait();
+  awaiting_fetch_ = true;
+  for (;;) {
+    net::Message req;
+    req.kind = net::MsgKind::kCkptFetchReq;
+    req.arg = static_cast<std::uint64_t>(rank_);
+    req.ssn = image_version;
+    req.src_rank = rank_;
+    req.src = layout_.rank_node(rank_);
+    req.dst = layout_.ckpt_node();
+    daemon_->submit_ctl(std::move(req));
+    if (hooks_.service_retry <= 0) {
+      co_await fetch_done_.wait();
+      break;
+    }
+    // Retransmit loop: the checkpoint server may be mid-outage; the request
+    // is idempotent and the response guard drops late duplicates.
+    const sim::Time deadline = eng_.now() + hooks_.service_retry;
+    eng_.at(deadline, [this] { fetch_done_.poke(); });
+    while (!fetch_done_.ready() && eng_.now() < deadline) {
+      co_await fetch_done_.wait_once();
+    }
+    if (fetch_done_.ready()) break;
+  }
+  awaiting_fetch_ = false;
   fetch_done_.reset();
   net::Message resp = std::move(*fetch_resp_);
   fetch_resp_.reset();
@@ -141,6 +162,7 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
     blob_offset_ = blob_off;
     blob_len_ = blob_len;
   }
+  if (hooks_.timeline != nullptr) hooks_.timeline->mark_image(rank_, eng_.now());
   if (proto_->is_message_logging()) {
     const sim::Time t_events = eng_.now();
     std::vector<std::uint64_t> arr_wm(arr_.size());
@@ -180,6 +202,12 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
       std::fprintf(stderr, "\n");
     }
   }
+  if (hooks_.timeline != nullptr) {
+    hooks_.timeline->mark_collect(rank_, eng_.now(), replay_.size());
+    // Nothing to replay (coordinated rollback, or the checkpoint already
+    // covers every reception): the recovery is live right here.
+    if (replay_.empty()) hooks_.timeline->mark_replay_done(rank_, eng_.now());
+  }
   recovering_ = false;
   stats_->recovery_total_time += eng_.now() - t_start;
   notify_dispatcher(CtlSub::kRecoveryDone);
@@ -206,6 +234,19 @@ sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
   stats_->pb_events_sent += pb.events;
   stats_->pb_send_cpu += pb.stats_cpu;
   if (pb.events == 0) ++stats_->pb_empty_msgs;
+  // Worst single-message piggyback: the regrowth probe for EL outages (with
+  // a healthy EL the unstable suffix — and so this peak — stays small).
+  stats_->pb_peak_msg_bytes =
+      std::max(stats_->pb_peak_msg_bytes,
+               static_cast<std::uint64_t>(pb.bytes.size()));
+  stats_->pb_peak_msg_events = std::max(stats_->pb_peak_msg_events, pb.events);
+  if (hooks_.el_fault_at != nullptr && *hooks_.el_fault_at > 0) {
+    stats_->pb_peak_post_el_fault_bytes =
+        std::max(stats_->pb_peak_post_el_fault_bytes,
+                 static_cast<std::uint64_t>(pb.bytes.size()));
+    stats_->pb_peak_post_el_fault_events =
+        std::max(stats_->pb_peak_post_el_fault_events, pb.events);
+  }
 
   const sim::Time handoff = daemon_->app_handoff_cost(bytes);
   if (pb.cpu + handoff > 0) co_await eng_.sleep(pb.cpu + handoff);
@@ -297,17 +338,42 @@ sim::Task<void> RankRuntime::store_checkpoint(const util::Buffer& app_state,
   // Dumping the process image through the daemon costs a copy.
   co_await eng_.sleep(net_.cost().memcpy_time(logical_state_bytes_));
 
-  net::Message m;
-  m.kind = net::MsgKind::kCkptStore;
-  m.arg = ckpt_version_;
-  m.src_rank = rank_;
-  m.payload.bytes = logical_state_bytes_;  // app memory beyond protocol state
-  m.body = std::move(image);
-  m.src = layout_.rank_node(rank_);
-  m.dst = layout_.ckpt_node();
-  daemon_->submit_ctl(std::move(m));
-  co_await store_ack_.wait();
+  const bool retry = hooks_.service_retry > 0;
+  awaiting_store_ack_ = true;
+  for (;;) {
+    net::Message m;
+    m.kind = net::MsgKind::kCkptStore;
+    m.arg = ckpt_version_;
+    m.src_rank = rank_;
+    m.payload.bytes = logical_state_bytes_;  // app memory beyond protocol state
+    if (retry) {
+      m.body = image;  // keep a copy for resends
+    } else {
+      m.body = std::move(image);
+    }
+    m.src = layout_.rank_node(rank_);
+    m.dst = layout_.ckpt_node();
+    daemon_->submit_ctl(std::move(m));
+    if (!retry) {
+      co_await store_ack_.wait();
+      break;
+    }
+    // Retransmit loop for checkpoint-server outages. The store transaction
+    // is idempotent (same version overwrites the same image), and the ack
+    // guard in on_daemon_up drops acks for any other version.
+    const sim::Time deadline = eng_.now() + hooks_.service_retry;
+    eng_.at(deadline, [this] { store_ack_.poke(); });
+    while (!store_ack_.ready() && eng_.now() < deadline) {
+      co_await store_ack_.wait_once();
+    }
+    if (store_ack_.ready()) break;
+  }
   store_ack_.reset();
+  awaiting_store_ack_ = false;
+  ++ckpts_completed_;
+  if (hooks_.observer != nullptr) {
+    hooks_.observer->on_rank_checkpoint(rank_, ckpts_completed_);
+  }
 
   // Sender-log GC notices: receptions up to arr watermark are now covered
   // by this image, so peers may drop the corresponding logged payloads.
@@ -322,14 +388,17 @@ sim::Task<void> RankRuntime::store_checkpoint(const util::Buffer& app_state,
     n.dst = layout_.rank_node(peer);
     daemon_->submit_ctl(std::move(n));
   }
-  // The Event Logger may prune our determinants covered by the image.
+  // The Event Logger may prune our determinants covered by the image (the
+  // directory routes to our current home shard after a failover).
   net::Message gc;
   gc.kind = net::MsgKind::kControl;
   gc.tag = static_cast<std::int32_t>(CtlSub::kElGc);
   gc.src_rank = rank_;
   gc.arg = rsn_at_image;
   gc.src = layout_.rank_node(rank_);
-  gc.dst = layout_.el_node_for_rank(rank_);
+  gc.dst = hooks_.el_directory != nullptr
+               ? layout_.el_node(hooks_.el_directory->shard_of(rank_))
+               : layout_.el_node_for_rank(rank_);
   daemon_->submit_ctl(std::move(gc));
 }
 
@@ -371,9 +440,14 @@ void RankRuntime::on_daemon_up(net::Message&& m) {
       on_app_frame(std::move(m));
       return;
     case net::MsgKind::kCkptStoreAck:
-      store_ack_.set();
+      // Retransmitted stores produce duplicate acks; only the ack for the
+      // transaction we are awaiting counts.
+      if (m.arg == ckpt_version_ && (hooks_.service_retry <= 0 || awaiting_store_ack_)) {
+        store_ack_.set();
+      }
       return;
     case net::MsgKind::kCkptFetchResp:
+      if (hooks_.service_retry > 0 && !awaiting_fetch_) return;  // late duplicate
       fetch_resp_ = std::move(m);
       fetch_done_.set();
       return;
@@ -457,6 +531,11 @@ void RankRuntime::pump() {
       posted_.erase(pit);
       replay_.pop_front();
       ++stats_->replayed_receptions;
+      if (replay_.empty() && hooks_.timeline != nullptr) {
+        // Last forced reception matched: the recovery timeline's replay
+        // phase ends here and execution is live again.
+        hooks_.timeline->mark_replay_done(rank_, eng_.now());
+      }
       deliver_to(*pr, msg);
     }
     return;

@@ -27,6 +27,8 @@
 #include <optional>
 #include <vector>
 
+#include "elog/el_directory.hpp"
+#include "fault/timeline.hpp"
 #include "ftapi/services.hpp"
 #include "ftapi/vprotocol.hpp"
 #include "mpi/comm.hpp"
@@ -38,6 +40,21 @@
 
 namespace mpiv::mpi {
 
+/// Optional cluster-level attachments (fault-injection support). All null /
+/// zero by default: a hook-less runtime behaves exactly like the pre-fault
+/// engine one, event for event.
+struct RankHooks {
+  const elog::ElDirectory* el_directory = nullptr;  // live rank -> shard map
+  ftapi::FaultObserver* observer = nullptr;         // checkpoint triggers
+  fault::RecoveryTimeline* timeline = nullptr;      // per-phase recovery marks
+  /// Time of the first EL fault (engine-owned, 0 until one happens): gates
+  /// the post-fault piggyback-regrowth peaks in RankStats.
+  const sim::Time* el_fault_at = nullptr;
+  /// > 0: retransmit unacked checkpoint-server requests at this interval
+  /// (survives checkpoint-server outages; also handed to the EL client).
+  sim::Time service_retry = 0;
+};
+
 /// Control-frame subtypes (carried in Message.tag of kControl frames).
 enum class CtlSub : std::int32_t {
   kCkptRequest = 1,  // checkpoint scheduler -> rank
@@ -46,15 +63,30 @@ enum class CtlSub : std::int32_t {
   kAppDone = 4,      // rank -> dispatcher
   kRecoveryDone = 5, // rank -> dispatcher: determinant collection finished
   kElShardClock = 6, // EL shard -> EL shard: stable-clock array exchange
+  kElFailover = 7,   // fault engine -> re-homed rank: arg packs the dead
+                     // shard (high 32) and the successor (low 32, ~0 = none)
   kProtocol = 16,    // >= kProtocol: owned by the fault-tolerance protocol
 };
+
+/// Packs/unpacks the kElFailover control word.
+inline std::uint64_t pack_el_failover(int dead_shard, int successor) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dead_shard))
+          << 32) |
+         static_cast<std::uint32_t>(successor);
+}
+inline int el_failover_dead(std::uint64_t arg) {
+  return static_cast<int>(static_cast<std::int32_t>(arg >> 32));
+}
+inline int el_failover_successor(std::uint64_t arg) {
+  return static_cast<int>(static_cast<std::int32_t>(arg & 0xffffffffu));
+}
 
 class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
  public:
   RankRuntime(sim::Engine& eng, net::Network& net, const ftapi::NodeLayout& layout,
               int rank, net::ChannelKind channel,
               std::unique_ptr<ftapi::VProtocol> proto, ftapi::RankStats* stats,
-              std::uint64_t seed);
+              std::uint64_t seed, RankHooks hooks = {});
   ~RankRuntime() override;
 
   // --- lifecycle (driven by the dispatcher) --------------------------------
@@ -152,6 +184,7 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   net::Network& net_;
   ftapi::NodeLayout layout_;
   int rank_;
+  RankHooks hooks_;
   std::unique_ptr<net::Daemon> daemon_;
   std::unique_ptr<ftapi::VProtocol> proto_;
   ftapi::RankStats* stats_;
@@ -180,6 +213,11 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   bool ckpt_requested_ = false;
   std::uint64_t logical_state_bytes_ = 1 << 20;
   std::uint64_t ckpt_version_ = 0;
+  std::uint64_t ckpts_completed_ = 0;  // committed stores (trigger counter)
+  // Retransmit-loop guards: a late duplicate ack/response (the server was
+  // merely slow, not down) must not satisfy a future transaction.
+  bool awaiting_store_ack_ = false;
+  bool awaiting_fetch_ = false;
 
   // Checkpoint client rendezvous.
   sim::OneShot store_ack_;

@@ -27,8 +27,12 @@ void Network::send(Message&& m) {
   // The switch forwards frame by frame (cut-through at MTU granularity):
   // the message starts arriving at the destination one wire latency after
   // the first frame leaves, and the ingress NIC is occupied for one
-  // serialization time ending no earlier than that.
-  const sim::Time first_frame_at_dst = start + cost_.wire_latency;
+  // serialization time ending no earlier than that. An active latency
+  // spike on either endpoint's link stretches the crossing.
+  sim::Time lat = cost_.wire_latency;
+  if (now < src.lat_until) lat += src.lat_extra;
+  if (now < dst.lat_until) lat += dst.lat_extra;
+  const sim::Time first_frame_at_dst = start + lat;
   Flight fl;
   fl.tx = tx;
   fl.dst = m.dst;
@@ -46,6 +50,13 @@ void Network::on_fabric(std::uint32_t slot) {
   if (!d.up || d.epoch != fl.dst_epoch) {
     ++frames_dropped_;  // connection reset: receiver crashed in flight
     flights_.release(slot);
+    return;
+  }
+  if (eng_.now() < d.drop_until) {
+    // Drop-with-retransmit window: the frame is lost at the NIC and TCP
+    // re-delivers it after the window closes plus a retransmit backoff.
+    ++frames_delayed_;
+    eng_.at(d.drop_until + d.drop_backoff, [this, slot] { on_fabric(slot); });
     return;
   }
   sim::Time start = std::max(eng_.now(), d.ingress_free);

@@ -63,9 +63,29 @@ class Network {
   bool node_up(NodeId node) const { return nodes_[node].up; }
   std::uint64_t node_epoch(NodeId node) const { return nodes_[node].epoch; }
 
+  // --- Link perturbation (fault injection) ---------------------------------
+  /// Latency spike: frames to/from `node` pay +`extra` propagation for
+  /// `duration` (flaky cable / congested uplink). Overlapping spikes keep
+  /// the larger extra and the later end.
+  void perturb_latency(NodeId node, sim::Time extra, sim::Time duration) {
+    Node& n = at(node);
+    const sim::Time until = eng_.now() + duration;
+    n.lat_extra = std::max(n.lat_extra, extra);
+    n.lat_until = std::max(n.lat_until, until);
+  }
+  /// Drop-with-retransmit window: frames arriving at `node` inside the
+  /// window are held and re-delivered `backoff` after it closes (TCP loses
+  /// nothing, it retransmits — unlike crash_node's connection reset).
+  void perturb_drop(NodeId node, sim::Time duration, sim::Time backoff) {
+    Node& n = at(node);
+    n.drop_until = std::max(n.drop_until, eng_.now() + duration);
+    n.drop_backoff = std::max(n.drop_backoff, backoff);
+  }
+
   // --- Introspection / stats ----------------------------------------------
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::uint64_t frames_delayed() const { return frames_delayed_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   /// Earliest time the egress serializer of `node` is free (for tests).
   sim::Time egress_free(NodeId node) const { return nodes_[node].egress_free; }
@@ -78,6 +98,11 @@ class Network {
     std::uint64_t epoch = 0;
     sim::Time egress_free = 0;
     sim::Time ingress_free = 0;
+    // Link-fault windows (see perturb_latency / perturb_drop).
+    sim::Time lat_extra = 0;
+    sim::Time lat_until = 0;
+    sim::Time drop_until = 0;
+    sim::Time drop_backoff = 0;
   };
 
   /// An in-flight frame parked in the slab between the two scheduling hops
@@ -105,6 +130,7 @@ class Network {
   util::Slab<Flight> flights_;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_delayed_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
 

@@ -17,6 +17,9 @@ class PessimisticProtocol final : public causal::MsgLogProtocolBase {
   const char* name() const override { return "Pessimistic"; }
 
   sim::Task<void> send_gate() override {
+    // A cascade that killed every Event Logger shard leaves nothing to wait
+    // for — degrade to unguarded sends rather than deadlocking the run.
+    if (el_unreachable()) co_return;
     // Block until every reception event so far is acknowledged stable.
     co_await el_.wait_own_stable(my_dets_);
   }

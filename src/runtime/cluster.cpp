@@ -1,5 +1,6 @@
 #include "runtime/cluster.hpp"
 
+#include "fault/engine.hpp"
 #include "scenario/registry.hpp"
 
 namespace mpiv::runtime {
@@ -21,14 +22,35 @@ ClusterConfig validated(ClusterConfig cfg) {
              "el_shards = %d requires event_logger = true (sharding a "
              "disabled Event Logger is meaningless)",
              cfg.el_shards);
+  MPIV_CHECK(cfg.el_standby >= 0 && cfg.el_standby <= 64,
+             "el_standby must be in [0, 64] (got %d)", cfg.el_standby);
+  MPIV_CHECK(cfg.el_standby == 0 || cfg.event_logger,
+             "el_standby = %d requires event_logger = true", cfg.el_standby);
   MPIV_CHECK(cfg.protocol != ProtocolKind::kP4 ||
-                 (cfg.faults.empty() && cfg.faults_per_minute == 0.0),
+                 (cfg.faults.empty() && cfg.faults_per_minute == 0.0 &&
+                  cfg.campaign.empty()),
              "MPICH-P4 is not fault tolerant");
-  for (const FaultSpec& f : cfg.faults) {
+  for (std::size_t i = 0; i < cfg.faults.size(); ++i) {
+    const FaultSpec& f = cfg.faults[i];
     MPIV_CHECK(f.rank >= 0 && f.rank < cfg.nranks,
                "fault plan names rank %d but only ranks 0..%d exist", f.rank,
                cfg.nranks - 1);
+    MPIV_CHECK(f.at > 0, "fault for rank %d scheduled at t <= 0 (got %lld)",
+               f.rank, static_cast<long long>(f.at));
+    for (std::size_t j = 0; j < i; ++j) {
+      MPIV_CHECK(cfg.faults[j].rank != f.rank || cfg.faults[j].at != f.at,
+                 "duplicate fault: rank %d at t = %lld named twice", f.rank,
+                 static_cast<long long>(f.at));
+    }
   }
+  // Campaign sanity through the shared rule set (fault/campaign.hpp): every
+  // injection must name a real target and an implementable trigger/action
+  // combination before anything is scheduled.
+  fault::validate_campaign(cfg.campaign, cfg.nranks,
+                           cfg.el_shards + cfg.el_standby, cfg.event_logger,
+                           [](const std::string& what) {
+                             MPIV_CHECK(false, "campaign: %s", what.c_str());
+                           });
   if (cfg.protocol == ProtocolKind::kCoordinated &&
       cfg.ckpt_policy != ckpt::Policy::kNone) {
     // Coordinated checkpointing is a global wave by construction.
@@ -41,22 +63,56 @@ ClusterConfig validated(ClusterConfig cfg) {
 
 Cluster::Cluster(ClusterConfig cfg)
     : cfg_(validated(std::move(cfg))),
-      layout_{cfg_.nranks, cfg_.el_shards},
+      layout_{cfg_.nranks, cfg_.el_shards + cfg_.el_standby},
       net_(eng_, layout_.total_nodes(), cfg_.cost),
       stats_(static_cast<std::size_t>(cfg_.nranks)) {
+  el_dir_.init(cfg_.nranks, cfg_.el_shards, cfg_.el_standby);
+  timeline_.reset(cfg_.nranks);
+
+  for (int shard = 0; shard < layout_.el_count; ++shard) {
+    els_.push_back(std::make_unique<elog::EventLogger>(
+        net_, layout_, &el_stats_, shard, &el_dir_, nullptr));
+  }
+
+  fault::FaultEngine::Bindings fb;
+  fb.eng = &eng_;
+  fb.net = &net_;
+  fb.layout = layout_;
+  fb.directory = &el_dir_;
+  for (auto& e : els_) fb.els.push_back(e.get());
+  fb.crash_rank = [this](int r) {
+    if (dispatcher_) dispatcher_->fault(r);
+  };
+  fb.alive_ranks = [this] {
+    return dispatcher_ ? dispatcher_->alive_ranks() : std::vector<int>{};
+  };
+  fb.run_done = [this] { return dispatcher_ && dispatcher_->all_done(); };
+  fb.send_ctl = [this](net::Message&& m) {
+    if (dispatcher_) dispatcher_->send_ctl(std::move(m));
+  };
+  fault_engine_ = std::make_unique<fault::FaultEngine>(cfg_.campaign, cfg_.seed,
+                                                       std::move(fb));
+  for (auto& e : els_) e->set_observer(fault_engine_.get());
+
+  mpi::RankHooks hooks;
+  hooks.el_directory = &el_dir_;
+  hooks.observer = fault_engine_.get();
+  hooks.timeline = &timeline_;
+  hooks.el_fault_at = fault_engine_->first_el_fault_ptr();
+  // Retransmit timers fire only under a campaign: fault-free runs stay
+  // event-for-event identical to the pre-engine runtime (the determinism
+  // goldens pin this).
+  hooks.service_retry = cfg_.campaign.empty() ? 0 : cfg_.campaign.service_retry;
+
   const net::ChannelKind channel = cfg_.protocol == ProtocolKind::kP4
                                        ? net::ChannelKind::kP4
                                        : net::ChannelKind::kV;
   for (int r = 0; r < cfg_.nranks; ++r) {
     ranks_.push_back(std::make_unique<mpi::RankRuntime>(
         eng_, net_, layout_, r, channel, make_protocol(),
-        &stats_[static_cast<std::size_t>(r)], cfg_.seed));
+        &stats_[static_cast<std::size_t>(r)], cfg_.seed, hooks));
     ranks_.back()->set_process(
         &eng_.create_process("rank" + std::to_string(r)));
-  }
-  for (int shard = 0; shard < cfg_.el_shards; ++shard) {
-    els_.push_back(
-        std::make_unique<elog::EventLogger>(net_, layout_, &el_stats_, shard));
   }
   ckpt_ = std::make_unique<ckpt::CheckpointServer>(net_, layout_);
   sched_ = std::make_unique<ckpt::CheckpointScheduler>(
@@ -81,8 +137,11 @@ ClusterReport Cluster::run(mpi::AppFactory factory) {
         return v;
       }(),
       factory, cfg_.protocol == ProtocolKind::kCoordinated,
-      cfg_.detection_delay);
-  dispatcher_->arm_faults(cfg_.faults, cfg_.faults_per_minute, cfg_.seed);
+      cfg_.detection_delay, &timeline_);
+  std::vector<std::pair<sim::Time, int>> legacy;
+  legacy.reserve(cfg_.faults.size());
+  for (const FaultSpec& f : cfg_.faults) legacy.emplace_back(f.at, f.rank);
+  fault_engine_->arm(legacy, cfg_.faults_per_minute);
   sched_->start();
   dispatcher_->launch_all();
 
@@ -98,6 +157,9 @@ ClusterReport Cluster::run(mpi::AppFactory factory) {
   rep.faults_injected = dispatcher_->faults_injected();
   rep.rank_stats = stats_;
   rep.el_stats = el_stats_;
+  rep.recoveries = timeline_.records();
+  rep.fault_counts = fault_engine_->counts();
+  rep.first_el_fault = fault_engine_->first_el_fault();
   return rep;
 }
 

@@ -14,10 +14,17 @@
 #include "ckpt/checkpoint_server.hpp"
 #include "ckpt/scheduler.hpp"
 #include "causal/strategy.hpp"
+#include "elog/el_directory.hpp"
 #include "elog/event_logger.hpp"
+#include "fault/campaign.hpp"
+#include "fault/timeline.hpp"
 #include "ftapi/stats.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "runtime/dispatcher.hpp"
+
+namespace mpiv::fault {
+class FaultEngine;
+}
 
 namespace mpiv::runtime {
 
@@ -37,6 +44,9 @@ struct ClusterConfig {
   /// Number of Event Logger shards (paper §VI future work: > 1 distributes
   /// determinant logging; shards exchange their stable-clock arrays).
   int el_shards = 1;
+  /// Cold standby EL shard nodes: provisioned and exchanging clocks but
+  /// serving no ranks until a shard crash fails over onto one.
+  int el_standby = 0;
   net::CostModel cost{};
   std::uint64_t seed = 1;
 
@@ -45,6 +55,10 @@ struct ClusterConfig {
 
   std::vector<FaultSpec> faults;
   double faults_per_minute = 0.0;
+  /// Declarative chaos campaign (EL shard crashes, checkpoint-server
+  /// outages, link perturbations, event-triggered rank kills) executed by
+  /// the fault engine alongside the legacy plan above.
+  fault::Campaign campaign;
   sim::Time detection_delay = 250 * sim::kMillisecond;
 
   /// Safety net for runaway simulations (0 = unlimited).
@@ -57,6 +71,11 @@ struct ClusterReport {
   std::uint64_t faults_injected = 0;
   std::vector<ftapi::RankStats> rank_stats;
   ftapi::ElStats el_stats;
+  /// Per-recovery phase breakdown (detect / image / collect / replay).
+  std::vector<fault::RecoveryRecord> recoveries;
+  /// What the fault engine actually injected.
+  fault::FaultCounts fault_counts;
+  sim::Time first_el_fault = 0;
 
   ftapi::RankStats totals() const {
     ftapi::RankStats t;
@@ -85,6 +104,9 @@ class Cluster {
   mpi::RankRuntime& rank(int r) { return *ranks_[static_cast<std::size_t>(r)]; }
   elog::EventLogger& event_logger(int shard = 0) { return *els_[static_cast<std::size_t>(shard)]; }
   ckpt::CheckpointServer& checkpoint_server() { return *ckpt_; }
+  const elog::ElDirectory& el_directory() const { return el_dir_; }
+  fault::FaultEngine& fault_engine() { return *fault_engine_; }
+  const fault::RecoveryTimeline& timeline() const { return timeline_; }
   const ClusterConfig& config() const { return cfg_; }
 
   /// Human-readable protocol tag ("Manetho (no EL)", "MPICH-P4", ...).
@@ -102,6 +124,9 @@ class Cluster {
   net::Network net_;
   std::vector<ftapi::RankStats> stats_;
   ftapi::ElStats el_stats_;
+  elog::ElDirectory el_dir_;
+  fault::RecoveryTimeline timeline_;
+  std::unique_ptr<fault::FaultEngine> fault_engine_;
   std::vector<std::unique_ptr<mpi::RankRuntime>> ranks_;
   std::vector<std::unique_ptr<elog::EventLogger>> els_;
   std::unique_ptr<ckpt::CheckpointServer> ckpt_;

@@ -1,11 +1,12 @@
 // The MPICH-V dispatcher (paper §IV-B.1): launches the runtime, monitors
 // the execution, detects faults and relaunches crashed MPI processes.
 //
-// In the simulator it additionally owns the fault injector (deterministic
-// schedule and/or a Poisson process at the paper's faults-per-minute rates)
-// and serializes recoveries: a fault that strikes while another rank is
-// still collecting its determinants is queued until that recovery finishes,
-// so survivors are always available to answer recovery requests.
+// Fault *scheduling* (timed, stochastic and event-triggered injections)
+// lives in fault::FaultEngine; the dispatcher executes rank faults the
+// engine hands it and serializes recoveries: a fault that strikes while
+// another rank is still collecting its determinants is queued until that
+// recovery finishes, so survivors are always available to answer recovery
+// requests. It also stamps the detect phase of every recovery timeline.
 #pragma once
 
 #include <deque>
@@ -14,11 +15,11 @@
 #include <vector>
 
 #include "coord/coordinated_protocol.hpp"
+#include "fault/timeline.hpp"
 #include "ftapi/services.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "net/service_port.hpp"
-#include "util/rng.hpp"
 
 namespace mpiv::runtime {
 
@@ -31,7 +32,8 @@ class Dispatcher {
  public:
   Dispatcher(net::Network& net, const ftapi::NodeLayout& layout,
              std::vector<mpi::RankRuntime*> ranks, mpi::AppFactory factory,
-             bool coordinated, sim::Time detection_delay)
+             bool coordinated, sim::Time detection_delay,
+             fault::RecoveryTimeline* timeline = nullptr)
       : net_(net),
         layout_(layout),
         port_(net, layout.dispatcher_node()),
@@ -39,6 +41,7 @@ class Dispatcher {
         factory_(std::move(factory)),
         coordinated_(coordinated),
         detection_delay_(detection_delay),
+        timeline_(timeline),
         coordinator_(net, layout) {
     net.attach(layout.dispatcher_node(),
                [this](net::Message&& m) { on_frame(std::move(m)); });
@@ -49,43 +52,9 @@ class Dispatcher {
     for (mpi::RankRuntime* r : ranks_) r->launch(factory_);
   }
 
-  /// Arms the deterministic fault schedule and/or a Poisson fault process
-  /// with the given rate (faults per minute over the whole cluster).
-  void arm_faults(const std::vector<FaultSpec>& faults, double faults_per_minute,
-                  std::uint64_t seed) {
-    rng_.reseed(seed ^ 0xFA17'2005ULL);
-    for (const FaultSpec& f : faults) {
-      port_.engine().at(f.at, [this, f] { fault(f.rank); });
-    }
-    if (faults_per_minute > 0) {
-      poisson_mean_ns_ = 60.0 * 1e9 / faults_per_minute;
-      arm_next_poisson();
-    }
-  }
-
-  bool all_done() const { return done_.size() == ranks_.size(); }
-  sim::Time completion_time() const { return completion_time_; }
-  std::uint64_t faults_injected() const { return faults_injected_; }
-  const coord::WaveCoordinator& coordinator() const { return coordinator_; }
-
- private:
-  void arm_next_poisson() {
-    const sim::Time dt =
-        static_cast<sim::Time>(rng_.next_exponential(poisson_mean_ns_));
-    port_.engine().after(dt, [this] {
-      if (all_done()) return;
-      // Victim: a uniformly random, not-yet-finished rank.
-      std::vector<int> alive;
-      for (std::size_t r = 0; r < ranks_.size(); ++r) {
-        if (done_.count(static_cast<int>(r)) == 0) alive.push_back(static_cast<int>(r));
-      }
-      if (!alive.empty()) {
-        fault(alive[rng_.next_below(alive.size())]);
-      }
-      arm_next_poisson();
-    });
-  }
-
+  /// Injects a fault into `rank` (the fault engine's rank-crash primitive).
+  /// Queued if another recovery is still in flight; dropped once the run
+  /// completed or the rank already finished.
   void fault(int rank) {
     if (getenv("MPIV_DEBUG_RECOVERY")) {
       std::fprintf(stderr, "[dbg] fault(%d) at %.3fs: all_done=%d done=%zu busy=%d\n",
@@ -100,25 +69,59 @@ class Dispatcher {
     execute_fault(rank);
   }
 
+  /// Ranks the fault engine may still crash (alive = not yet finished).
+  std::vector<int> alive_ranks() const {
+    std::vector<int> alive;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+      if (done_.count(static_cast<int>(r)) == 0) alive.push_back(static_cast<int>(r));
+    }
+    return alive;
+  }
+
+  /// Emits a control frame from the dispatcher node (fault-engine
+  /// notifications, e.g. EL failover notices) at select-loop cost.
+  void send_ctl(net::Message&& m) {
+    port_.send_after(net_.cost().ctl_per_msg, std::move(m));
+  }
+
+  bool all_done() const { return done_.size() == ranks_.size(); }
+  sim::Time completion_time() const { return completion_time_; }
+  std::uint64_t faults_injected() const { return faults_injected_; }
+  const coord::WaveCoordinator& coordinator() const { return coordinator_; }
+
+ private:
   void execute_fault(int rank) {
     ++faults_injected_;
     recovery_busy_ = true;
+    const sim::Time now = port_.engine().now();
     if (coordinated_) {
       // Global rollback: every rank dies and restarts from the last
       // globally-complete snapshot.
       const std::uint64_t snapshot = coordinator_.last_complete();
       done_.clear();
       for (mpi::RankRuntime* r : ranks_) r->crash();
+      if (timeline_ != nullptr) {
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+          timeline_->begin(static_cast<int>(r), now, /*coordinated=*/true);
+        }
+      }
       port_.engine().after(detection_delay_, [this, snapshot] {
         recoveries_outstanding_ = ranks_.size();
-        for (mpi::RankRuntime* r : ranks_) r->restart(factory_, snapshot);
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+          if (timeline_ != nullptr) {
+            timeline_->mark_restart(static_cast<int>(r), port_.engine().now());
+          }
+          ranks_[r]->restart(factory_, snapshot);
+        }
       });
       return;
     }
     ranks_[static_cast<std::size_t>(rank)]->crash();
+    if (timeline_ != nullptr) timeline_->begin(rank, now, /*coordinated=*/false);
     done_.erase(rank);
     port_.engine().after(detection_delay_, [this, rank] {
       recoveries_outstanding_ = 1;
+      if (timeline_ != nullptr) timeline_->mark_restart(rank, port_.engine().now());
       ranks_[static_cast<std::size_t>(rank)]->restart(factory_, 0);
     });
   }
@@ -157,8 +160,8 @@ class Dispatcher {
   mpi::AppFactory factory_;
   bool coordinated_;
   sim::Time detection_delay_;
+  fault::RecoveryTimeline* timeline_;
   coord::WaveCoordinator coordinator_;
-  util::Rng rng_;
 
   std::set<int> done_;
   sim::Time completion_time_ = 0;
@@ -166,7 +169,6 @@ class Dispatcher {
   std::size_t recoveries_outstanding_ = 0;
   std::deque<int> pending_faults_;
   std::uint64_t faults_injected_ = 0;
-  double poisson_mean_ns_ = 0;
 };
 
 }  // namespace mpiv::runtime

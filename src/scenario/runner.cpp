@@ -1,5 +1,6 @@
 #include "scenario/runner.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -54,6 +55,7 @@ void apply_quick(ScenarioSpec& spec) {
                         key + "' empties the sweep axis");
       }
     } else {
+      strip_fault_key(spec, key);  // injection keys override, not append
       apply_key(spec, key, value);
     }
   }
@@ -74,6 +76,9 @@ std::vector<RunPoint> expand(const ScenarioSpec& spec) {
     p.spec = base;
     for (std::size_t a = 0; a < axes.size(); ++a) {
       const std::string& value = axes[a].second[idx[a]];
+      // A swept injection key replaces the base [faults] line of its kind —
+      // the same override semantics every scalar axis has.
+      strip_fault_key(p.spec, axes[a].first);
       apply_key(p.spec, axes[a].first, value);
       p.axes.emplace_back(axes[a].first, value);
     }
@@ -124,12 +129,14 @@ runtime::ClusterConfig lower(const ScenarioSpec& spec) {
   cfg.strategy = spec.variant.strategy;
   cfg.event_logger = spec.variant.event_logger;
   cfg.el_shards = spec.el_shards;
+  cfg.el_standby = spec.el_standby;
   cfg.cost = spec.cost;
   cfg.seed = spec.seed;
   cfg.ckpt_policy = spec.ckpt_policy;
   cfg.ckpt_interval = spec.ckpt_interval;
   cfg.faults = spec.faults.faults;
   cfg.faults_per_minute = spec.faults.faults_per_minute;
+  cfg.campaign = spec.faults.campaign;
   cfg.detection_delay = spec.detection_delay;
   cfg.max_sim_time = spec.max_sim_time;
   return cfg;
@@ -145,10 +152,23 @@ RunResult run_point(const RunPoint& point) {
 
   ScenarioSpec spec = point.spec;
   if (spec.faults.midrun_rank >= 0) {
-    // The paper's "middle of correct execution" protocol: a fault-free
-    // reference pass sizes the crash time for the measured pass.
+    // The paper's "middle of correct execution" protocol: a rank-fault-free
+    // reference pass sizes the crash time for the measured pass. The
+    // reference strips every rank crash (timed, stochastic, midrun) but
+    // keeps the campaign's *environment* faults — EL crashes, server
+    // outages, link perturbations — so both passes see identical timing up
+    // to the measured crash and `recovered_exact` isolates recovery
+    // correctness, not incidental wildcard reorderings.
     ScenarioSpec ref = spec;
-    ref.faults = FaultPlan{};
+    ref.faults.faults.clear();
+    ref.faults.faults_per_minute = 0.0;
+    ref.faults.midrun_rank = -1;
+    auto& inj = ref.faults.campaign.injections;
+    inj.erase(std::remove_if(inj.begin(), inj.end(),
+                             [](const fault::Injection& i) {
+                               return i.target == fault::Target::kRank;
+                             }),
+              inj.end());
     const ClusterRun ref_run = run_cluster(ref);
     r.has_reference = true;
     r.reference_time = ref_run.report.completion_time;
@@ -289,6 +309,11 @@ void write_run(std::ostringstream& out, const RunResult& r,
   key("pb_events") << t.pb_events_sent << ",\n";
   key("pb_bytes") << t.pb_bytes_sent << ",\n";
   key("pb_pct") << json_num(r.report.piggyback_pct()) << ",\n";
+  key("pb_peak_msg_bytes") << t.pb_peak_msg_bytes << ",\n";
+  key("pb_peak_msg_events") << t.pb_peak_msg_events << ",\n";
+  key("pb_peak_post_el_fault_bytes") << t.pb_peak_post_el_fault_bytes << ",\n";
+  key("pb_peak_post_el_fault_events") << t.pb_peak_post_el_fault_events
+                                      << ",\n";
   key("pb_send_cpu_s") << json_num(sim::to_sec(t.pb_send_cpu)) << ",\n";
   key("pb_recv_cpu_s") << json_num(sim::to_sec(t.pb_recv_cpu)) << ",\n";
   key("events_executed") << r.events_executed << ",\n";
@@ -313,7 +338,44 @@ void write_run(std::ostringstream& out, const RunResult& r,
                   << ", \"collect_ms\": "
                   << json_num(sim::to_ms(t.recovery_collect_time))
                   << ", \"total_ms\": "
-                  << json_num(sim::to_ms(t.recovery_total_time)) << "}";
+                  << json_num(sim::to_ms(t.recovery_total_time)) << "},\n";
+  const fault::FaultCounts& fc = r.report.fault_counts;
+  key("faults") << "{\"rank_crashes\": " << fc.rank_crashes
+                << ", \"el_crashes\": " << fc.el_crashes
+                << ", \"el_outages\": " << fc.el_outages
+                << ", \"el_failovers\": " << fc.el_failovers
+                << ", \"ckpt_outages\": " << fc.ckpt_outages
+                << ", \"link_faults\": " << fc.link_faults
+                << ", \"first_el_fault_s\": "
+                << json_num(sim::to_sec(r.report.first_el_fault)) << "},\n";
+  // One timeline entry per recovery: the per-phase breakdown Fig. 10's
+  // scalar hides. Interrupted recoveries (crash mid-recovery) report
+  // complete = false with the phases that did finish.
+  key("recoveries") << "[";
+  for (std::size_t i = 0; i < r.report.recoveries.size(); ++i) {
+    const fault::RecoveryRecord& rec = r.report.recoveries[i];
+    if (i) out << ", ";
+    out << "{\"rank\": " << rec.rank
+        << ", \"coordinated\": " << (rec.coordinated ? "true" : "false")
+        << ", \"complete\": " << (rec.complete() ? "true" : "false")
+        << ", \"fault_s\": " << json_num(sim::to_sec(rec.fault_at))
+        << ", \"events\": " << rec.replay_events;
+    if (rec.restart_at != 0) {
+      out << ", \"detect_ms\": " << json_num(sim::to_ms(rec.detect_ns()));
+    }
+    if (rec.image_at != 0) {
+      out << ", \"image_ms\": " << json_num(sim::to_ms(rec.image_ns()));
+    }
+    if (rec.collect_at != 0) {
+      out << ", \"collect_ms\": " << json_num(sim::to_ms(rec.collect_ns()));
+    }
+    if (rec.complete()) {
+      out << ", \"replay_ms\": " << json_num(sim::to_ms(rec.replay_ns()))
+          << ", \"total_ms\": " << json_num(sim::to_ms(rec.total_ns()));
+    }
+    out << "}";
+  }
+  out << "]";
   if (r.has_reference) {
     out << ",\n";
     key("reference") << "{\"sim_time_s\": "

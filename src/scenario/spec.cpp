@@ -2,6 +2,7 @@
 // path, the scenario text format, and build-time validation.
 #include "scenario/spec.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -95,6 +96,132 @@ ckpt::Policy parse_policy(const std::string& key, const std::string& value) {
   bad_value(key, value, "none / round-robin / random / all-at-once");
 }
 
+/// Splits ':'-separated injection fields, trimming each.
+std::vector<std::string> split_fields(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t colon = s.find(':', pos);
+    if (colon == std::string::npos) colon = s.size();
+    out.push_back(trim(s.substr(pos, colon - pos)));
+    pos = colon + 1;
+  }
+  return out;
+}
+
+/// Campaign trigger token: a time ("120ms") or an execution count
+/// ("ckpt@5" on crash_rank, "stored@2000" on crash_el — '@', because '#'
+/// starts a comment in scenario files).
+void parse_fault_trigger(const std::string& key, const std::string& tok,
+                         const char* event_word, fault::Trigger event_trigger,
+                         fault::Injection& inj) {
+  const std::string prefix = std::string(event_word) + "@";
+  if (tok.rfind(prefix, 0) == 0) {
+    inj.trigger = event_trigger;
+    inj.nth = parse_u64(key, tok.substr(prefix.size()));
+    return;
+  }
+  inj.trigger = fault::Trigger::kAt;
+  inj.at = parse_time(key, tok);
+}
+
+[[noreturn]] void bad_fields(const std::string& key, const std::string& value,
+                             const char* expected) {
+  bad_value(key, value, expected);
+}
+
+/// The `faults.*` key family — the scenario-file face of fault::Campaign.
+bool apply_fault_key(ScenarioSpec& spec, const std::string& key,
+                     const std::string& value) {
+  fault::Campaign& c = spec.faults.campaign;
+  const std::vector<std::string> f = split_fields(value);
+  if (key == "faults.crash_rank") {
+    // "<time>:<rank>" or "ckpt@N:<rank>".
+    if (f.size() != 2) bad_fields(key, value, "'<time|ckpt@N>:<rank>'");
+    fault::Injection inj;
+    inj.target = fault::Target::kRank;
+    parse_fault_trigger(key, f[0], "ckpt", fault::Trigger::kOnCheckpoint, inj);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    c.injections.push_back(inj);
+  } else if (key == "faults.crash_el") {
+    // "<time>:<shard>" or "stored@N:<shard>".
+    if (f.size() != 2) bad_fields(key, value, "'<time|stored@N>:<shard>'");
+    fault::Injection inj;
+    inj.target = fault::Target::kElShard;
+    parse_fault_trigger(key, f[0], "stored", fault::Trigger::kOnElStored, inj);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    c.injections.push_back(inj);
+  } else if (key == "faults.el_outage") {
+    if (f.size() != 3) bad_fields(key, value, "'<time>:<shard>:<duration>'");
+    fault::Injection inj;
+    inj.target = fault::Target::kElShard;
+    inj.action = fault::Action::kOutage;
+    inj.at = parse_time(key, f[0]);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    inj.duration = parse_time(key, f[2]);
+    c.injections.push_back(inj);
+  } else if (key == "faults.ckpt_outage") {
+    if (f.size() != 2) bad_fields(key, value, "'<time>:<duration>'");
+    fault::Injection inj;
+    inj.target = fault::Target::kCkptServer;
+    inj.action = fault::Action::kOutage;
+    inj.at = parse_time(key, f[0]);
+    inj.duration = parse_time(key, f[1]);
+    c.injections.push_back(inj);
+  } else if (key == "faults.link_latency") {
+    if (f.size() != 4) {
+      bad_fields(key, value, "'<time>:<rank>:<extra>:<duration>'");
+    }
+    fault::Injection inj;
+    inj.target = fault::Target::kLink;
+    inj.action = fault::Action::kLatencySpike;
+    inj.at = parse_time(key, f[0]);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    inj.magnitude = parse_time(key, f[2]);
+    inj.duration = parse_time(key, f[3]);
+    c.injections.push_back(inj);
+  } else if (key == "faults.link_drop") {
+    if (f.size() != 3 && f.size() != 4) {
+      bad_fields(key, value, "'<time>:<rank>:<duration>[:<backoff>]'");
+    }
+    fault::Injection inj;
+    inj.target = fault::Target::kLink;
+    inj.action = fault::Action::kDropWindow;
+    inj.at = parse_time(key, f[0]);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    inj.duration = parse_time(key, f[2]);
+    inj.magnitude =
+        f.size() == 4 ? parse_time(key, f[3]) : 5 * sim::kMillisecond;
+    c.injections.push_back(inj);
+  } else if (key == "faults.rank_rate") {
+    // A Poisson crash process over random live ranks — the campaign twin of
+    // the legacy `faults_per_minute` key, salted/swept independently.
+    fault::Injection inj;
+    inj.target = fault::Target::kRank;
+    inj.index = -1;
+    inj.trigger = fault::Trigger::kRate;
+    inj.rate_per_minute = parse_f64(key, value);
+    c.injections.push_back(inj);
+  } else if (key == "faults.el_failover") {
+    if (value == "reassign") {
+      c.el_failover = fault::ElFailover::kReassign;
+    } else if (value == "standby") {
+      c.el_failover = fault::ElFailover::kStandby;
+    } else {
+      bad_value(key, value, "reassign / standby");
+    }
+  } else if (key == "faults.el_failover_delay") {
+    c.el_failover_delay = parse_time(key, value);
+  } else if (key == "faults.service_retry") {
+    c.service_retry = parse_time(key, value);
+  } else if (key == "faults.seed_salt") {
+    c.seed_salt = parse_u64(key, value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string protocol_name(runtime::ProtocolKind kind) {
   for (const auto& entry : protocols().entries()) {
     if (entry.second.kind == kind) return entry.first;
@@ -155,6 +282,45 @@ bool apply_cost_key(net::CostModel& cost, const std::string& key,
 }
 
 }  // namespace
+
+void strip_fault_key(ScenarioSpec& spec, const std::string& key) {
+  using fault::Action;
+  using fault::Injection;
+  using fault::Target;
+  using fault::Trigger;
+  bool (*match)(const Injection&) = nullptr;
+  if (key == "faults.crash_rank") {
+    match = [](const Injection& i) {
+      return i.target == Target::kRank && i.trigger != Trigger::kRate;
+    };
+  } else if (key == "faults.rank_rate") {
+    match = [](const Injection& i) {
+      return i.target == Target::kRank && i.trigger == Trigger::kRate;
+    };
+  } else if (key == "faults.crash_el") {
+    match = [](const Injection& i) {
+      return i.target == Target::kElShard && i.action == Action::kCrash;
+    };
+  } else if (key == "faults.el_outage") {
+    match = [](const Injection& i) {
+      return i.target == Target::kElShard && i.action == Action::kOutage;
+    };
+  } else if (key == "faults.ckpt_outage") {
+    match = [](const Injection& i) { return i.target == Target::kCkptServer; };
+  } else if (key == "faults.link_latency") {
+    match = [](const Injection& i) {
+      return i.target == Target::kLink && i.action == Action::kLatencySpike;
+    };
+  } else if (key == "faults.link_drop") {
+    match = [](const Injection& i) {
+      return i.target == Target::kLink && i.action == Action::kDropWindow;
+    };
+  } else {
+    return;  // scalar keys override naturally
+  }
+  auto& inj = spec.faults.campaign.injections;
+  inj.erase(std::remove_if(inj.begin(), inj.end(), match), inj.end());
+}
 
 std::vector<std::string> split_list(const std::string& csv) {
   std::vector<std::string> out;
@@ -219,6 +385,8 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
   } else if (key == "el_shards") {
     spec.el_shards = static_cast<int>(parse_i64(key, value));
     spec.el_shards_set = true;
+  } else if (key == "el_standby") {
+    spec.el_standby = static_cast<int>(parse_i64(key, value));
   } else if (key == "seed") {
     spec.seed = parse_u64(key, value);
   } else if (key == "ckpt_policy") {
@@ -262,6 +430,10 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.workload.params["scale"] = trim(value.substr(c2 + 1));
   } else if (key.rfind("workload.", 0) == 0) {
     spec.workload.params[key.substr(sizeof("workload.") - 1)] = value;
+  } else if (key.rfind("faults.", 0) == 0) {
+    if (!apply_fault_key(spec, key, value)) {
+      throw SpecError("unknown faults key '" + key + "'");
+    }
   } else if (key.rfind("cost.", 0) == 0) {
     if (!apply_cost_key(spec.cost, key, value)) {
       throw SpecError("unknown cost key '" + key + "'");
@@ -290,9 +462,10 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         if (line.back() != ']') throw SpecError("unterminated section header");
         section = trim(line.substr(1, line.size() - 2));
         if (section != "scenario" && section != "cost" && section != "sweep" &&
-            section != "quick") {
+            section != "quick" && section != "faults") {
           throw SpecError("unknown section [" + section +
-                          "] (use [scenario], [cost], [sweep], [quick])");
+                          "] (use [scenario], [cost], [faults], [sweep], "
+                          "[quick])");
         }
         continue;
       }
@@ -307,6 +480,8 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         apply_key(spec, key, value);
       } else if (section == "cost") {
         apply_key(spec, "cost." + key, value);
+      } else if (section == "faults") {
+        apply_key(spec, "faults." + key, value);
       } else if (section == "sweep") {
         const std::vector<std::string> values = split_list(value);
         if (values.empty()) {
@@ -356,6 +531,7 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   out << "variant = " << spec.variant.name << "\n";
   out << "nranks = " << spec.nranks << "\n";
   if (spec.el_shards_set) out << "el_shards = " << spec.el_shards << "\n";
+  if (spec.el_standby != 0) out << "el_standby = " << spec.el_standby << "\n";
   out << "seed = " << spec.seed << "\n";
   if (spec.ckpt_policy != ckpt::Policy::kNone || spec.ckpt_interval != 0) {
     out << "ckpt_policy = " << ckpt::policy_name(spec.ckpt_policy) << "\n";
@@ -415,6 +591,61 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   if (!cost_body.str().empty()) {
     out << "\n[cost]\n" << cost_body.str();
   }
+  // The [faults] campaign section: one line per injection plus any
+  // non-default engine knobs (same keys apply_fault_key parses back).
+  const fault::Campaign& camp = spec.faults.campaign;
+  const fault::Campaign defc{};
+  std::ostringstream fb;
+  for (const fault::Injection& inj : camp.injections) {
+    switch (inj.target) {
+      case fault::Target::kRank:
+        if (inj.trigger == fault::Trigger::kRate) {
+          fb << "rank_rate = " << num(inj.rate_per_minute) << "\n";
+        } else if (inj.trigger == fault::Trigger::kOnCheckpoint) {
+          fb << "crash_rank = ckpt@" << inj.nth << ":" << inj.index << "\n";
+        } else {
+          fb << "crash_rank = " << inj.at << "ns:" << inj.index << "\n";
+        }
+        break;
+      case fault::Target::kElShard:
+        if (inj.action == fault::Action::kOutage) {
+          fb << "el_outage = " << inj.at << "ns:" << inj.index << ":"
+             << inj.duration << "ns\n";
+        } else if (inj.trigger == fault::Trigger::kOnElStored) {
+          fb << "crash_el = stored@" << inj.nth << ":" << inj.index << "\n";
+        } else {
+          fb << "crash_el = " << inj.at << "ns:" << inj.index << "\n";
+        }
+        break;
+      case fault::Target::kCkptServer:
+        fb << "ckpt_outage = " << inj.at << "ns:" << inj.duration << "ns\n";
+        break;
+      case fault::Target::kLink:
+        if (inj.action == fault::Action::kDropWindow) {
+          fb << "link_drop = " << inj.at << "ns:" << inj.index << ":"
+             << inj.duration << "ns:" << inj.magnitude << "ns\n";
+        } else {
+          fb << "link_latency = " << inj.at << "ns:" << inj.index << ":"
+             << inj.magnitude << "ns:" << inj.duration << "ns\n";
+        }
+        break;
+    }
+  }
+  if (camp.el_failover != defc.el_failover) {
+    fb << "el_failover = " << fault::el_failover_name(camp.el_failover) << "\n";
+  }
+  if (camp.el_failover_delay != defc.el_failover_delay) {
+    fb << "el_failover_delay = " << camp.el_failover_delay << "ns\n";
+  }
+  if (camp.service_retry != defc.service_retry) {
+    fb << "service_retry = " << camp.service_retry << "ns\n";
+  }
+  if (camp.seed_salt != defc.seed_salt) {
+    fb << "seed_salt = " << camp.seed_salt << "\n";
+  }
+  if (!fb.str().empty()) {
+    out << "\n[faults]\n" << fb.str();
+  }
   if (!spec.sweep.empty()) {
     out << "\n[sweep]\n";
     for (const auto& [axis, values] : spec.sweep) {
@@ -456,28 +687,48 @@ void validate(const ScenarioSpec& spec) {
          spec.variant.name +
          "' disables the event logger — sharding needs event_logger = true");
   }
+  if (spec.el_standby < 0 || spec.el_standby > 64) {
+    fail("el_standby must be in [0, 64] (got " +
+         std::to_string(spec.el_standby) + ")");
+  }
+  if (spec.el_standby > 0 && !spec.variant.event_logger) {
+    fail("el_standby = " + std::to_string(spec.el_standby) + " but variant '" +
+         spec.variant.name + "' disables the event logger");
+  }
   if (spec.variant.protocol == runtime::ProtocolKind::kP4 &&
       spec.faults.any()) {
     fail("MPICH-P4 is not fault tolerant — remove the fault plan");
   }
-  for (const runtime::FaultSpec& f : spec.faults.faults) {
+  for (std::size_t i = 0; i < spec.faults.faults.size(); ++i) {
+    const runtime::FaultSpec& f = spec.faults.faults[i];
     if (f.rank < 0 || f.rank >= spec.nranks) {
       fail("fault plan names rank " + std::to_string(f.rank) +
            " but only ranks 0.." + std::to_string(spec.nranks - 1) + " exist");
     }
-    if (f.at < 0) fail("fault time must be >= 0");
+    if (f.at <= 0) fail("fault time must be > 0");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.faults.faults[j].rank == f.rank &&
+          spec.faults.faults[j].at == f.at) {
+        fail("duplicate fault: rank " + std::to_string(f.rank) + " at t = " +
+             std::to_string(f.at) + "ns named twice");
+      }
+    }
   }
   if (spec.faults.midrun_rank >= spec.nranks) {
     fail("midrun fault names rank " + std::to_string(spec.faults.midrun_rank) +
          " but only ranks 0.." + std::to_string(spec.nranks - 1) + " exist");
   }
-  if (spec.faults.midrun_rank >= 0 &&
-      (spec.faults.midrun_frac <= 0 || spec.faults.midrun_frac >= 1)) {
+  if (spec.faults.midrun_frac <= 0 || spec.faults.midrun_frac >= 1) {
     fail("midrun_fault_frac must be in (0, 1)");
   }
   if (spec.faults.faults_per_minute < 0) {
     fail("faults_per_minute must be >= 0");
   }
+  // Campaign sanity through the shared rule set (fault/campaign.hpp) —
+  // scenario files must fail with a reportable SpecError, not an abort.
+  fault::validate_campaign(spec.faults.campaign, spec.nranks,
+                           spec.el_shards + spec.el_standby,
+                           spec.variant.event_logger, fail);
   if (spec.ckpt_interval < 0) fail("ckpt_interval must be >= 0");
   const WorkloadEntry& wl = workload_registry().at(spec.workload.name);
   for (const auto& [param, value] : spec.workload.params) {

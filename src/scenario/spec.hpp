@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "ckpt/scheduler.hpp"
+#include "fault/campaign.hpp"
 #include "runtime/cluster.hpp"
 #include "workloads/nas.hpp"
 
@@ -58,15 +59,20 @@ struct WorkloadSpec {
 /// When and whom to crash. `midrun_rank >= 0` is the paper's "middle of
 /// correct execution" protocol: the runner first executes a fault-free
 /// reference, then reruns with a crash of that rank at
-/// `midrun_frac * reference completion time`.
+/// `midrun_frac * reference completion time`. `campaign` is the fault
+/// engine's declarative chaos surface (EL-shard crashes, server outages,
+/// link perturbations, event-triggered kills — the `[faults]` section of
+/// scenario files).
 struct FaultPlan {
   std::vector<runtime::FaultSpec> faults;
   double faults_per_minute = 0.0;
   int midrun_rank = -1;
   double midrun_frac = 0.5;
+  fault::Campaign campaign;
 
   bool any() const {
-    return !faults.empty() || faults_per_minute > 0 || midrun_rank >= 0;
+    return !faults.empty() || faults_per_minute > 0 || midrun_rank >= 0 ||
+           !campaign.empty();
   }
 };
 
@@ -80,6 +86,7 @@ struct ScenarioSpec {
   int nranks = 4;
   bool el_shards_set = false;  // true once el_shards was explicitly chosen
   int el_shards = 1;
+  int el_standby = 0;  // cold standby EL shard nodes (failover targets)
   std::uint64_t seed = 1;
   net::CostModel cost{};
 
@@ -110,6 +117,14 @@ VariantSpec parse_variant(const std::string& name);
 /// overlays. Throws SpecError on unknown keys or unparsable values.
 void apply_key(ScenarioSpec& spec, const std::string& key,
                const std::string& value);
+
+/// Removes the campaign injections a `faults.*` injection key previously
+/// produced (no-op for other keys). Sweep axes and quick overlays call this
+/// before re-applying, so a swept injection key REPLACES the base
+/// `[faults]` line of the same kind — matching every other axis's override
+/// semantics — while repeated lines within a `[faults]` section still
+/// accumulate.
+void strip_fault_key(ScenarioSpec& spec, const std::string& key);
 
 /// Splits a comma-separated value list, trimming each element (the sweep-
 /// axis and quick-overlay tokenizer).
@@ -167,6 +182,94 @@ class ScenarioBuilder {
   ScenarioBuilder& midrun_fault(int rank, double frac = 0.5) {
     spec_.faults.midrun_rank = rank;
     spec_.faults.midrun_frac = frac;
+    return *this;
+  }
+
+  // --- fault-engine campaign (chaos) surface -------------------------------
+  /// Raw injection escape hatch; the named conveniences below cover the
+  /// bundled experiments.
+  ScenarioBuilder& inject(const fault::Injection& inj) {
+    spec_.faults.campaign.injections.push_back(inj);
+    return *this;
+  }
+  /// Kills `rank` when it commits its `nth` checkpoint.
+  ScenarioBuilder& crash_rank_on_ckpt(int rank, std::uint64_t nth) {
+    fault::Injection inj;
+    inj.target = fault::Target::kRank;
+    inj.index = rank;
+    inj.trigger = fault::Trigger::kOnCheckpoint;
+    inj.nth = nth;
+    return inject(inj);
+  }
+  /// Permanently crashes EL shard `shard` at `at` (failover follows).
+  ScenarioBuilder& crash_el_at(sim::Time at, int shard) {
+    fault::Injection inj;
+    inj.target = fault::Target::kElShard;
+    inj.index = shard;
+    inj.at = at;
+    return inject(inj);
+  }
+  /// Crashes EL shard `shard` once it has stored `nth` determinants.
+  ScenarioBuilder& crash_el_on_stored(int shard, std::uint64_t nth) {
+    fault::Injection inj;
+    inj.target = fault::Target::kElShard;
+    inj.index = shard;
+    inj.trigger = fault::Trigger::kOnElStored;
+    inj.nth = nth;
+    return inject(inj);
+  }
+  /// Transient EL service outage: down at `at`, back `duration` later with
+  /// its persistent log intact.
+  ScenarioBuilder& el_outage(sim::Time at, int shard, sim::Time duration) {
+    fault::Injection inj;
+    inj.target = fault::Target::kElShard;
+    inj.index = shard;
+    inj.at = at;
+    inj.action = fault::Action::kOutage;
+    inj.duration = duration;
+    return inject(inj);
+  }
+  /// Checkpoint-server service outage (images persist; clients retransmit).
+  ScenarioBuilder& ckpt_outage(sim::Time at, sim::Time duration) {
+    fault::Injection inj;
+    inj.target = fault::Target::kCkptServer;
+    inj.at = at;
+    inj.action = fault::Action::kOutage;
+    inj.duration = duration;
+    return inject(inj);
+  }
+  /// +`extra` latency on rank `rank`'s link for `duration`.
+  ScenarioBuilder& link_latency(sim::Time at, int rank, sim::Time extra,
+                                sim::Time duration) {
+    fault::Injection inj;
+    inj.target = fault::Target::kLink;
+    inj.index = rank;
+    inj.at = at;
+    inj.action = fault::Action::kLatencySpike;
+    inj.magnitude = extra;
+    inj.duration = duration;
+    return inject(inj);
+  }
+  /// Frames toward rank `rank` held for `duration`, retransmitted after
+  /// `backoff`.
+  ScenarioBuilder& link_drop(sim::Time at, int rank, sim::Time duration,
+                             sim::Time backoff = 5 * sim::kMillisecond) {
+    fault::Injection inj;
+    inj.target = fault::Target::kLink;
+    inj.index = rank;
+    inj.at = at;
+    inj.action = fault::Action::kDropWindow;
+    inj.magnitude = backoff;
+    inj.duration = duration;
+    return inject(inj);
+  }
+  ScenarioBuilder& el_failover(fault::ElFailover mode, sim::Time delay) {
+    spec_.faults.campaign.el_failover = mode;
+    spec_.faults.campaign.el_failover_delay = delay;
+    return *this;
+  }
+  ScenarioBuilder& el_standby(int n) {
+    spec_.el_standby = n;
     return *this;
   }
   ScenarioBuilder& detection_delay(sim::Time t) { spec_.detection_delay = t; return *this; }

@@ -168,5 +168,174 @@ TEST(RecoveryEdge, FaultFreeRunsPayNoRecoveryCost) {
   EXPECT_EQ(t.recovery_total_time, 0);
 }
 
+// --- Event Logger shard loss ------------------------------------------------
+
+/// Injects a permanent crash of EL shard `shard` at `at` into `cfg`.
+void crash_el(ClusterConfig& cfg, sim::Time at, int shard) {
+  fault::Injection inj;
+  inj.target = fault::Target::kElShard;
+  inj.index = shard;
+  inj.at = at;
+  cfg.campaign.injections.push_back(inj);
+}
+
+TEST(RecoveryEdge, ElShardLossThenRankCrashRecoversExactly) {
+  // Shard 0 (even ranks) dies; shard 1 mounts its log and absorbs its
+  // ranks. A re-homed rank then crashes: its replay set must reassemble
+  // from the successor's mounted log + survivors, bit for bit.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+
+  ClusterConfig c2 = cfg;
+  crash_el(c2, ref.report.completion_time / 4, 0);
+  c2.campaign.el_failover_delay = 10 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{ref.report.completion_time / 2, 2});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_crashes, 1u);
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.report.faults_injected, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  // The recovery has a complete per-phase timeline.
+  ASSERT_EQ(out.report.recoveries.size(), 1u);
+  EXPECT_TRUE(out.report.recoveries[0].complete());
+}
+
+TEST(RecoveryEdge, RankCrashDuringElOutageWindowStillRecovers) {
+  // The rank dies while its home shard is down and before failover
+  // completes: the recovery fetch retransmits until the successor serves
+  // the mounted log.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+
+  ClusterConfig c2 = cfg;
+  const sim::Time crash_at = ref.report.completion_time / 2;
+  crash_el(c2, crash_at - sim::kMillisecond, 0);
+  // Failover completes only after the rank's recovery already started
+  // (detection takes 250 ms, the first fetch fires into the dead shard).
+  c2.campaign.el_failover_delay = 300 * sim::kMillisecond;
+  c2.campaign.service_retry = 60 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{crash_at, 0});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, ElShardLossFailsOverToStandby) {
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  cfg.el_standby = 1;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+
+  ClusterConfig c2 = cfg;
+  crash_el(c2, ref.report.completion_time / 4, 1);
+  c2.campaign.el_failover = fault::ElFailover::kStandby;
+  c2.campaign.el_failover_delay = 10 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{ref.report.completion_time / 2, 1});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, ShardCrashDuringPeerOutageWaitsForTheOutageToEnd) {
+  // Shard 0 crashes while shard 1 — the only failover target — is in a
+  // transient outage. The engine must retry the failover until shard 1 is
+  // back (its log was never lost) instead of abandoning shard 0's ranks to
+  // the permanent no-EL regime.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  {
+    fault::Injection outage;
+    outage.target = fault::Target::kElShard;
+    outage.index = 1;
+    outage.at = t / 5;
+    outage.action = fault::Action::kOutage;
+    outage.duration = 40 * sim::kMillisecond;
+    c2.campaign.injections.push_back(outage);
+  }
+  crash_el(c2, t / 5 + sim::kMillisecond, 0);  // inside shard 1's outage
+  c2.campaign.el_failover_delay = 5 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{t / 5 + 60 * sim::kMillisecond, 2});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  // The failover eventually landed (no abandonment) and recovery is exact.
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, CascadingShardCrashesExhaustAndAbandonTheEl) {
+  // Both shards die. The second crash finds no successor: its ranks run in
+  // the no-EL regime from then on — the run must still complete and, with
+  // no later rank faults, stay exact.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+
+  ClusterConfig c2 = cfg;
+  crash_el(c2, ref.report.completion_time / 5, 0);
+  crash_el(c2, ref.report.completion_time / 2, 1);
+  c2.campaign.el_failover_delay = 10 * sim::kMillisecond;
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_crashes, 2u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+}
+
+TEST(RecoveryEdge, FaultStormSurvivesOverlappingInjections) {
+  // Chaos: an EL shard dies, a link degrades, the checkpoint server blips,
+  // and two ranks crash close together — all overlapping. Results must
+  // still match the quiet run.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg, 70);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  crash_el(c2, t / 5, 1);
+  c2.campaign.el_failover_delay = 15 * sim::kMillisecond;
+  c2.campaign.service_retry = 80 * sim::kMillisecond;
+  {
+    fault::Injection link;
+    link.target = fault::Target::kLink;
+    link.index = 4;
+    link.at = t / 4;
+    link.action = fault::Action::kDropWindow;
+    link.duration = 10 * sim::kMillisecond;
+    link.magnitude = 2 * sim::kMillisecond;
+    c2.campaign.injections.push_back(link);
+    fault::Injection cs;
+    cs.target = fault::Target::kCkptServer;
+    cs.at = t / 3;
+    cs.action = fault::Action::kOutage;
+    cs.duration = 50 * sim::kMillisecond;
+    c2.campaign.injections.push_back(cs);
+  }
+  c2.faults.push_back(FaultSpec{t / 2, 3});
+  c2.faults.push_back(FaultSpec{t / 2 + 2 * sim::kMillisecond, 0});
+  RunOutput out = run_ring(c2, 70);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.faults_injected, 2u);
+  EXPECT_EQ(out.report.fault_counts.el_crashes, 1u);
+  EXPECT_EQ(out.report.fault_counts.ckpt_outages, 1u);
+  EXPECT_EQ(out.report.fault_counts.link_faults, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  // Every recovery carries a timeline record.
+  EXPECT_EQ(out.report.recoveries.size(), 2u);
+}
+
 }  // namespace
 }  // namespace mpiv

@@ -27,6 +27,7 @@ void usage(std::FILE* out, const char* argv0) {
                "  --quick          apply the scenario's [quick] overrides\n"
                "  --out FILE       write the JSON report to FILE (default: stdout)\n"
                "  --set key=value  override a scenario key (repeatable)\n"
+               "  --seed N         override the seed (replaces a seed sweep axis)\n"
                "  --print          print the expanded run matrix, run nothing\n"
                "  --list           list registered protocols/strategies/workloads\n",
                argv0);
@@ -89,6 +90,10 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(a, "--set") == 0 && i + 1 < argc) {
       overrides.emplace_back(argv[++i]);
+    } else if (std::strcmp(a, "--seed") == 0 && i + 1 < argc) {
+      // Sugar for --set seed=N: pins stochastic campaigns for exact
+      // reproduction (and replaces a seed sweep axis when one exists).
+      overrides.emplace_back(std::string("seed=") + argv[++i]);
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       usage(stdout, argv[0]);
       return 0;
