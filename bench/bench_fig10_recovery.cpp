@@ -89,6 +89,40 @@ int run() {
     }
     table.print();
   }
+
+  // Beyond the paper: the collect phase against a SATURATED Event Logger.
+  // With cost.el_service at 2 ms one shard cannot keep up with the
+  // determinant stream, and the recovery read — serialized behind the
+  // shard's store queue so the replay union can never miss a queued batch
+  // — stalls behind the backlog. Sharding drops the per-shard arrival rate
+  // below the service rate and collect returns to milliseconds; this is
+  // the per-recovery mechanism behind scenarios/chaos_soak.scn's
+  // completion-probability-vs-redundancy curve (docs/BENCHMARKS.md).
+  std::printf("\n-- collect vs EL redundancy under a saturated shard "
+              "(LU A / 8, el_service = 2 ms) --\n");
+  util::Table sat({"el_shards", "collect (ms)", "image (ms)", "replay (ms)",
+                   "events"});
+  for (const int shards : {1, 2, 4}) {
+    const scenario::RunResult r = scenario::run_spec(
+        variant_scenario("vcausal:el", 8)
+            .nas(NasKernel::kLU, NasClass::kA, 0.12)
+            .el_shards(shards)
+            .set("cost.el_service", "2ms")
+            .midrun_fault(0)
+            .build());
+    MPIV_CHECK(r.completed, "saturated-shard run did not complete");
+    MPIV_CHECK(r.report.recoveries.size() == 1 &&
+                   r.report.recoveries[0].complete(),
+               "saturated-shard: expected one complete recovery");
+    const fault::RecoveryRecord& rec = r.report.recoveries[0];
+    sat.add_row({util::cell("%d", shards),
+                 util::cell("%.3f", sim::to_ms(rec.collect_ns())),
+                 util::cell("%.3f", sim::to_ms(rec.image_ns())),
+                 util::cell("%.3f", sim::to_ms(rec.replay_ns())),
+                 util::cell("%llu", static_cast<unsigned long long>(
+                                        rec.replay_events))});
+  }
+  sat.print();
   return 0;
 }
 

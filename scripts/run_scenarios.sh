@@ -98,4 +98,66 @@ else
   exit 1
 fi
 
+# Chaos-soak aggregation: fold the per-point outcomes into a completion-
+# probability table (rows = fault-rate pairs, columns = el_shards) and
+# assert the two soak invariants: the outcome tally covers the whole sweep,
+# and completion probability is non-decreasing in el_shards at fixed rates
+# — the redundancy-buys-completion result the scenario exists to measure.
+CS_JSON="$OUT_DIR/chaos_soak.json"
+if [[ -f "$CS_JSON" ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$CS_JSON" <<'EOF'
+import collections, json, sys
+
+rep = json.load(open(sys.argv[1]))
+runs = rep["runs"]
+tally = rep["outcomes"]
+if tally["total"] != len(runs):
+    sys.exit(f"chaos-soak FAILED: outcome tally {tally['total']} != {len(runs)} runs")
+
+grid = collections.defaultdict(lambda: [0, 0])  # (rates, shards) -> [ok, n]
+shards = set()
+for r in runs:
+    if r["outcome"] == "skipped":
+        continue  # infeasible sweep corner: not a completion failure
+    ax = r["axes"]
+    key = (ax["faults.rank_rate"], ax["faults.daemon_rate"])
+    sh = int(ax["el_shards"])
+    shards.add(sh)
+    grid[(key, sh)][1] += 1
+    if r["outcome"] in ("completed", "recovered_exact"):
+        grid[(key, sh)][0] += 1
+
+cols = sorted(shards)
+print("chaos-soak completion probability (completed or recovered_exact):")
+print(f"  {'rank/min':>9} {'daemon/min':>11}" + "".join(f"  el_shards={s}" for s in cols))
+failed = False
+for key in sorted({k for (k, _) in grid}):
+    # Cells with no (non-skipped) runs carry no signal: print a dash and
+    # exclude them from the monotonicity check.
+    row = []
+    for s in cols:
+        ok, n = grid[(key, s)]
+        row.append(ok / n if n else None)
+    cells = "".join(f"  {p:>11.2f}" if p is not None else f"  {'-':>11}"
+                    for p in row)
+    print(f"  {key[0]:>9} {key[1]:>11}{cells}")
+    seen = [p for p in row if p is not None]
+    if any(seen[i] > seen[i + 1] + 1e-9 for i in range(len(seen) - 1)):
+        failed = True
+        print(f"    ^ NOT non-decreasing in el_shards")
+if failed:
+    sys.exit("chaos-soak FAILED: completion probability decreased with redundancy")
+print(f"chaos-soak OK ({tally['recovered_exact']} recovered_exact, "
+      f"{tally['completed']} completed, {tally['abandoned']} abandoned "
+      f"of {tally['total']})")
+EOF
+  else
+    echo "chaos-soak aggregation skipped (no python3)"
+  fi
+else
+  echo "chaos-soak FAILED: $CS_JSON missing" >&2
+  exit 1
+fi
+
 echo "all scenarios OK (reports in $OUT_DIR)"

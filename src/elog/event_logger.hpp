@@ -173,22 +173,37 @@ class EventLogger {
       case net::MsgKind::kElRecoveryReq: {
         const auto rank = static_cast<std::uint32_t>(m.arg);
         const net::NodeId reply_to = m.src;
-        net::Message resp;
-        resp.kind = net::MsgKind::kElRecoveryResp;
-        resp.dst = reply_to;
-        // The current stable vector first: a restarting node must resync its
-        // stability knowledge (a restored image may lag the EL, and e.g. the
-        // pessimistic send gate depends on it).
-        for (const Per& q : per_) resp.body.put_u64(q.contiguous);
-        const Per& p = per_[rank];
-        resp.body.put_u32(static_cast<std::uint32_t>(p.dets.size()));
-        p.dets.for_each([&resp](std::uint64_t, const ftapi::Determinant& d) {
-          d.serialize(resp.body);
+        const std::uint64_t gen = svc_gen_;
+        // The read MUST be serialized behind the store queue, not snapshot
+        // the log at request arrival: store batches already queued — the
+        // victim's own pre-crash submissions among them — commit and
+        // advance stability before the survivors answer the victim's
+        // recovery broadcast, and survivors prune everything stability
+        // covers. A response built from an earlier snapshot would leave a
+        // hole in the victim's replay union (EL prefix ∪ survivor
+        // knowledge) exactly when the shard is saturated and the queue is
+        // long. Under saturation this wait is also the measured cost of
+        // under-provisioned logging: collect stalls behind the backlog.
+        port_.charge_then(0, [this, rank, reply_to, gen] {
+          if (gen != svc_gen_) return;  // request died with the service
+          const net::CostModel& cc = net_.cost();
+          net::Message resp;
+          resp.kind = net::MsgKind::kElRecoveryResp;
+          resp.dst = reply_to;
+          // The current stable vector first: a restarting node must resync
+          // its stability knowledge (a restored image may lag the EL, and
+          // e.g. the pessimistic send gate depends on it).
+          for (const Per& q : per_) resp.body.put_u64(q.contiguous);
+          const Per& p = per_[rank];
+          resp.body.put_u32(static_cast<std::uint32_t>(p.dets.size()));
+          p.dets.for_each([&resp](std::uint64_t, const ftapi::Determinant& d) {
+            d.serialize(resp.body);
+          });
+          port_.send_after(
+              static_cast<sim::Time>(p.dets.size()) * cc.el_recovery_read +
+                  cc.el_ack_build,
+              std::move(resp));
         });
-        port_.send_after(
-            static_cast<sim::Time>(p.dets.size()) * c.el_recovery_read +
-                c.el_ack_build,
-            std::move(resp));
         return;
       }
       case net::MsgKind::kControl:

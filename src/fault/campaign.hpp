@@ -21,10 +21,13 @@
 namespace mpiv::fault {
 
 enum class Target : std::uint8_t {
-  kRank,        // a compute rank (MPI process + daemon)
+  kRank,        // a compute rank (MPI process + daemon die together)
+  kDaemon,      // only the rank's communication daemon (the app survives,
+                // blocked, until the dispatcher respawns the daemon)
   kElShard,     // one Event Logger shard
   kCkptServer,  // the checkpoint server (service outage; disk persists)
   kLink,        // a rank's network link (NIC-side perturbation)
+  kFabric,      // the switch itself (partial partitions between rank sets)
 };
 
 enum class Trigger : std::uint8_t {
@@ -35,16 +38,20 @@ enum class Trigger : std::uint8_t {
 };
 
 enum class Action : std::uint8_t {
-  kCrash,         // permanent loss (ranks recover via restart; EL via failover)
+  kCrash,         // permanent loss (ranks recover via restart; EL via
+                  // failover; daemons via dispatcher respawn)
   kOutage,        // transient: service down for `duration`, then back
   kLatencySpike,  // +`magnitude` latency on the link for `duration`
   kDropWindow,    // frames toward the link held for `duration`, then
                   // retransmitted after `magnitude` backoff (TCP-style)
+  kPartition,     // group_a <-> group_b mutually unreachable for `duration`;
+                  // crossing frames held, redelivered `magnitude` after heal
 };
 
 struct Injection {
   Target target = Target::kRank;
-  int index = 0;  // rank id / shard id / link's rank id (kCkptServer: unused)
+  int index = 0;  // rank id / shard id / link's rank id (kCkptServer /
+                  // kFabric: unused)
 
   Trigger trigger = Trigger::kAt;
   sim::Time at = 0;              // kAt
@@ -52,8 +59,15 @@ struct Injection {
   std::uint64_t nth = 1;         // kOnCheckpoint / kOnElStored threshold
 
   Action action = Action::kCrash;
-  sim::Time duration = 0;   // kOutage / kLatencySpike / kDropWindow
-  sim::Time magnitude = 0;  // kLatencySpike extra latency / kDropWindow backoff
+  sim::Time duration = 0;   // kOutage / kLatencySpike / kDropWindow /
+                            // kPartition window; kDaemon crash: optional
+                            // per-injection downtime (0 = campaign default)
+  sim::Time magnitude = 0;  // kLatencySpike extra latency / kDropWindow and
+                            // kPartition heal backoff
+
+  // kPartition only: the two mutually unreachable rank sets.
+  std::vector<int> group_a;
+  std::vector<int> group_b;
 };
 
 /// What the engine does with a dead Event Logger shard.
@@ -70,6 +84,10 @@ struct Campaign {
   /// Delay between a shard crash and the successor serving its ranks
   /// (detection + log mount initiation).
   sim::Time el_failover_delay = 25 * sim::kMillisecond;
+  /// Delay between a daemon crash and the dispatcher's respawned daemon
+  /// serving the node again (failure detection + process restart +
+  /// reconnect). Per-injection `duration` overrides it when > 0.
+  sim::Time daemon_restart_delay = 40 * sim::kMillisecond;
   /// Client-side retransmit interval for unacknowledged checkpoint-server
   /// and Event Logger requests. Armed only while a campaign is active so
   /// fault-free runs schedule no extra events.
@@ -90,23 +108,28 @@ struct Campaign {
 /// Per-run tally of what the engine actually injected (ClusterReport).
 struct FaultCounts {
   std::uint64_t rank_crashes = 0;
+  std::uint64_t daemon_crashes = 0;
   std::uint64_t el_crashes = 0;
   std::uint64_t el_outages = 0;
   std::uint64_t el_failovers = 0;
   std::uint64_t ckpt_outages = 0;
   std::uint64_t link_faults = 0;
+  std::uint64_t partitions = 0;
 
   std::uint64_t total() const {
-    return rank_crashes + el_crashes + el_outages + ckpt_outages + link_faults;
+    return rank_crashes + daemon_crashes + el_crashes + el_outages +
+           ckpt_outages + link_faults + partitions;
   }
 };
 
 inline const char* target_name(Target t) {
   switch (t) {
     case Target::kRank: return "rank";
+    case Target::kDaemon: return "daemon";
     case Target::kElShard: return "el_shard";
     case Target::kCkptServer: return "ckpt_server";
     case Target::kLink: return "link";
+    case Target::kFabric: return "fabric";
   }
   return "?";
 }
@@ -134,8 +157,8 @@ void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
         if (inj.rate_per_minute <= 0) {
           fail("campaign rate trigger needs a positive rate");
         }
-        if (inj.target != Target::kRank) {
-          fail("rate triggers target compute ranks");
+        if (inj.target != Target::kRank && inj.target != Target::kDaemon) {
+          fail("rate triggers target compute ranks or their daemons");
         }
         break;
       case Trigger::kOnCheckpoint:
@@ -158,6 +181,21 @@ void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
         }
         if (inj.action != Action::kCrash) {
           fail("rank faults are crashes (use link faults for degradation)");
+        }
+        break;
+      case Target::kDaemon:
+        if (inj.index >= nranks ||
+            (inj.index < 0 && inj.trigger != Trigger::kRate)) {
+          fail("campaign names the daemon of rank " +
+               std::to_string(inj.index) + " but only ranks 0.." +
+               std::to_string(nranks - 1) + " exist");
+        }
+        if (inj.action != Action::kCrash) {
+          fail("daemon faults are crashes (the dispatcher respawns the "
+               "daemon after the restart delay)");
+        }
+        if (inj.duration < 0) {
+          fail("daemon downtime override must be >= 0");
         }
         break;
       case Target::kElShard:
@@ -202,6 +240,36 @@ void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
           fail("latency spikes need a positive magnitude");
         }
         break;
+      case Target::kFabric: {
+        if (inj.action != Action::kPartition) {
+          fail("fabric faults are partitions");
+        }
+        if (inj.trigger != Trigger::kAt) {
+          fail("partitions are timed (trigger = at)");
+        }
+        if (inj.duration <= 0) fail("partitions need a positive duration");
+        if (inj.group_a.empty() || inj.group_b.empty()) {
+          fail("a partition needs two non-empty rank groups");
+        }
+        for (const std::vector<int>* g : {&inj.group_a, &inj.group_b}) {
+          for (const int r : *g) {
+            if (r < 0 || r >= nranks) {
+              fail("partition group names rank " + std::to_string(r) +
+                   " but only ranks 0.." + std::to_string(nranks - 1) +
+                   " exist");
+            }
+          }
+        }
+        for (const int a : inj.group_a) {
+          for (const int b : inj.group_b) {
+            if (a == b) {
+              fail("rank " + std::to_string(a) +
+                   " appears on both sides of a partition");
+            }
+          }
+        }
+        break;
+      }
     }
   }
 }

@@ -15,6 +15,7 @@ FaultEngine::FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b)
   if (b_.directory != nullptr) {
     in_outage_.assign(static_cast<std::size_t>(b_.directory->total_shards()), 0);
   }
+  daemon_gen_.assign(static_cast<std::size_t>(b_.layout.nranks), 0);
 }
 
 void FaultEngine::arm(const std::vector<std::pair<sim::Time, int>>& legacy_faults,
@@ -83,6 +84,12 @@ void FaultEngine::execute(const Injection& inj) {
       ++counts_.rank_crashes;
       b_.crash_rank(inj.index);
       return;
+    case Target::kDaemon:
+      crash_daemon(inj.index, inj.duration);
+      return;
+    case Target::kFabric:
+      partition(inj.group_a, inj.group_b, inj.duration, inj.magnitude);
+      return;
     case Target::kElShard:
       if (inj.action == Action::kOutage) {
         el_outage(inj.index, inj.duration);
@@ -106,12 +113,19 @@ void FaultEngine::arm_poisson(std::size_t idx) {
   b_.eng->after(dt, [this, idx] {
     if (b_.run_done()) return;
     const Injection& i = campaign_.injections[idx];
-    if (i.target == Target::kRank && i.index < 0) {
-      // Uniformly random not-yet-finished victim (the paper's fault model).
+    if (i.index < 0 &&
+        (i.target == Target::kRank || i.target == Target::kDaemon)) {
+      // Uniformly random not-yet-finished victim (the paper's fault model);
+      // a daemon stream hits the victim's daemon, not the rank.
       const std::vector<int> alive = b_.alive_ranks();
       if (!alive.empty()) {
-        ++counts_.rank_crashes;
-        b_.crash_rank(alive[rng_.next_below(alive.size())]);
+        const int victim = alive[rng_.next_below(alive.size())];
+        if (i.target == Target::kRank) {
+          ++counts_.rank_crashes;
+          b_.crash_rank(victim);
+        } else {
+          crash_daemon(victim, i.duration);
+        }
       }
     } else {
       execute(i);  // rate streams repeat
@@ -217,6 +231,52 @@ void FaultEngine::announce_failover(const std::vector<int>& ranks,
     m.dst = b_.layout.rank_node(r);
     b_.send_ctl(std::move(m));
   }
+}
+
+void FaultEngine::crash_daemon(int rank, sim::Time downtime) {
+  if (rank < 0 || rank >= b_.layout.nranks) return;
+  if (!b_.crash_daemon || !b_.restart_daemon) return;
+  // The LIVE daemon state decides, not a latch: a rank crash ends an
+  // outage early (the node restart respawns the daemon with the node), and
+  // a fresh daemon fault may then strike again before the original respawn
+  // timer fires.
+  if (b_.daemon_is_down && b_.daemon_is_down(rank)) return;  // already down
+  const std::uint32_t gen = ++daemon_gen_[static_cast<std::size_t>(rank)];
+  ++counts_.daemon_crashes;
+  b_.crash_daemon(rank);
+  if (b_.timeline != nullptr) b_.timeline->begin_daemon(rank, b_.eng->now());
+  const sim::Time dt =
+      downtime > 0 ? downtime : campaign_.daemon_restart_delay;
+  b_.eng->after(dt, [this, rank, gen] {
+    // Same guard as every deferred injection path: after the workload
+    // completes, nothing mutates stats or the timeline.
+    if (b_.run_done()) return;
+    // A newer outage owns the rank now; its own timer will respawn it.
+    if (gen != daemon_gen_[static_cast<std::size_t>(rank)]) return;
+    // -1: a rank crash in the interim restarted the whole node — the
+    // node-level recovery record supersedes this outage, which stays
+    // open-ended like any interrupted recovery.
+    const long drained = b_.restart_daemon(rank);
+    if (b_.timeline == nullptr) return;
+    if (drained < 0) {
+      b_.timeline->interrupt_daemon(rank);
+    } else {
+      b_.timeline->end_daemon(rank, b_.eng->now(),
+                              static_cast<std::uint64_t>(drained));
+    }
+  });
+}
+
+void FaultEngine::partition(const std::vector<int>& group_a,
+                            const std::vector<int>& group_b,
+                            sim::Time duration, sim::Time heal_backoff) {
+  ++counts_.partitions;
+  std::vector<net::NodeId> a, b;
+  a.reserve(group_a.size());
+  b.reserve(group_b.size());
+  for (const int r : group_a) a.push_back(b_.layout.rank_node(r));
+  for (const int r : group_b) b.push_back(b_.layout.rank_node(r));
+  b_.net->partition(a, b, duration, heal_backoff);
 }
 
 void FaultEngine::ckpt_outage(sim::Time duration) {

@@ -23,6 +23,7 @@
 
 #include "elog/el_directory.hpp"
 #include "fault/campaign.hpp"
+#include "fault/timeline.hpp"
 #include "ftapi/services.hpp"
 #include "net/network.hpp"
 #include "util/rng.hpp"
@@ -48,6 +49,14 @@ class FaultEngine final : public ftapi::FaultObserver {
     std::function<std::vector<int>()> alive_ranks;
     std::function<bool()> run_done;
     std::function<void(net::Message&&)> send_ctl;  // from the dispatcher node
+    /// Daemon failure domain (RankRuntime::daemon_crash / daemon_restart /
+    /// daemon_down; restart returns -1 when a rank crash superseded the
+    /// outage — the node restart respawned the daemon early).
+    std::function<void(int)> crash_daemon;
+    std::function<long(int)> restart_daemon;
+    std::function<bool(int)> daemon_is_down;
+    /// Daemon outage records land here (null = no timeline).
+    RecoveryTimeline* timeline = nullptr;
   };
 
   FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b);
@@ -68,6 +77,14 @@ class FaultEngine final : public ftapi::FaultObserver {
   void ckpt_outage(sim::Time duration);
   void link_fault(int rank, Action action, sim::Time magnitude,
                   sim::Time duration);
+  /// Kills rank `rank`'s communication daemon; the dispatcher respawns it
+  /// `downtime` later (0 = the campaign's daemon_restart_delay). No-op on a
+  /// daemon already down.
+  void crash_daemon(int rank, sim::Time downtime = 0);
+  /// Opens a partition window between the two rank groups.
+  void partition(const std::vector<int>& group_a,
+                 const std::vector<int>& group_b, sim::Time duration,
+                 sim::Time heal_backoff);
 
   const Campaign& campaign() const { return campaign_; }
   const FaultCounts& counts() const { return counts_; }
@@ -92,6 +109,12 @@ class FaultEngine final : public ftapi::FaultObserver {
   util::Rng rng_;
   std::vector<char> fired_;      // one-shot latch per injection
   std::vector<char> in_outage_;  // per shard: down transiently, will return
+  /// Per rank: daemon-outage generation. A rank crash can end an outage
+  /// early (the node restart respawns the daemon), so the respawn timer
+  /// captures its generation and only acts if no newer outage started —
+  /// the live daemon state (Bindings::daemon_is_down), not this counter,
+  /// decides whether a new injection may fire.
+  std::vector<std::uint32_t> daemon_gen_;
   FaultCounts counts_;
   sim::Time first_el_fault_ = 0;
   double legacy_poisson_mean_ns_ = 0;

@@ -39,11 +39,30 @@ struct RecoveryRecord {
   sim::Time total_ns() const { return replay_done_at - fault_at; }
 };
 
+/// A daemon-process fault (the paper's ch_v failure domain split: the
+/// communication daemon dies while the MPI process survives). The app rank
+/// keeps its volatile state and merely stalls — no image fetch, no replay —
+/// so the record has only the daemon's own phases:
+///   down     fault -> dispatcher respawns the daemon (detect + restart)
+///   drain    frames that backed up in the pipe / socket buffers while the
+///            select loop was dead, forwarded on reconnect
+struct DaemonOutageRecord {
+  int rank = -1;
+  sim::Time fault_at = 0;
+  sim::Time restart_at = 0;        // respawned daemon serving again
+  std::uint64_t held_frames = 0;   // backed-up frames drained on reconnect
+
+  bool complete() const { return restart_at != 0; }
+  sim::Time down_ns() const { return restart_at - fault_at; }
+};
+
 class RecoveryTimeline {
  public:
   void reset(int nranks) {
     records_.clear();
+    daemon_records_.clear();
     open_.assign(static_cast<std::size_t>(nranks), -1);
+    open_daemon_.assign(static_cast<std::size_t>(nranks), -1);
   }
 
   /// Opens a record at fault-injection time. A still-open record for the
@@ -81,6 +100,38 @@ class RecoveryTimeline {
 
   const std::vector<RecoveryRecord>& records() const { return records_; }
 
+  // --- daemon-fault records (separate failure domain, separate phases) -----
+  void begin_daemon(int rank, sim::Time fault_at) {
+    if (static_cast<std::size_t>(rank) >= open_daemon_.size()) return;
+    DaemonOutageRecord r;
+    r.rank = rank;
+    r.fault_at = fault_at;
+    open_daemon_[static_cast<std::size_t>(rank)] =
+        static_cast<int>(daemon_records_.size());
+    daemon_records_.push_back(r);
+  }
+  /// Closes the daemon record: the respawned daemon reconnected and drained
+  /// `held_frames` backed-up frames. A rank crash closes nothing — a node
+  /// restart supersedes the daemon respawn and the record stays open-ended.
+  void end_daemon(int rank, sim::Time t, std::uint64_t held_frames) {
+    if (static_cast<std::size_t>(rank) >= open_daemon_.size()) return;
+    const int idx = open_daemon_[static_cast<std::size_t>(rank)];
+    if (idx < 0) return;
+    daemon_records_[static_cast<std::size_t>(idx)].restart_at = t;
+    daemon_records_[static_cast<std::size_t>(idx)].held_frames = held_frames;
+    open_daemon_[static_cast<std::size_t>(rank)] = -1;
+  }
+  /// Abandons an open daemon record without closing it (the rank crashed
+  /// mid-outage: the node-level restart replaces the daemon respawn).
+  void interrupt_daemon(int rank) {
+    if (static_cast<std::size_t>(rank) >= open_daemon_.size()) return;
+    open_daemon_[static_cast<std::size_t>(rank)] = -1;
+  }
+
+  const std::vector<DaemonOutageRecord>& daemon_records() const {
+    return daemon_records_;
+  }
+
  private:
   RecoveryRecord* open_record(int rank) {
     if (static_cast<std::size_t>(rank) >= open_.size()) return nullptr;
@@ -89,7 +140,9 @@ class RecoveryTimeline {
   }
 
   std::vector<RecoveryRecord> records_;
-  std::vector<int> open_;  // per rank: index of the open record, or -1
+  std::vector<DaemonOutageRecord> daemon_records_;
+  std::vector<int> open_;         // per rank: index of the open record, or -1
+  std::vector<int> open_daemon_;  // per rank: open daemon record, or -1
 };
 
 }  // namespace mpiv::fault

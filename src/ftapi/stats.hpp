@@ -39,6 +39,10 @@ struct RankStats {
   sim::Time recovery_total_time = 0;    // image fetch + events + replay
   std::uint64_t recovery_events = 0;
   std::uint64_t replayed_receptions = 0;
+  // Daemon-process faults (failure domain split from the rank: the app
+  // survives, stalled, while the dispatcher respawns the daemon).
+  std::uint64_t daemon_crashes = 0;
+  sim::Time daemon_down_time = 0;
   // Memory watermarks.
   std::uint64_t sender_log_peak_bytes = 0;
   std::uint64_t event_store_peak = 0;
@@ -64,6 +68,8 @@ struct RankStats {
     recovery_total_time += o.recovery_total_time;
     recovery_events += o.recovery_events;
     replayed_receptions += o.replayed_receptions;
+    daemon_crashes += o.daemon_crashes;
+    daemon_down_time += o.daemon_down_time;
     sender_log_peak_bytes = std::max(sender_log_peak_bytes, o.sender_log_peak_bytes);
     event_store_peak = std::max(event_store_peak, o.event_store_peak);
     graph_peak_nodes = std::max(graph_peak_nodes, o.graph_peak_nodes);

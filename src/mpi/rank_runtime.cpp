@@ -80,6 +80,19 @@ void RankRuntime::restart(AppFactory factory, std::uint64_t image_version) {
   proc_->start(recovery_main(std::move(factory), image_version));
 }
 
+void RankRuntime::daemon_crash() {
+  if (daemon_->daemon_down()) return;
+  daemon_->crash_daemon();
+  daemon_down_since_ = eng_.now();
+  ++stats_->daemon_crashes;
+}
+
+long RankRuntime::daemon_restart() {
+  if (!daemon_->daemon_down()) return -1;
+  stats_->daemon_down_time += eng_.now() - daemon_down_since_;
+  return static_cast<long>(daemon_->restart_daemon());
+}
+
 void RankRuntime::reset_volatile() {
   posted_.clear();
   pending_irecvs_.clear();

@@ -102,6 +102,18 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   void restart(AppFactory factory, std::uint64_t image_version = 0);
   bool app_finished() const { return app_finished_; }
 
+  // --- daemon-process faults (fault engine) --------------------------------
+  /// Kills only the communication daemon: the MPI process survives with all
+  /// of its volatile state but stalls — nothing is forwarded until the
+  /// dispatcher's respawned daemon reconnects (daemon_restart()). Distinct
+  /// from crash(): no image fetch, no determinant collection, no replay.
+  void daemon_crash();
+  /// Respawned daemon serving again; drains the backed-up frames. Returns
+  /// the drained count, or -1 when no daemon outage was in progress (a rank
+  /// crash in the interim restarted the whole node, daemon included).
+  long daemon_restart();
+  bool daemon_down() const { return daemon_->daemon_down(); }
+
   // --- checkpoint scheduler interface ---------------------------------------
   void request_checkpoint() { ckpt_requested_ = true; }
 
@@ -211,6 +223,7 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   bool recovering_ = false;
   bool app_finished_ = false;
   bool ckpt_requested_ = false;
+  sim::Time daemon_down_since_ = 0;
   std::uint64_t logical_state_bytes_ = 1 << 20;
   std::uint64_t ckpt_version_ = 0;
   std::uint64_t ckpts_completed_ = 0;  // committed stores (trigger counter)

@@ -24,20 +24,48 @@ void Daemon::charge_then(sim::Time cpu, std::function<void()> fn) {
 void Daemon::charge_msg(sim::Time cpu, Message&& m, Charged action) {
   const std::uint32_t slot = parked_.put(std::move(m));
   charge_then(cpu, [this, slot, action] {
-    Message msg = parked_.take(slot);
-    if (action == Charged::kInject) {
-      inject(std::move(msg));
-    } else {
-      MPIV_CHECK(static_cast<bool>(up_), "daemon %u has no upper layer", node_);
-      up_(std::move(msg));
-    }
+    finish_charged(parked_.take(slot), action);
   });
+}
+
+void Daemon::finish_charged(Message&& m, Charged action) {
+  if (down_) {
+    // Daemon-process outage: the work is done (charged) but nothing leaves
+    // the node — the frame holds at the delivery boundary until the
+    // respawned daemon releases the backlog.
+    held_.emplace_back(std::move(m), action);
+    return;
+  }
+  if (action == Charged::kInject) {
+    inject(std::move(m));
+  } else {
+    MPIV_CHECK(static_cast<bool>(up_), "daemon %u has no upper layer", node_);
+    up_(std::move(m));
+  }
 }
 
 void Daemon::inject(Message&& m) {
   m.wire_bytes = cost().header_bytes + m.payload.bytes + m.body.size();
   wire_bytes_sent_ += m.wire_bytes;
   net_.send(std::move(m));
+}
+
+void Daemon::crash_daemon() { down_ = true; }
+
+std::size_t Daemon::restart_daemon() {
+  if (!down_) return 0;
+  down_ = false;
+  // Everything in held_ finished its charge BEFORE any charge still
+  // pending on the CPU clock, so releasing the backlog now — and leaving
+  // cpu_free_ alone — preserves the daemon's strict FIFO across the
+  // outage: no frame overtakes an older one.
+  const std::size_t drained = held_.size();
+  while (!held_.empty()) {
+    auto [m, action] = std::move(held_.front());
+    held_.pop_front();
+    finish_charged(std::move(m), action);
+  }
+  return drained;
 }
 
 void Daemon::submit_app(Message&& m) {
@@ -69,6 +97,10 @@ void Daemon::submit_ctl(Message&& m) {
 void Daemon::reset() {
   rdv_pending_.clear();
   cpu_free_ = 0;
+  // A node-level restart supersedes any daemon-process outage: the fresh
+  // daemon starts live and the old backlog died with the node.
+  down_ = false;
+  held_.clear();
 }
 
 void Daemon::on_frame(Message&& m) {

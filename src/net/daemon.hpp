@@ -16,7 +16,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <utility>
 
 #include "net/network.hpp"
 #include "util/slab.hpp"
@@ -66,6 +68,29 @@ class Daemon {
   /// Crash/restart: drop rendezvous state held for the old incarnation.
   void reset();
 
+  // --- daemon-process faults (failure domain distinct from the rank) -------
+  /// The daemon process dies while the MPI process survives: nothing is
+  /// forwarded in either direction until the respawn. Work keeps queueing
+  /// through the daemon's single CPU clock (outbound submissions back up in
+  /// the app-side pipe, inbound frames in the kernel socket buffers — the
+  /// respawned daemon will have to do that processing anyway), but every
+  /// completed charge HOLDS at the delivery boundary instead of injecting
+  /// or delivering up. That keeps one strict FIFO through the daemon: the
+  /// backlog releases in charge-completion order on restart, ahead of any
+  /// charge still pending, so no frame overtakes an older one across the
+  /// outage. Nothing is lost (the channel stays reliable across the
+  /// respawn — peers' TCP stacks retransmit unacked data, and the respawned
+  /// daemon re-reads its pipe). A rank-level crash (reset()) supersedes the
+  /// outage: the node restart discards the held frames with the rest of the
+  /// volatile state.
+  void crash_daemon();
+  /// The dispatcher's respawned daemon reconnects: the held backlog
+  /// releases in charge-completion (i.e. arrival) order, its processing
+  /// cost already paid while it queued. Returns how many frames were held
+  /// (no-op returning 0 when the daemon was not down).
+  std::size_t restart_daemon();
+  bool daemon_down() const { return down_; }
+
   // --- Stats ---------------------------------------------------------------
   std::uint64_t app_msgs_sent() const { return app_msgs_sent_; }
   std::uint64_t app_bytes_sent() const { return app_bytes_sent_; }
@@ -87,12 +112,20 @@ class Daemon {
   void charge_msg(sim::Time cpu, Message&& m, Charged action);
   void inject(Message&& m);
 
+  /// Performs a charged message's final hop (fabric injection or upward
+  /// delivery) — or holds it in `held_` while the daemon is down.
+  void finish_charged(Message&& m, Charged action);
+
   Network& net_;
   NodeId node_;
   ChannelKind channel_;
   UpFn up_;
   util::Slab<Message> parked_;
   sim::Time cpu_free_ = 0;
+  bool down_ = false;
+  // Fully-charged frames held at the delivery boundary while the daemon is
+  // down, in charge-completion (FIFO) order.
+  std::deque<std::pair<Message, Charged>> held_;
   std::uint64_t app_msgs_sent_ = 0;
   std::uint64_t app_bytes_sent_ = 0;
   std::uint64_t wire_bytes_sent_ = 0;

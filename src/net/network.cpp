@@ -44,6 +44,57 @@ void Network::send(Message&& m) {
   eng_.at(first_frame_at_dst, [this, slot] { on_fabric(slot); });
 }
 
+void Network::partition(const std::vector<NodeId>& a,
+                        const std::vector<NodeId>& b, sim::Time duration,
+                        sim::Time backoff) {
+  Partition p;
+  p.side.assign(nodes_.size(), 0);
+  for (const NodeId n : a) {
+    MPIV_CHECK(n < nodes_.size(), "partition: bad node %u", n);
+    p.side[n] = 'a';
+  }
+  for (const NodeId n : b) {
+    MPIV_CHECK(n < nodes_.size(), "partition: bad node %u", n);
+    MPIV_CHECK(p.side[n] != 'a', "partition: node %u on both sides", n);
+    p.side[n] = 'b';
+  }
+  p.until = eng_.now() + duration;
+  p.backoff = backoff;
+  std::erase_if(partitions_,
+                [this](const Partition& q) { return q.until <= eng_.now(); });
+  // Prune after the heal completes so partition_release()'s per-frame scan
+  // — and the !partitions_.empty() fast path in on_fabric — return to the
+  // fault-free steady state once the last window closes. (Held frames
+  // retry at exactly until + backoff; a same-timestamp prune is harmless
+  // either way, since expired windows obstruct nothing.)
+  eng_.at(p.until + p.backoff, [this] {
+    std::erase_if(partitions_,
+                  [this](const Partition& q) { return q.until <= eng_.now(); });
+  });
+  partitions_.push_back(std::move(p));
+}
+
+std::size_t Network::active_partitions() const {
+  std::size_t n = 0;
+  for (const Partition& p : partitions_) {
+    if (p.until > eng_.now()) ++n;
+  }
+  return n;
+}
+
+sim::Time Network::partition_release(NodeId src, NodeId dst) const {
+  sim::Time release = 0;
+  for (const Partition& p : partitions_) {
+    if (eng_.now() >= p.until) continue;
+    const std::uint8_t s = p.side[src];
+    const std::uint8_t d = p.side[dst];
+    if (s != 0 && d != 0 && s != d) {
+      release = std::max(release, p.until + p.backoff);
+    }
+  }
+  return release;
+}
+
 void Network::on_fabric(std::uint32_t slot) {
   Flight& fl = flights_[slot];
   Node& d = at(fl.dst);
@@ -51,6 +102,18 @@ void Network::on_fabric(std::uint32_t slot) {
     ++frames_dropped_;  // connection reset: receiver crashed in flight
     flights_.release(slot);
     return;
+  }
+  if (!partitions_.empty()) {
+    // The cut is checked at fabric-crossing time, so it also catches frames
+    // sent during the window. Held frames retry in their original order (the
+    // heap is FIFO for equal timestamps) and may wait out a second cut that
+    // opened meanwhile.
+    const sim::Time release = partition_release(fl.msg.src, fl.dst);
+    if (release > eng_.now()) {
+      ++frames_partitioned_;
+      eng_.at(release, [this, slot] { on_fabric(slot); });
+      return;
+    }
   }
   if (eng_.now() < d.drop_until) {
     // Drop-with-retransmit window: the frame is lost at the NIC and TCP

@@ -81,11 +81,27 @@ class Network {
     n.drop_until = std::max(n.drop_until, eng_.now() + duration);
     n.drop_backoff = std::max(n.drop_backoff, backoff);
   }
+  /// Partial partition: the switch stops forwarding between the `a` nodes
+  /// and the `b` nodes until `duration` elapses (a failed uplink between
+  /// two leaf switches). Frames crossing the cut are held at the fabric
+  /// and re-delivered `backoff` after the heal in their original send
+  /// order; traffic within either side is untouched. Distinct from the
+  /// per-NIC perturbations above: membership is pairwise, not per node.
+  /// Overlapping partitions compose (a frame waits out every cut it
+  /// crosses).
+  void partition(const std::vector<NodeId>& a, const std::vector<NodeId>& b,
+                 sim::Time duration, sim::Time backoff);
+  /// Active partitions right now (expired windows are pruned lazily).
+  std::size_t active_partitions() const;
 
   // --- Introspection / stats ----------------------------------------------
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::uint64_t frames_delayed() const { return frames_delayed_; }
+  /// Partition HOLD events, not distinct frames: a frame that retries into
+  /// a second cut that opened during its first wait is counted again (like
+  /// frames_delayed() counts per drop-window hold).
+  std::uint64_t frames_partitioned() const { return frames_partitioned_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   /// Earliest time the egress serializer of `node` is free (for tests).
   sim::Time egress_free(NodeId node) const { return nodes_[node].egress_free; }
@@ -116,8 +132,19 @@ class Network {
     std::uint64_t dst_epoch = 0;
   };
 
+  /// One active partition window: `side[node]` is 0 (unaffected), 'a' or
+  /// 'b'. A frame crosses the cut iff its endpoints sit on opposite sides.
+  struct Partition {
+    std::vector<std::uint8_t> side;
+    sim::Time until = 0;
+    sim::Time backoff = 0;
+  };
+
   void on_fabric(std::uint32_t slot);
   void on_ingress_done(std::uint32_t slot);
+  /// When `src -> dst` crosses an active cut, the time the frame may try
+  /// the fabric again (max over all cuts it crosses); 0 = unobstructed.
+  sim::Time partition_release(NodeId src, NodeId dst) const;
 
   Node& at(NodeId node) {
     MPIV_CHECK(node < nodes_.size(), "bad node %u", node);
@@ -128,9 +155,11 @@ class Network {
   CostModel cost_;
   std::vector<Node> nodes_;
   util::Slab<Flight> flights_;
+  std::vector<Partition> partitions_;  // empty on fault-free runs
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_delayed_ = 0;
+  std::uint64_t frames_partitioned_ = 0;
   std::uint64_t bytes_sent_ = 0;
 };
 

@@ -90,6 +90,16 @@ Cluster::Cluster(ClusterConfig cfg)
   fb.send_ctl = [this](net::Message&& m) {
     if (dispatcher_) dispatcher_->send_ctl(std::move(m));
   };
+  fb.crash_daemon = [this](int r) {
+    ranks_[static_cast<std::size_t>(r)]->daemon_crash();
+  };
+  fb.restart_daemon = [this](int r) {
+    return ranks_[static_cast<std::size_t>(r)]->daemon_restart();
+  };
+  fb.daemon_is_down = [this](int r) {
+    return ranks_[static_cast<std::size_t>(r)]->daemon_down();
+  };
+  fb.timeline = &timeline_;
   fault_engine_ = std::make_unique<fault::FaultEngine>(cfg_.campaign, cfg_.seed,
                                                        std::move(fb));
   for (auto& e : els_) e->set_observer(fault_engine_.get());
@@ -158,6 +168,7 @@ ClusterReport Cluster::run(mpi::AppFactory factory) {
   rep.rank_stats = stats_;
   rep.el_stats = el_stats_;
   rep.recoveries = timeline_.records();
+  rep.daemon_outages = timeline_.daemon_records();
   rep.fault_counts = fault_engine_->counts();
   rep.first_el_fault = fault_engine_->first_el_fault();
   return rep;

@@ -73,6 +73,9 @@ struct ClusterReport {
   ftapi::ElStats el_stats;
   /// Per-recovery phase breakdown (detect / image / collect / replay).
   std::vector<fault::RecoveryRecord> recoveries;
+  /// Daemon-process outages (failure domain split from the rank: the app
+  /// survived, stalled, while the dispatcher respawned the daemon).
+  std::vector<fault::DaemonOutageRecord> daemon_outages;
   /// What the fault engine actually injected.
   fault::FaultCounts fault_counts;
   sim::Time first_el_fault = 0;

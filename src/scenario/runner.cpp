@@ -44,6 +44,29 @@ std::uint64_t RunResult::checksum_digest() const {
   return d;
 }
 
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kSkipped: return "skipped";
+    case Outcome::kAbandoned: return "abandoned";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kRecoveredExact: return "recovered_exact";
+  }
+  return "?";
+}
+
+OutcomeCounts RunSet::tally() const {
+  OutcomeCounts t;
+  for (const RunResult& r : runs) {
+    switch (r.outcome()) {
+      case Outcome::kSkipped: ++t.skipped; break;
+      case Outcome::kAbandoned: ++t.abandoned; break;
+      case Outcome::kCompleted: ++t.completed; break;
+      case Outcome::kRecoveredExact: ++t.recovered_exact; break;
+    }
+  }
+  return t;
+}
+
 void apply_quick(ScenarioSpec& spec) {
   for (const auto& [key, value] : spec.quick) {
     auto axis = spec.sweep.begin();
@@ -150,16 +173,34 @@ RunResult run_point(const RunPoint& point) {
   r.skip_reason = point.skip_reason;
   if (r.skipped) return r;
 
+  // The single place a cluster execution's fields land in the result —
+  // both the measured pass and the reference-doubles-as-measurement
+  // shortcut go through it.
+  const auto adopt = [&r](const ClusterRun& run) {
+    r.completed = run.report.completed;
+    r.protocol_label = run.protocol_label;
+    r.report = run.report;
+    r.events_executed = run.events_executed;
+    r.wire_bytes = run.wire_bytes;
+    r.checksums = run.checksums;
+    r.pingpong = run.pingpong;
+    r.flops = run.flops;
+  };
+
   ScenarioSpec spec = point.spec;
-  if (spec.faults.midrun_rank >= 0) {
+  if (spec.faults.midrun_rank >= 0 || spec.compare_reference) {
     // The paper's "middle of correct execution" protocol: a rank-fault-free
     // reference pass sizes the crash time for the measured pass. The
     // reference strips every rank crash (timed, stochastic, midrun) but
-    // keeps the campaign's *environment* faults — EL crashes, server
-    // outages, link perturbations — so both passes see identical timing up
-    // to the measured crash and `recovered_exact` isolates recovery
-    // correctness, not incidental wildcard reorderings.
+    // keeps the campaign's *environment* faults — EL crashes, daemon
+    // crashes, server outages, link perturbations, partitions — so both
+    // passes see identical timing up to the measured crash and
+    // `recovered_exact` isolates recovery correctness, not incidental
+    // wildcard reorderings. `compare_reference` runs the same reference
+    // without scheduling a midrun crash, so a chaos campaign's outcome can
+    // be classified as recovered_exact too.
     ScenarioSpec ref = spec;
+    ref.compare_reference = false;
     ref.faults.faults.clear();
     ref.faults.faults_per_minute = 0.0;
     ref.faults.midrun_rank = -1;
@@ -169,31 +210,35 @@ RunResult run_point(const RunPoint& point) {
                                return i.target == fault::Target::kRank;
                              }),
               inj.end());
+    // When the point carries no rank crashes at all (a compare_reference
+    // sweep corner like rank_rate = 0), the reference IS the measured run
+    // — the simulator is deterministic, so don't pay for it twice.
+    const bool ref_is_measured =
+        spec.faults.midrun_rank < 0 && spec.faults.faults.empty() &&
+        spec.faults.faults_per_minute == 0.0 &&
+        inj.size() == spec.faults.campaign.injections.size();
     const ClusterRun ref_run = run_cluster(ref);
     r.has_reference = true;
     r.reference_time = ref_run.report.completion_time;
     r.reference_checksums = ref_run.checksums;
-    if (!ref_run.report.completed) {
-      r.protocol_label = ref_run.protocol_label;
-      r.report = ref_run.report;
-      return r;  // reference never finished; nothing to measure against
+    if (!ref_run.report.completed || ref_is_measured) {
+      // Either the reference never finished (nothing to measure against)
+      // or it doubles as the measurement itself.
+      adopt(ref_run);
+      r.recovered_exact = ref_is_measured && r.completed && !r.checksums.empty();
+      return r;
     }
-    spec.faults.faults.push_back(runtime::FaultSpec{
-        static_cast<sim::Time>(static_cast<double>(r.reference_time) *
-                               spec.faults.midrun_frac),
-        spec.faults.midrun_rank});
-    spec.faults.midrun_rank = -1;
+    if (spec.faults.midrun_rank >= 0) {
+      spec.faults.faults.push_back(runtime::FaultSpec{
+          static_cast<sim::Time>(static_cast<double>(r.reference_time) *
+                                 spec.faults.midrun_frac),
+          spec.faults.midrun_rank});
+      spec.faults.midrun_rank = -1;
+    }
   }
 
   const ClusterRun run = run_cluster(spec);
-  r.completed = run.report.completed;
-  r.protocol_label = run.protocol_label;
-  r.report = run.report;
-  r.events_executed = run.events_executed;
-  r.wire_bytes = run.wire_bytes;
-  r.checksums = run.checksums;
-  r.pingpong = run.pingpong;
-  r.flops = run.flops;
+  adopt(run);
   if (r.has_reference) {
     r.recovered_exact = !r.checksums.empty() &&
                         r.checksums == r.reference_checksums;
@@ -291,12 +336,18 @@ void write_run(std::ostringstream& out, const RunResult& r,
   out << "},\n";
   if (r.skipped) {
     key("skipped") << "true,\n";
+    key("outcome");
+    json_escape(out, outcome_name(r.outcome()));
+    out << ",\n";
     key("skip_reason");
     json_escape(out, r.skip_reason);
     out << "\n" << indent << "}";
     return;
   }
   key("skipped") << "false,\n";
+  key("outcome");
+  json_escape(out, outcome_name(r.outcome()));
+  out << ",\n";
   key("protocol");
   json_escape(out, r.protocol_label);
   out << ",\n";
@@ -341,11 +392,13 @@ void write_run(std::ostringstream& out, const RunResult& r,
                   << json_num(sim::to_ms(t.recovery_total_time)) << "},\n";
   const fault::FaultCounts& fc = r.report.fault_counts;
   key("faults") << "{\"rank_crashes\": " << fc.rank_crashes
+                << ", \"daemon_crashes\": " << fc.daemon_crashes
                 << ", \"el_crashes\": " << fc.el_crashes
                 << ", \"el_outages\": " << fc.el_outages
                 << ", \"el_failovers\": " << fc.el_failovers
                 << ", \"ckpt_outages\": " << fc.ckpt_outages
                 << ", \"link_faults\": " << fc.link_faults
+                << ", \"partitions\": " << fc.partitions
                 << ", \"first_el_fault_s\": "
                 << json_num(sim::to_sec(r.report.first_el_fault)) << "},\n";
   // One timeline entry per recovery: the per-phase breakdown Fig. 10's
@@ -376,6 +429,26 @@ void write_run(std::ostringstream& out, const RunResult& r,
     out << "}";
   }
   out << "]";
+  if (!r.report.daemon_outages.empty()) {
+    out << ",\n";
+    // The daemon failure domain: the app survived each of these, stalled,
+    // while the dispatcher respawned the daemon. An incomplete record means
+    // a rank crash superseded the respawn.
+    key("daemon_outages") << "[";
+    for (std::size_t i = 0; i < r.report.daemon_outages.size(); ++i) {
+      const fault::DaemonOutageRecord& rec = r.report.daemon_outages[i];
+      if (i) out << ", ";
+      out << "{\"rank\": " << rec.rank
+          << ", \"complete\": " << (rec.complete() ? "true" : "false")
+          << ", \"fault_s\": " << json_num(sim::to_sec(rec.fault_at));
+      if (rec.complete()) {
+        out << ", \"down_ms\": " << json_num(sim::to_ms(rec.down_ns()))
+            << ", \"held_frames\": " << rec.held_frames;
+      }
+      out << "}";
+    }
+    out << "]";
+  }
   if (r.has_reference) {
     out << ",\n";
     key("reference") << "{\"sim_time_s\": "
@@ -406,6 +479,12 @@ void write_set(std::ostringstream& out, const RunSet& set,
   out << ",\n" << indent << "  \"origin\": ";
   json_escape(out, set.origin);
   out << ",\n" << indent << "  \"quick\": " << (set.quick ? "true" : "false");
+  const OutcomeCounts t = set.tally();
+  out << ",\n"
+      << indent << "  \"outcomes\": {\"recovered_exact\": " << t.recovered_exact
+      << ", \"completed\": " << t.completed
+      << ", \"abandoned\": " << t.abandoned << ", \"skipped\": " << t.skipped
+      << ", \"total\": " << t.total() << "}";
   out << ",\n" << indent << "  \"runs\": [\n";
   for (std::size_t i = 0; i < set.runs.size(); ++i) {
     write_run(out, set.runs[i], indent + "    ");

@@ -20,6 +20,18 @@ struct RunPoint {
   std::string skip_reason;
 };
 
+/// How one run point ended — the chaos-soak classifier. Ordered from worst
+/// to best so tallies can be compared at a glance.
+enum class Outcome : std::uint8_t {
+  kSkipped,         // the point never ran (workload/rank mismatch, ...)
+  kAbandoned,       // hit max_sim_time without finishing
+  kCompleted,       // finished, but no reference (or an inexact replay)
+  kRecoveredExact,  // finished AND reproduced the fault-free reference
+                    // checksums bit for bit
+};
+
+const char* outcome_name(Outcome o);
+
 /// Everything one cluster run produced, plus the reference run when the
 /// point uses the midrun-fault protocol.
 struct RunResult {
@@ -37,11 +49,18 @@ struct RunResult {
   workloads::PingPongResult pingpong;    // filled by the pingpong workload
   double flops = 0;                      // executed flops (nas), else 0
 
-  // Midrun-fault reference (fault-free pass of the same spec).
+  // Rank-fault-free reference (midrun-fault protocol or compare_reference).
   bool has_reference = false;
   sim::Time reference_time = 0;
   std::vector<std::uint64_t> reference_checksums;
   bool recovered_exact = false;  // checksums == reference_checksums
+
+  Outcome outcome() const {
+    if (skipped) return Outcome::kSkipped;
+    if (!completed) return Outcome::kAbandoned;
+    if (has_reference && recovered_exact) return Outcome::kRecoveredExact;
+    return Outcome::kCompleted;
+  }
 
   double sim_seconds() const { return sim::to_sec(report.completion_time); }
   double mops() const {
@@ -54,12 +73,27 @@ struct RunResult {
   std::uint64_t checksum_digest() const;
 };
 
+/// Per-outcome counts over a RunSet (the chaos-soak tally: always sums to
+/// runs.size()).
+struct OutcomeCounts {
+  std::size_t skipped = 0;
+  std::size_t abandoned = 0;
+  std::size_t completed = 0;
+  std::size_t recovered_exact = 0;
+
+  std::size_t total() const {
+    return skipped + abandoned + completed + recovered_exact;
+  }
+};
+
 /// The report of one scenario execution.
 struct RunSet {
   std::string scenario;
   std::string origin;  // scenario file path or "<builder>"
   bool quick = false;
   std::vector<RunResult> runs;
+
+  OutcomeCounts tally() const;
 };
 
 /// Applies the [quick] overrides in place: a key naming a sweep axis

@@ -96,6 +96,44 @@ ckpt::Policy parse_policy(const std::string& key, const std::string& value) {
   bad_value(key, value, "none / round-robin / random / all-at-once");
 }
 
+/// Parses a partition rank group: '+'-separated elements, each a rank or
+/// an inclusive range "a-b" ("0-2+5" = {0,1,2,5}). Commas are taken by the
+/// sweep-axis tokenizer, so groups use '+'.
+std::vector<int> parse_rank_group(const std::string& key,
+                                  const std::string& s) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t plus = s.find('+', pos);
+    if (plus == std::string::npos) plus = s.size();
+    const std::string tok = trim(s.substr(pos, plus - pos));
+    pos = plus + 1;
+    if (tok.empty()) bad_value(key, s, "ranks like '0+1' or ranges '0-3'");
+    // A '-' after the first character splits a range (a leading '-' would
+    // be a negative rank, rejected downstream by validation).
+    const std::size_t dash = tok.find('-', 1);
+    if (dash == std::string::npos) {
+      out.push_back(static_cast<int>(parse_i64(key, tok)));
+    } else {
+      const int lo = static_cast<int>(parse_i64(key, tok.substr(0, dash)));
+      const int hi = static_cast<int>(parse_i64(key, tok.substr(dash + 1)));
+      if (hi < lo) bad_value(key, s, "an ascending range like '0-3'");
+      for (int r = lo; r <= hi; ++r) out.push_back(r);
+    }
+    if (pos > s.size()) break;
+  }
+  return out;
+}
+
+std::string format_rank_group(const std::vector<int>& ranks) {
+  std::string out;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i) out += "+";
+    out += std::to_string(ranks[i]);
+  }
+  return out;
+}
+
 /// Splits ':'-separated injection fields, trimming each.
 std::vector<std::string> split_fields(const std::string& s) {
   std::vector<std::string> out;
@@ -131,8 +169,15 @@ void parse_fault_trigger(const std::string& key, const std::string& tok,
 }
 
 /// The `faults.*` key family — the scenario-file face of fault::Campaign.
+/// Every key handled here MUST be listed in fault_key_table() (the parser
+/// rejects unlisted keys up front, and a unit test feeds each table
+/// example back through this function), so the table, the CLI listing and
+/// docs/SCENARIOS.md cannot silently diverge.
 bool apply_fault_key(ScenarioSpec& spec, const std::string& key,
                      const std::string& value) {
+  bool listed = false;
+  for (const FaultKeyInfo& e : fault_key_table()) listed |= key == e.key;
+  if (!listed) return false;
   fault::Campaign& c = spec.faults.campaign;
   const std::vector<std::string> f = split_fields(value);
   if (key == "faults.crash_rank") {
@@ -195,12 +240,64 @@ bool apply_fault_key(ScenarioSpec& spec, const std::string& key,
     c.injections.push_back(inj);
   } else if (key == "faults.rank_rate") {
     // A Poisson crash process over random live ranks — the campaign twin of
-    // the legacy `faults_per_minute` key, salted/swept independently.
+    // the legacy `faults_per_minute` key, salted/swept independently. Rate
+    // 0 = stream off, so a sweep axis can include the fault-free corner.
+    const double rate = parse_f64(key, value);
+    if (rate < 0) bad_value(key, value, "a rate >= 0 (0 = off)");
+    if (rate > 0) {
+      fault::Injection inj;
+      inj.target = fault::Target::kRank;
+      inj.index = -1;
+      inj.trigger = fault::Trigger::kRate;
+      inj.rate_per_minute = rate;
+      c.injections.push_back(inj);
+    }
+  } else if (key == "faults.crash_daemon") {
+    // "<time>:<rank>[:<downtime>]" — only the communication daemon dies;
+    // the app rank stalls until the dispatcher respawns it.
+    if (f.size() != 2 && f.size() != 3) {
+      bad_fields(key, value, "'<time>:<rank>[:<downtime>]'");
+    }
     fault::Injection inj;
-    inj.target = fault::Target::kRank;
-    inj.index = -1;
-    inj.trigger = fault::Trigger::kRate;
-    inj.rate_per_minute = parse_f64(key, value);
+    inj.target = fault::Target::kDaemon;
+    inj.at = parse_time(key, f[0]);
+    inj.index = static_cast<int>(parse_i64(key, f[1]));
+    if (f.size() == 3) inj.duration = parse_time(key, f[2]);
+    c.injections.push_back(inj);
+  } else if (key == "faults.daemon_rate") {
+    // The daemon twin of rank_rate: Poisson daemon crashes over random
+    // live ranks (the rank survives each one, stalled). 0 = off.
+    const double rate = parse_f64(key, value);
+    if (rate < 0) bad_value(key, value, "a rate >= 0 (0 = off)");
+    if (rate > 0) {
+      fault::Injection inj;
+      inj.target = fault::Target::kDaemon;
+      inj.index = -1;
+      inj.trigger = fault::Trigger::kRate;
+      inj.rate_per_minute = rate;
+      c.injections.push_back(inj);
+    }
+  } else if (key == "faults.daemon_restart_delay") {
+    c.daemon_restart_delay = parse_time(key, value);
+  } else if (key == "faults.partition") {
+    // "<time>:<groupA>|<groupB>:<duration>[:<backoff>]" with '+'-separated
+    // ranks or 'a-b' ranges per group, e.g. "10ms:0-3|4-7:25ms:2ms".
+    if (f.size() != 3 && f.size() != 4) {
+      bad_fields(key, value, "'<time>:<ranks>|<ranks>:<duration>[:<backoff>]'");
+    }
+    const std::size_t bar = f[1].find('|');
+    if (bar == std::string::npos) {
+      bad_fields(key, value, "two '|'-separated rank groups like '0-3|4-7'");
+    }
+    fault::Injection inj;
+    inj.target = fault::Target::kFabric;
+    inj.action = fault::Action::kPartition;
+    inj.at = parse_time(key, f[0]);
+    inj.group_a = parse_rank_group(key, trim(f[1].substr(0, bar)));
+    inj.group_b = parse_rank_group(key, trim(f[1].substr(bar + 1)));
+    inj.duration = parse_time(key, f[2]);
+    inj.magnitude =
+        f.size() == 4 ? parse_time(key, f[3]) : 2 * sim::kMillisecond;
     c.injections.push_back(inj);
   } else if (key == "faults.el_failover") {
     if (value == "reassign") {
@@ -283,6 +380,50 @@ bool apply_cost_key(net::CostModel& cost, const std::string& key,
 
 }  // namespace
 
+// The single source of truth for the `faults.*` key family. The parser
+// consults it before dispatching, `mpiv_run --list` prints it, a unit test
+// replays every example through apply_key, and scripts/check_docs.sh greps
+// the region between the markers to assert docs/SCENARIOS.md documents
+// every key. Keep the markers on their own lines.
+// BEGIN FAULT KEY TABLE (scripts/check_docs.sh)
+const std::vector<FaultKeyInfo>& fault_key_table() {
+  static const std::vector<FaultKeyInfo> table = {
+      {"faults.crash_rank", "<time|ckpt@N>:<rank>", "120ms:3",
+       "kill the rank at a time or on its Nth checkpoint commit"},
+      {"faults.rank_rate", "<per-minute>", "0.5",
+       "Poisson rank crashes over random live ranks"},
+      {"faults.crash_daemon", "<time>:<rank>[:<downtime>]", "50ms:2",
+       "kill only the rank's daemon; the app stalls until respawn"},
+      {"faults.daemon_rate", "<per-minute>", "1.5",
+       "Poisson daemon crashes over random live ranks"},
+      {"faults.daemon_restart_delay", "<duration>", "40ms",
+       "daemon detect + respawn + reconnect delay"},
+      {"faults.crash_el", "<time|stored@N>:<shard>", "60ms:0",
+       "permanently crash the EL shard (failover follows)"},
+      {"faults.el_outage", "<time>:<shard>:<duration>", "10ms:0:25ms",
+       "transient EL service outage; the persistent log survives"},
+      {"faults.ckpt_outage", "<time>:<duration>", "40ms:30ms",
+       "checkpoint-server outage; images persist, clients retransmit"},
+      {"faults.link_latency", "<time>:<rank>:<extra>:<duration>",
+       "5ms:2:1ms:20ms", "latency spike on the rank's link"},
+      {"faults.link_drop", "<time>:<rank>:<duration>[:<backoff>]",
+       "7ms:4:8ms:2ms", "drop-with-retransmit window on the rank's link"},
+      {"faults.partition", "<time>:<ranks>|<ranks>:<duration>[:<backoff>]",
+       "10ms:0-1|2-3:25ms:2ms",
+       "partial partition: the two rank groups mutually unreachable"},
+      {"faults.el_failover", "reassign | standby", "standby",
+       "what mounts a dead shard's log: surviving shard or cold standby"},
+      {"faults.el_failover_delay", "<duration>", "25ms",
+       "shard-crash detection + log-mount initiation delay"},
+      {"faults.service_retry", "<duration>", "500ms",
+       "client retransmit interval for unacked EL/ckpt requests"},
+      {"faults.seed_salt", "<u64>", "77",
+       "salt mixed into the campaign's stochastic streams"},
+  };
+  return table;
+}
+// END FAULT KEY TABLE (scripts/check_docs.sh)
+
 void strip_fault_key(ScenarioSpec& spec, const std::string& key) {
   using fault::Action;
   using fault::Injection;
@@ -297,6 +438,16 @@ void strip_fault_key(ScenarioSpec& spec, const std::string& key) {
     match = [](const Injection& i) {
       return i.target == Target::kRank && i.trigger == Trigger::kRate;
     };
+  } else if (key == "faults.crash_daemon") {
+    match = [](const Injection& i) {
+      return i.target == Target::kDaemon && i.trigger != Trigger::kRate;
+    };
+  } else if (key == "faults.daemon_rate") {
+    match = [](const Injection& i) {
+      return i.target == Target::kDaemon && i.trigger == Trigger::kRate;
+    };
+  } else if (key == "faults.partition") {
+    match = [](const Injection& i) { return i.target == Target::kFabric; };
   } else if (key == "faults.crash_el") {
     match = [](const Injection& i) {
       return i.target == Target::kElShard && i.action == Action::kCrash;
@@ -397,6 +548,8 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.detection_delay = parse_time(key, value);
   } else if (key == "max_sim_time") {
     spec.max_sim_time = parse_time(key, value);
+  } else if (key == "compare_reference") {
+    spec.compare_reference = parse_bool(key, value);
   } else if (key == "faults_per_minute") {
     spec.faults.faults_per_minute = parse_f64(key, value);
   } else if (key == "fault") {
@@ -432,7 +585,13 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.workload.params[key.substr(sizeof("workload.") - 1)] = value;
   } else if (key.rfind("faults.", 0) == 0) {
     if (!apply_fault_key(spec, key, value)) {
-      throw SpecError("unknown faults key '" + key + "'");
+      std::string known;
+      for (const FaultKeyInfo& e : fault_key_table()) {
+        if (!known.empty()) known += ", ";
+        known += e.key;
+      }
+      throw SpecError("unknown faults key '" + key + "' (known: " + known +
+                      ")");
     }
   } else if (key.rfind("cost.", 0) == 0) {
     if (!apply_cost_key(spec.cost, key, value)) {
@@ -539,6 +698,7 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   }
   out << "detection_delay = " << spec.detection_delay << "ns\n";
   out << "max_sim_time = " << spec.max_sim_time << "ns\n";
+  if (spec.compare_reference) out << "compare_reference = true\n";
   if (spec.faults.faults_per_minute > 0) {
     out << "faults_per_minute = " << num(spec.faults.faults_per_minute) << "\n";
   }
@@ -617,6 +777,22 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
           fb << "crash_el = " << inj.at << "ns:" << inj.index << "\n";
         }
         break;
+      case fault::Target::kDaemon:
+        if (inj.trigger == fault::Trigger::kRate) {
+          fb << "daemon_rate = " << num(inj.rate_per_minute) << "\n";
+        } else if (inj.duration > 0) {
+          fb << "crash_daemon = " << inj.at << "ns:" << inj.index << ":"
+             << inj.duration << "ns\n";
+        } else {
+          fb << "crash_daemon = " << inj.at << "ns:" << inj.index << "\n";
+        }
+        break;
+      case fault::Target::kFabric:
+        fb << "partition = " << inj.at << "ns:"
+           << format_rank_group(inj.group_a) << "|"
+           << format_rank_group(inj.group_b) << ":" << inj.duration << "ns:"
+           << inj.magnitude << "ns\n";
+        break;
       case fault::Target::kCkptServer:
         fb << "ckpt_outage = " << inj.at << "ns:" << inj.duration << "ns\n";
         break;
@@ -636,6 +812,9 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   }
   if (camp.el_failover_delay != defc.el_failover_delay) {
     fb << "el_failover_delay = " << camp.el_failover_delay << "ns\n";
+  }
+  if (camp.daemon_restart_delay != defc.daemon_restart_delay) {
+    fb << "daemon_restart_delay = " << camp.daemon_restart_delay << "ns\n";
   }
   if (camp.service_retry != defc.service_retry) {
     fb << "service_retry = " << camp.service_retry << "ns\n";

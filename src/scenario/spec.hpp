@@ -97,6 +97,12 @@ struct ScenarioSpec {
   sim::Time detection_delay = 250 * sim::kMillisecond;
   sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
 
+  /// Run a fault-free reference pass even without a midrun fault, so
+  /// `recovered_exact` is computed for ANY faulty run (the chaos-soak
+  /// outcome classifier). The reference strips rank crashes but keeps the
+  /// campaign's environment faults, exactly like the midrun protocol.
+  bool compare_reference = false;
+
   WorkloadSpec workload;
 
   /// Cartesian sweep axes in declaration order: each key is any scalar
@@ -129,6 +135,19 @@ void strip_fault_key(ScenarioSpec& spec, const std::string& key);
 /// Splits a comma-separated value list, trimming each element (the sweep-
 /// axis and quick-overlay tokenizer).
 std::vector<std::string> split_list(const std::string& csv);
+
+/// One `faults.*` scenario key: name, value syntax, an example value the
+/// parser accepts, and a one-line summary. The table below is the single
+/// source of truth the parser, `mpiv_run --list` and the docs check share —
+/// a key can be parsed only if it is listed here, and scripts/check_docs.sh
+/// fails when a listed key is missing from docs/SCENARIOS.md.
+struct FaultKeyInfo {
+  const char* key;
+  const char* syntax;
+  const char* example;
+  const char* summary;
+};
+const std::vector<FaultKeyInfo>& fault_key_table();
 
 /// Parses the `mpiv_run` scenario text format (INI-style sections
 /// [scenario] / [cost] / [sweep] / [quick], '#' comments). Throws
@@ -191,6 +210,50 @@ class ScenarioBuilder {
   ScenarioBuilder& inject(const fault::Injection& inj) {
     spec_.faults.campaign.injections.push_back(inj);
     return *this;
+  }
+  /// Kills rank `rank`'s communication daemon at `at`; the dispatcher
+  /// respawns it `downtime` later (0 = the campaign's daemon_restart_delay).
+  /// The app rank survives, stalled, with its volatile state intact.
+  ScenarioBuilder& crash_daemon_at(sim::Time at, int rank,
+                                   sim::Time downtime = 0) {
+    fault::Injection inj;
+    inj.target = fault::Target::kDaemon;
+    inj.index = rank;
+    inj.at = at;
+    inj.duration = downtime;
+    return inject(inj);
+  }
+  /// Seeded Poisson daemon-crash process over random live ranks. Rate 0 =
+  /// stream off, mirroring the `faults.daemon_rate` scenario key (so the
+  /// fault-free sweep corner is expressible from C++ too).
+  ScenarioBuilder& daemon_rate(double per_minute) {
+    if (per_minute <= 0) return *this;
+    fault::Injection inj;
+    inj.target = fault::Target::kDaemon;
+    inj.index = -1;
+    inj.trigger = fault::Trigger::kRate;
+    inj.rate_per_minute = per_minute;
+    return inject(inj);
+  }
+  /// Detection + respawn + reconnect delay for daemon crashes.
+  ScenarioBuilder& daemon_restart_delay(sim::Time t) {
+    spec_.faults.campaign.daemon_restart_delay = t;
+    return *this;
+  }
+  /// Partial partition: ranks in `a` and ranks in `b` mutually unreachable
+  /// from `at` for `duration`; held frames re-deliver `backoff` after heal.
+  ScenarioBuilder& partition(sim::Time at, std::vector<int> a,
+                             std::vector<int> b, sim::Time duration,
+                             sim::Time backoff = 2 * sim::kMillisecond) {
+    fault::Injection inj;
+    inj.target = fault::Target::kFabric;
+    inj.action = fault::Action::kPartition;
+    inj.at = at;
+    inj.duration = duration;
+    inj.magnitude = backoff;
+    inj.group_a = std::move(a);
+    inj.group_b = std::move(b);
+    return inject(inj);
   }
   /// Kills `rank` when it commits its `nth` checkpoint.
   ScenarioBuilder& crash_rank_on_ckpt(int rank, std::uint64_t nth) {
@@ -274,6 +337,12 @@ class ScenarioBuilder {
   }
   ScenarioBuilder& detection_delay(sim::Time t) { spec_.detection_delay = t; return *this; }
   ScenarioBuilder& max_sim_time(sim::Time t) { spec_.max_sim_time = t; return *this; }
+  /// Always run the fault-free reference pass (recovered_exact on any
+  /// faulty run — the chaos-soak outcome classifier).
+  ScenarioBuilder& compare_reference(bool on = true) {
+    spec_.compare_reference = on;
+    return *this;
+  }
 
   ScenarioBuilder& workload(const std::string& name) {
     spec_.workload.name = name;

@@ -112,6 +112,61 @@ TEST(FaultCampaign, FaultsSectionParses) {
   EXPECT_EQ(spec.el_standby, 1);
 }
 
+TEST(FaultCampaign, DaemonAndPartitionKeysParse) {
+  const char* text =
+      "[scenario]\n"
+      "variant = vcausal:el\n"
+      "nranks = 8\n"
+      "[faults]\n"
+      "crash_daemon = 50ms:2\n"
+      "crash_daemon = 80ms:5:15ms\n"
+      "daemon_rate = 1.5\n"
+      "daemon_restart_delay = 35ms\n"
+      "partition = 10ms:0-2+6|3-5:25ms:3ms\n"
+      "partition = 40ms:0|1:5ms\n";
+  const ScenarioSpec spec = scenario::parse_scenario_text(text);
+  const fault::Campaign& c = spec.faults.campaign;
+  ASSERT_EQ(c.injections.size(), 5u);
+
+  EXPECT_EQ(c.injections[0].target, Target::kDaemon);
+  EXPECT_EQ(c.injections[0].at, 50 * sim::kMillisecond);
+  EXPECT_EQ(c.injections[0].index, 2);
+  EXPECT_EQ(c.injections[0].duration, 0);  // campaign default downtime
+
+  EXPECT_EQ(c.injections[1].index, 5);
+  EXPECT_EQ(c.injections[1].duration, 15 * sim::kMillisecond);
+
+  EXPECT_EQ(c.injections[2].target, Target::kDaemon);
+  EXPECT_EQ(c.injections[2].trigger, Trigger::kRate);
+  EXPECT_DOUBLE_EQ(c.injections[2].rate_per_minute, 1.5);
+  EXPECT_EQ(c.injections[2].index, -1);
+
+  EXPECT_EQ(c.injections[3].target, Target::kFabric);
+  EXPECT_EQ(c.injections[3].action, Action::kPartition);
+  EXPECT_EQ(c.injections[3].group_a, (std::vector<int>{0, 1, 2, 6}));
+  EXPECT_EQ(c.injections[3].group_b, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(c.injections[3].duration, 25 * sim::kMillisecond);
+  EXPECT_EQ(c.injections[3].magnitude, 3 * sim::kMillisecond);
+
+  EXPECT_EQ(c.injections[4].magnitude, 2 * sim::kMillisecond);  // default
+
+  EXPECT_EQ(c.daemon_restart_delay, 35 * sim::kMillisecond);
+}
+
+TEST(FaultCampaign, KeyTableExamplesAllParse) {
+  // The table is the contract between the parser, `mpiv_run --list` and
+  // docs/SCENARIOS.md: every listed example must go through apply_key, and
+  // any key the parser would accept must be listed (unlisted keys are
+  // rejected before the dispatch chain).
+  for (const scenario::FaultKeyInfo& e : scenario::fault_key_table()) {
+    ScenarioSpec spec;
+    spec.nranks = 8;
+    EXPECT_NO_THROW(scenario::apply_key(spec, e.key, e.example)) << e.key;
+  }
+  ScenarioSpec spec;
+  EXPECT_THROW(scenario::apply_key(spec, "faults.no_such_key", "1"), SpecError);
+}
+
 TEST(FaultCampaign, BuilderRoundTripsThroughScenarioText) {
   const ScenarioSpec spec =
       base("roundtrip", 8, 2)
@@ -124,6 +179,12 @@ TEST(FaultCampaign, BuilderRoundTripsThroughScenarioText) {
           .link_latency(2 * sim::kMillisecond, 4, 500 * sim::kMicrosecond,
                         6 * sim::kMillisecond)
           .link_drop(3 * sim::kMillisecond, 5, 4 * sim::kMillisecond)
+          .crash_daemon_at(8 * sim::kMillisecond, 6)
+          .crash_daemon_at(9 * sim::kMillisecond, 7, 3 * sim::kMillisecond)
+          .daemon_rate(0.25)
+          .daemon_restart_delay(21 * sim::kMillisecond)
+          .partition(4 * sim::kMillisecond, {0, 1, 2}, {5, 6},
+                     7 * sim::kMillisecond)
           .el_failover(fault::ElFailover::kStandby, 17 * sim::kMillisecond)
           .build();
   const ScenarioSpec back =
@@ -141,9 +202,12 @@ TEST(FaultCampaign, BuilderRoundTripsThroughScenarioText) {
     EXPECT_EQ(a.injections[i].action, b.injections[i].action);
     EXPECT_EQ(a.injections[i].duration, b.injections[i].duration);
     EXPECT_EQ(a.injections[i].magnitude, b.injections[i].magnitude);
+    EXPECT_EQ(a.injections[i].group_a, b.injections[i].group_a);
+    EXPECT_EQ(a.injections[i].group_b, b.injections[i].group_b);
   }
   EXPECT_EQ(a.el_failover, b.el_failover);
   EXPECT_EQ(a.el_failover_delay, b.el_failover_delay);
+  EXPECT_EQ(a.daemon_restart_delay, b.daemon_restart_delay);
   EXPECT_EQ(spec.el_standby, back.el_standby);
 }
 
@@ -199,6 +263,24 @@ TEST(FaultValidation, RejectsCampaignAgainstMissingTargets) {
   EXPECT_THROW(base("link_oob")
                    .link_latency(sim::kMillisecond, 6, sim::kMicrosecond,
                                  sim::kMillisecond)
+                   .build(),
+               SpecError);
+  // Daemon fault naming a non-rank.
+  EXPECT_THROW(base("daemon_oob").crash_daemon_at(sim::kMillisecond, 6).build(),
+               SpecError);
+  // Partition with a rank on both sides / out of range / an empty group.
+  EXPECT_THROW(
+      base("part_overlap")
+          .partition(sim::kMillisecond, {0, 1}, {1, 2}, sim::kMillisecond)
+          .build(),
+      SpecError);
+  EXPECT_THROW(
+      base("part_oob")
+          .partition(sim::kMillisecond, {0}, {9}, sim::kMillisecond)
+          .build(),
+      SpecError);
+  EXPECT_THROW(base("part_empty")
+                   .partition(sim::kMillisecond, {}, {1}, sim::kMillisecond)
                    .build(),
                SpecError);
 }
@@ -419,6 +501,145 @@ TEST(ServiceOutages, ElOutageFreezesThenResumesStability) {
   EXPECT_EQ(r.checksums, ref.checksums);
   // Acks resumed after the outage (stability did not stay frozen).
   EXPECT_GT(r.report.el_stats.acks_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon faults and partitions (the failure domains split from rank loss).
+// ---------------------------------------------------------------------------
+
+TEST(DaemonFaults, DaemonCrashStallsTheRankButLosesNothing) {
+  const scenario::RunResult ref =
+      scenario::run_spec(ring_base("dmn_ref").build());
+  ASSERT_TRUE(ref.completed);
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("dmn")
+          .crash_daemon_at(10 * sim::kMillisecond, 2,
+                           30 * sim::kMillisecond)
+          .build());
+  ASSERT_TRUE(r.completed);
+  // The rank never died — only its daemon: no recovery, no replay, results
+  // identical, and the stall shows up as pure slowdown.
+  EXPECT_EQ(r.report.fault_counts.daemon_crashes, 1u);
+  EXPECT_EQ(r.report.fault_counts.rank_crashes, 0u);
+  EXPECT_EQ(r.report.faults_injected, 0u);
+  EXPECT_TRUE(r.report.recoveries.empty());
+  EXPECT_EQ(r.checksums, ref.checksums);
+  EXPECT_GT(r.report.completion_time, ref.report.completion_time);
+  // The outage record carries the daemon's own phases.
+  ASSERT_EQ(r.report.daemon_outages.size(), 1u);
+  const fault::DaemonOutageRecord& rec = r.report.daemon_outages[0];
+  EXPECT_EQ(rec.rank, 2);
+  ASSERT_TRUE(rec.complete());
+  EXPECT_EQ(rec.fault_at, 10 * sim::kMillisecond);
+  EXPECT_EQ(rec.down_ns(), 30 * sim::kMillisecond);
+  EXPECT_GT(rec.held_frames, 0u);  // the ring kept talking at the dead node
+  EXPECT_EQ(r.report.totals().daemon_down_time, 30 * sim::kMillisecond);
+}
+
+TEST(DaemonFaults, DefaultRestartDelayApplies) {
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("dmn_delay")
+          .crash_daemon_at(10 * sim::kMillisecond, 1)
+          .daemon_restart_delay(12 * sim::kMillisecond)
+          .build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.report.daemon_outages.size(), 1u);
+  EXPECT_EQ(r.report.daemon_outages[0].down_ns(), 12 * sim::kMillisecond);
+}
+
+TEST(Partitions, PartitionDelaysButPreservesResults) {
+  // Split the ring down the middle for a while: every neighbor pair across
+  // the cut stalls, then the held frames heal through in order and the run
+  // finishes with identical results.
+  const scenario::RunResult ref =
+      scenario::run_spec(ring_base("part_ref").build());
+  ASSERT_TRUE(ref.completed);
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("part")
+          .partition(10 * sim::kMillisecond, {0, 1, 2}, {3, 4, 5},
+                     25 * sim::kMillisecond)
+          .build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.report.fault_counts.partitions, 1u);
+  EXPECT_EQ(r.checksums, ref.checksums);
+  EXPECT_GT(r.report.completion_time, ref.report.completion_time);
+}
+
+TEST(Partitions, HealReleasesAfterWindowPlusBackoff) {
+  // Partition one rank away from everyone long enough that the window, not
+  // the workload, dominates: completion is pushed past heal time.
+  const sim::Time window = 200 * sim::kMillisecond;
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("part_heal")
+          .partition(5 * sim::kMillisecond, {0}, {1, 2, 3, 4, 5}, window,
+                     4 * sim::kMillisecond)
+          .build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.report.completion_time, 5 * sim::kMillisecond + window);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soak machinery: compare_reference + the outcome tally.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosSoak, MiniSoakTallySumsToSweepSize) {
+  // A seeded miniature of scenarios/chaos_soak.scn: Poisson rank + daemon
+  // faults crossed with EL redundancy and seeds. Every point must classify
+  // into exactly one outcome and the tally must cover the whole sweep.
+  // Rates are per minute against runs of ~0.5 simulated seconds, so they
+  // need to be in the hundreds to matter; the tight max_sim_time turns a
+  // crash spiral into a cheap "abandoned" instead of a 4-hour simulation.
+  ScenarioBuilder b = ring_base("mini_soak", 6, 1, /*laps=*/120);
+  b.compare_reference()
+      .max_sim_time(4 * sim::kSecond)
+      .set("faults.service_retry", "100ms")
+      .sweep("faults.rank_rate", {"120", "360"})
+      .sweep("faults.daemon_rate", {"0", "120"})
+      .sweep("el_shards", {"1", "2"})
+      .sweep("seed", {"1", "2"});
+  const scenario::RunSet set = scenario::run(b.build());
+  ASSERT_EQ(set.runs.size(), 16u);
+  const scenario::OutcomeCounts t = set.tally();
+  EXPECT_EQ(t.total(), set.runs.size());
+  EXPECT_EQ(t.skipped, 0u);
+  // Faults were really injected (the soak is not a quiet run in disguise)
+  // and at least one point made it through with an exact replay.
+  std::uint64_t crashes = 0;
+  for (const scenario::RunResult& r : set.runs) {
+    crashes += r.report.fault_counts.rank_crashes +
+               r.report.fault_counts.daemon_crashes;
+    EXPECT_TRUE(r.has_reference) << r.label;
+  }
+  EXPECT_GT(crashes, 0u);
+  EXPECT_GT(t.recovered_exact, 0u);
+}
+
+TEST(ChaosSoak, RankFaultFreePointRunsOnceAndCountsAsExact) {
+  // With compare_reference but no rank crashes anywhere in the plan, the
+  // reference IS the measured run (deterministic simulator): one cluster
+  // execution serves as both, classified recovered_exact, with the
+  // environment faults (here a daemon crash) still injected.
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("soak_corner")
+          .compare_reference()
+          .crash_daemon_at(10 * sim::kMillisecond, 1)
+          .build());
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.has_reference);
+  EXPECT_EQ(r.outcome(), scenario::Outcome::kRecoveredExact);
+  EXPECT_EQ(r.checksums, r.reference_checksums);
+  EXPECT_EQ(r.report.fault_counts.daemon_crashes, 1u);
+}
+
+TEST(ChaosSoak, OutcomeNamesAreStable) {
+  // The JSON report and the aggregation script key on these strings.
+  EXPECT_STREQ(scenario::outcome_name(scenario::Outcome::kSkipped), "skipped");
+  EXPECT_STREQ(scenario::outcome_name(scenario::Outcome::kAbandoned),
+               "abandoned");
+  EXPECT_STREQ(scenario::outcome_name(scenario::Outcome::kCompleted),
+               "completed");
+  EXPECT_STREQ(scenario::outcome_name(scenario::Outcome::kRecoveredExact),
+               "recovered_exact");
 }
 
 TEST(ServiceOutages, PiggybacksRegrowWhileTheElIsDown) {

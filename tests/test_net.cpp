@@ -109,6 +109,138 @@ TEST(Network, DeadNodeEmitsNothing) {
   EXPECT_TRUE(t.delivered.empty());
 }
 
+TEST(Network, PartitionHoldsCrossingFramesUntilHeal) {
+  Net t;
+  t.attach_all();
+  const sim::Time window = 20 * sim::kMillisecond;
+  const sim::Time backoff = 2 * sim::kMillisecond;
+  t.net.partition({0, 1}, {2, 3}, window, backoff);
+  EXPECT_EQ(t.net.active_partitions(), 1u);
+  t.net.send(frame(0, 2, 1000));  // crosses the cut: held
+  t.net.send(frame(0, 1, 1000));  // same side: unaffected
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 2u);
+  EXPECT_EQ(t.net.frames_partitioned(), 1u);
+  // Same-side frame sails through...
+  EXPECT_EQ(t.delivered[0].second.dst, NodeId{1});
+  EXPECT_LT(t.delivered[0].first, window);
+  // ...the crossing frame arrives only after heal + backoff.
+  EXPECT_EQ(t.delivered[1].second.dst, NodeId{2});
+  EXPECT_GE(t.delivered[1].first, window + backoff);
+  EXPECT_EQ(t.net.frames_dropped(), 0u);  // held, never lost
+}
+
+TEST(Network, PartitionHealPreservesSendOrder) {
+  // Several frames from one source cross the cut mid-window; after the heal
+  // they must reach the destination in their original send order (the
+  // fabric retries are FIFO for equal release times and the ingress
+  // serializer spaces them out).
+  Net t;
+  t.attach_all();
+  t.net.partition({0}, {1}, 10 * sim::kMillisecond, sim::kMillisecond);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    Message m = frame(0, 1, 2000);
+    m.ssn = i + 1;
+    t.net.send(std::move(m));
+  }
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.delivered[i].second.ssn, i + 1);
+    EXPECT_GE(t.delivered[i].first, 11 * sim::kMillisecond);
+  }
+  EXPECT_EQ(t.net.frames_partitioned(), 4u);
+}
+
+TEST(Network, OverlappingPartitionsCompose) {
+  // A frame crossing two active cuts waits for the later heal.
+  Net t;
+  t.attach_all();
+  t.net.partition({0}, {1}, 5 * sim::kMillisecond, 0);
+  t.net.partition({0}, {1, 2}, 15 * sim::kMillisecond, 0);
+  t.net.send(frame(0, 1, 1000));
+  t.eng.run();
+  ASSERT_EQ(t.delivered.size(), 1u);
+  EXPECT_GE(t.delivered[0].first, 15 * sim::kMillisecond);
+}
+
+TEST(Daemon, CrashedDaemonDeliversNothingBeforeRestartAndKeepsOrder) {
+  // While the daemon is down nothing crosses the delivery boundary — not
+  // even frames whose CPU charge was already in flight when the crash hit —
+  // and the backlog releases after restart in arrival (FIFO) order.
+  sim::Engine eng;
+  CostModel cost;
+  Network net{eng, 2, cost};
+  Daemon d0(net, 0, ChannelKind::kV);
+  Daemon d1(net, 1, ChannelKind::kV);
+  std::vector<std::pair<sim::Time, Message>> up1;
+  d1.attach_upper([&](Message&& m) { up1.emplace_back(eng.now(), std::move(m)); });
+  d0.attach_upper([](Message&&) {});
+
+  d1.crash_daemon();
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    Message m;
+    m.kind = MsgKind::kAppData;
+    m.src = 0;
+    m.dst = 1;
+    m.src_rank = 0;
+    m.dst_rank = 1;
+    m.ssn = i;
+    m.payload = Payload{512, i};
+    d0.submit_app(std::move(m));
+  }
+  const sim::Time restart_at = 5 * sim::kMillisecond;
+  std::size_t drained = 0;
+  eng.at(restart_at, [&] { drained = d1.restart_daemon(); });
+  eng.run();
+  EXPECT_EQ(drained, 3u);
+  ASSERT_EQ(up1.size(), 3u);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(up1[i].second.ssn, i + 1);       // original send order
+    EXPECT_GE(up1[i].first, restart_at);       // nothing leaked early
+  }
+}
+
+TEST(Daemon, CrashedDaemonHoldsTrafficUntilRestart) {
+  // While the daemon is down nothing moves in either direction; the backlog
+  // drains in order on restart and nothing is lost.
+  sim::Engine eng;
+  CostModel cost;
+  Network net{eng, 2, cost};
+  Daemon d0(net, 0, ChannelKind::kV);
+  Daemon d1(net, 1, ChannelKind::kV);
+  std::vector<Message> up1;
+  d1.attach_upper([&up1](Message&& m) { up1.push_back(std::move(m)); });
+  d0.attach_upper([](Message&&) {});
+
+  d1.crash_daemon();
+  EXPECT_TRUE(d1.daemon_down());
+  Message m;
+  m.kind = MsgKind::kAppData;
+  m.src = 0;
+  m.dst = 1;
+  m.src_rank = 0;
+  m.dst_rank = 1;
+  m.ssn = 1;
+  m.payload = Payload{512, 7};
+  d0.submit_app(std::move(m));
+  eng.run();
+  EXPECT_TRUE(up1.empty());  // arrived at the NIC, stuck in the socket buffer
+
+  const std::size_t drained = d1.restart_daemon();
+  EXPECT_FALSE(d1.daemon_down());
+  EXPECT_EQ(drained, 1u);
+  eng.run();
+  ASSERT_EQ(up1.size(), 1u);
+  EXPECT_EQ(up1[0].ssn, 1u);
+
+  // reset() (a node-level restart) discards any new backlog.
+  d1.crash_daemon();
+  d1.reset();
+  EXPECT_FALSE(d1.daemon_down());
+  EXPECT_EQ(d1.restart_daemon(), 0u);
+}
+
 TEST(CostModel, TxTimeScalesWithBytes) {
   CostModel c;
   EXPECT_GT(c.tx_time(2000), c.tx_time(1000));

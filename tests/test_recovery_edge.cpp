@@ -294,6 +294,135 @@ TEST(RecoveryEdge, CascadingShardCrashesExhaustAndAbandonTheEl) {
   EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
 }
 
+TEST(RecoveryEdge, DaemonCrashDuringElFailoverStillRecovers) {
+  // Shard 0 dies; while the successor is still mounting its log, the
+  // daemon of a re-homed rank dies too. The rank's EL traffic backs up in
+  // the dead daemon, drains into the successor after the respawn, and a
+  // later crash of that same rank must replay exactly from the mounted log.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  crash_el(c2, t / 4, 0);
+  c2.campaign.el_failover_delay = 20 * sim::kMillisecond;
+  c2.campaign.service_retry = 60 * sim::kMillisecond;
+  {
+    fault::Injection dmn;  // rank 2 is served by shard 0 (round-robin)
+    dmn.target = fault::Target::kDaemon;
+    dmn.index = 2;
+    dmn.at = t / 4 + 5 * sim::kMillisecond;  // inside the failover window
+    dmn.duration = 30 * sim::kMillisecond;
+    c2.campaign.injections.push_back(dmn);
+  }
+  c2.faults.push_back(runtime::FaultSpec{t / 2, 2});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.report.fault_counts.daemon_crashes, 1u);
+  EXPECT_EQ(out.report.faults_injected, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ASSERT_EQ(out.report.daemon_outages.size(), 1u);
+  EXPECT_TRUE(out.report.daemon_outages[0].complete());
+}
+
+TEST(RecoveryEdge, RankCrashWhileItsDaemonIsDownSupersedesTheOutage) {
+  // The rank dies mid-daemon-outage: the node-level restart replaces the
+  // daemon respawn (the pending respawn must not resurrect stale frames),
+  // and the recovery itself must still be exact.
+  ClusterConfig cfg = causal_cfg(6);
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  {
+    fault::Injection dmn;
+    dmn.target = fault::Target::kDaemon;
+    dmn.index = 3;
+    dmn.at = t / 2 - 5 * sim::kMillisecond;
+    dmn.duration = 40 * sim::kMillisecond;  // outage spans the rank crash
+    c2.campaign.injections.push_back(dmn);
+  }
+  c2.faults.push_back(runtime::FaultSpec{t / 2, 3});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.daemon_crashes, 1u);
+  EXPECT_EQ(out.report.faults_injected, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  // The outage record stays open-ended — the node restart superseded it.
+  ASSERT_EQ(out.report.daemon_outages.size(), 1u);
+  EXPECT_FALSE(out.report.daemon_outages[0].complete());
+}
+
+TEST(RecoveryEdge, DaemonFaultAfterSupersedingRankCrashStillFires) {
+  // Daemon of rank 3 dies; the rank itself crashes moments later, which
+  // restarts the node (daemon included) and ends the outage early. A
+  // second daemon fault inside the ORIGINAL respawn window must still
+  // fire — the engine must consult the live daemon state, not a latch
+  // pinned until the first (now superseded) respawn timer.
+  ClusterConfig cfg = causal_cfg(6);
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  auto daemon_at = [&c2](sim::Time at, sim::Time downtime) {
+    fault::Injection dmn;
+    dmn.target = fault::Target::kDaemon;
+    dmn.index = 3;
+    dmn.at = at;
+    dmn.duration = downtime;
+    c2.campaign.injections.push_back(dmn);
+  };
+  daemon_at(t / 2 - 2 * sim::kMillisecond, 60 * sim::kMillisecond);
+  c2.faults.push_back(runtime::FaultSpec{t / 2, 3});  // supersedes outage 1
+  daemon_at(t / 2 + 10 * sim::kMillisecond, 20 * sim::kMillisecond);
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.daemon_crashes, 2u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  // Outage 1 stays open-ended (superseded); outage 2 completes on its own
+  // respawn timer.
+  ASSERT_EQ(out.report.daemon_outages.size(), 2u);
+  EXPECT_FALSE(out.report.daemon_outages[0].complete());
+  EXPECT_TRUE(out.report.daemon_outages[1].complete());
+}
+
+TEST(RecoveryEdge, PartitionAcrossARecoveryHealsInOrder) {
+  // A partition cuts the recovering rank off from half the survivors right
+  // around the crash: determinant collection and payload resends stall
+  // until the heal, then the held frames arrive in their original order and
+  // the replay must still be exact.
+  ClusterConfig cfg = causal_cfg(6);
+  const RunOutput ref = run_ring(cfg);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  {
+    fault::Injection part;
+    part.target = fault::Target::kFabric;
+    part.action = fault::Action::kPartition;
+    part.at = t / 2 + sim::kMillisecond;  // opens while detection runs
+    part.duration = 400 * sim::kMillisecond;  // outlives detect (250 ms)
+    part.magnitude = 2 * sim::kMillisecond;
+    part.group_a = {1};
+    part.group_b = {4, 5};
+    c2.campaign.injections.push_back(part);
+  }
+  c2.faults.push_back(runtime::FaultSpec{t / 2, 1});
+  RunOutput out = run_ring(c2);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.partitions, 1u);
+  EXPECT_EQ(out.report.faults_injected, 1u);
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ASSERT_EQ(out.report.recoveries.size(), 1u);
+  EXPECT_TRUE(out.report.recoveries[0].complete());
+}
+
 TEST(RecoveryEdge, FaultStormSurvivesOverlappingInjections) {
   // Chaos: an EL shard dies, a link degrades, the checkpoint server blips,
   // and two ranks crash close together — all overlapping. Results must

@@ -29,7 +29,8 @@ void usage(std::FILE* out, const char* argv0) {
                "  --set key=value  override a scenario key (repeatable)\n"
                "  --seed N         override the seed (replaces a seed sweep axis)\n"
                "  --print          print the expanded run matrix, run nothing\n"
-               "  --list           list registered protocols/strategies/workloads\n",
+               "  --list           list registered protocols/strategies/"
+               "workloads and faults.* keys\n",
                argv0);
 }
 
@@ -45,6 +46,14 @@ void list_registries() {
   std::printf("workloads:\n");
   for (const auto& [name, e] : scenario::workload_registry().entries()) {
     std::printf("  %-14s %s\n", name.c_str(), e.summary);
+  }
+  // The [faults] key family straight from the parser's own table, so this
+  // listing and docs/SCENARIOS.md cannot diverge from what .scn files
+  // accept (scripts/check_docs.sh checks the docs side).
+  std::printf("scenario [faults] keys (docs/SCENARIOS.md has the full "
+              "reference):\n");
+  for (const scenario::FaultKeyInfo& e : scenario::fault_key_table()) {
+    std::printf("  %-27s %-40s %s\n", e.key, e.syntax, e.summary);
   }
 }
 
