@@ -25,9 +25,9 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
-if [[ ! -x "$BUILD_DIR/mpiv_run" ]]; then
-  echo "error: $BUILD_DIR/mpiv_run not found — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target mpiv_run" >&2
+if [[ ! -x "$BUILD_DIR/mpiv_run" || ! -x "$BUILD_DIR/mpiv_trace" ]]; then
+  echo "error: $BUILD_DIR/mpiv_run or mpiv_trace not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target mpiv_run mpiv_trace" >&2
   exit 1
 fi
 
@@ -95,6 +95,26 @@ if [[ -f "$FC_JSON" ]]; then
   echo "fault-campaign smoke OK (failover + recovery timeline present)"
 else
   echo "fault-campaign smoke FAILED: $FC_JSON missing" >&2
+  exit 1
+fi
+
+# Trace smoke: mpiv_trace re-runs the shard-failover campaign with trace
+# lanes and the reference twin on; it must localize the injected crash to
+# rank 2 and find the post-recovery stream replay-equivalent (exit 0).
+TRACE_OUT="$OUT_DIR/fault_campaign.trace.txt"
+if "$BUILD_DIR/mpiv_trace" --quick scenarios/fault_campaign.scn \
+    > "$TRACE_OUT" 2> "$OUT_DIR/fault_campaign.trace.log"; then
+  for marker in 'victim: rank 2' 'replay-equivalent: yes'; do
+    if ! grep -q "$marker" "$TRACE_OUT"; then
+      echo "trace smoke FAILED: missing '$marker' in mpiv_trace output" >&2
+      sed 's/^/  | /' "$TRACE_OUT" >&2
+      exit 1
+    fi
+  done
+  echo "trace smoke OK (victim localized, replay-equivalent)"
+else
+  echo "trace smoke FAILED: mpiv_trace exited $? on fault_campaign.scn" >&2
+  sed 's/^/  | /' "$OUT_DIR/fault_campaign.trace.log" >&2
   exit 1
 fi
 

@@ -71,6 +71,11 @@ class CausalProtocol final : public MsgLogProtocolBase {
     store_->add(full);
     strategy_->on_local_event(full);
     ++svc_.stats->dets_created;
+    // The only place the antecedence edge exists rank-side: peer/aux carry
+    // (dep_creator, dep_seq) so mpiv_trace can rebuild the graph.
+    trace::emit(svc_.trace, svc_.eng->now(), trace::Kind::kDeterminant, 0,
+                static_cast<std::int32_t>(full.dep_creator), full.seq,
+                full.dep_seq, full.ssn);
     if (use_el_) el_.submit(full);
     return svc_.cost->det_create;
   }

@@ -44,9 +44,12 @@ class MsgLogProtocolBase : public ftapi::VProtocol {
 
   void on_ctl(net::Message&& m) override {
     switch (m.kind) {
-      case net::MsgKind::kElAck:
+      case net::MsgKind::kElAck: {
         el_.on_ack(std::move(m));
+        trace::emit(svc_.trace, svc_.eng->now(), trace::Kind::kElAck, 0,
+                    svc_.el_shard_for(svc_.rank), el_.own_stable());
         return;
+      }
       case net::MsgKind::kElRecoveryResp:
         el_.on_recovery_resp(std::move(m));
         return;
@@ -79,6 +82,10 @@ class MsgLogProtocolBase : public ftapi::VProtocol {
   /// dynamically.
   void on_el_failover(std::uint64_t arg) {
     if (!use_el_) return;
+    trace::emit(svc_.trace, svc_.eng->now(), trace::Kind::kRecovery,
+                trace::kPhaseElFailover, mpi::el_failover_dead(arg),
+                static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(mpi::el_failover_successor(arg))));
     if (mpi::el_failover_successor(arg) < 0) return;  // abandoned: no-EL now
     const auto me = static_cast<std::uint32_t>(svc_.rank);
     ftapi::DeterminantList mine;

@@ -26,6 +26,7 @@
 #include "ftapi/stats.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "net/service_port.hpp"
+#include "trace/trace.hpp"
 #include "util/seq_window.hpp"
 
 namespace mpiv::elog {
@@ -69,6 +70,8 @@ class EventLogger {
   /// Late-bound trigger sink (the fault engine is constructed after the
   /// shards it observes).
   void set_observer(ftapi::FaultObserver* obs) { obs_ = obs; }
+  /// This shard's trace lane (null = tracing off).
+  void set_trace(trace::Lane* lane) { trace_ = lane; }
   bool owns_rank(int r) const {
     return dir_ != nullptr ? dir_->shard_of(r) == shard_
                            : layout_.el_shard_for_rank(r) == shard_;
@@ -117,6 +120,8 @@ class EventLogger {
             done();
             return;
           }
+          trace::emit(trace_, net_.engine().now(), trace::Kind::kRecovery,
+                      trace::kPhaseLogMounted, dead.shard_, ranks.size());
           for (const int r : ranks) {
             Per& mine = per_[static_cast<std::size_t>(r)];
             const Per& theirs = dead.per_[static_cast<std::size_t>(r)];
@@ -243,6 +248,11 @@ class EventLogger {
     if (d.seq <= p.contiguous) return;  // duplicate (replayed resubmission)
     p.dets.emplace(d.seq, d);
     while (p.dets.contains(p.contiguous + 1)) ++p.contiguous;
+    // code=1 distinguishes EL-side storage from the rank-side creation
+    // record of the same determinant.
+    trace::emit(trace_, net_.engine().now(), trace::Kind::kDeterminant, 1,
+                static_cast<std::int32_t>(d.creator), d.seq, p.contiguous,
+                d.ssn);
   }
 
   void ack(net::NodeId to) {
@@ -252,6 +262,8 @@ class EventLogger {
     a.dst = to;
     for (const Per& p : per_) a.body.put_u64(p.contiguous);
     ++stats_->acks_sent;
+    trace::emit(trace_, net_.engine().now(), trace::Kind::kElAck, 1,
+                static_cast<std::int32_t>(to), stats_->acks_sent, pending_);
     port_.send_after(net_.cost().el_ack_build, std::move(a));
   }
 
@@ -285,6 +297,7 @@ class EventLogger {
   int shard_;
   const ElDirectory* dir_;
   ftapi::FaultObserver* obs_;
+  trace::Lane* trace_ = nullptr;
   net::ServicePort port_;
   std::vector<Per> per_;
   std::uint64_t pending_ = 0;

@@ -154,6 +154,8 @@ void FaultEngine::crash_el_shard(int shard) {
   if (b_.directory->dead(shard)) return;
   ++counts_.el_crashes;
   if (first_el_fault_ == 0) first_el_fault_ = b_.eng->now();
+  trace::emit(b_.trace, b_.eng->now(), trace::Kind::kFault, trace::kElCrash,
+              shard, counts_.el_crashes);
   b_.net->crash_node(b_.layout.el_node(shard));
   b_.els[static_cast<std::size_t>(shard)]->crash_service();
   b_.directory->mark_dead(shard);
@@ -166,6 +168,8 @@ void FaultEngine::el_outage(int shard, sim::Time duration) {
   if (b_.directory->dead(shard)) return;
   ++counts_.el_outages;
   if (first_el_fault_ == 0) first_el_fault_ = b_.eng->now();
+  trace::emit(b_.trace, b_.eng->now(), trace::Kind::kFault, trace::kElOutage,
+              shard, static_cast<std::uint64_t>(duration));
   in_outage_[static_cast<std::size_t>(shard)] = 1;
   b_.net->crash_node(b_.layout.el_node(shard));
   b_.els[static_cast<std::size_t>(shard)]->crash_service();
@@ -217,6 +221,9 @@ void FaultEngine::fail_over(int dead_shard) {
     }
     b_.directory->rehome(dead_shard, succ);
     ++counts_.el_failovers;
+    trace::emit(b_.trace, b_.eng->now(), trace::Kind::kRecovery,
+                trace::kPhaseElFailover, dead_shard,
+                static_cast<std::uint64_t>(succ), ranks.size());
     announce_failover(ranks, dead_shard, succ);
   });
 }
@@ -281,6 +288,8 @@ void FaultEngine::partition(const std::vector<int>& group_a,
 
 void FaultEngine::ckpt_outage(sim::Time duration) {
   ++counts_.ckpt_outages;
+  trace::emit(b_.trace, b_.eng->now(), trace::Kind::kFault, trace::kCkptOutage,
+              -1, static_cast<std::uint64_t>(duration));
   // Service outage only: committed images are on disk and survive; clients
   // retransmit unacked store/fetch requests until the node returns.
   b_.net->crash_node(b_.layout.ckpt_node());

@@ -26,6 +26,7 @@
 #include "fault/timeline.hpp"
 #include "ftapi/services.hpp"
 #include "net/network.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace mpiv::elog {
@@ -57,6 +58,8 @@ class FaultEngine final : public ftapi::FaultObserver {
     std::function<bool(int)> daemon_is_down;
     /// Daemon outage records land here (null = no timeline).
     RecoveryTimeline* timeline = nullptr;
+    /// The cluster's engine-side trace lane (null = tracing off).
+    trace::Lane* trace = nullptr;
   };
 
   FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b);

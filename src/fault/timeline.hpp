@@ -51,6 +51,11 @@ struct DaemonOutageRecord {
   sim::Time fault_at = 0;
   sim::Time restart_at = 0;        // respawned daemon serving again
   std::uint64_t held_frames = 0;   // backed-up frames drained on reconnect
+  // A rank crash superseded the outage: the node restart respawned the
+  // daemon, so the record never closes. Distinguishes "still down at run
+  // end" (interrupted = false, complete() = false) from "overtaken by a
+  // node-level recovery" in the JSON report.
+  bool interrupted = false;
 
   bool complete() const { return restart_at != 0; }
   sim::Time down_ns() const { return restart_at - fault_at; }
@@ -125,6 +130,8 @@ class RecoveryTimeline {
   /// mid-outage: the node-level restart replaces the daemon respawn).
   void interrupt_daemon(int rank) {
     if (static_cast<std::size_t>(rank) >= open_daemon_.size()) return;
+    const int idx = open_daemon_[static_cast<std::size_t>(rank)];
+    if (idx >= 0) daemon_records_[static_cast<std::size_t>(idx)].interrupted = true;
     open_daemon_[static_cast<std::size_t>(rank)] = -1;
   }
 

@@ -9,6 +9,7 @@
 #include "net/daemon.hpp"
 #include "net/message.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace mpiv::ftapi {
 
@@ -77,6 +78,8 @@ struct RankServices {
   /// > 0: retransmit interval for unacked checkpoint/EL requests (armed
   /// only under fault campaigns, so fault-free runs schedule no timers).
   sim::Time service_retry = 0;
+  /// This rank's trace lane (null = tracing disabled).
+  trace::Lane* trace = nullptr;
 
   int el_shard_for(int r) const {
     return el_dir != nullptr ? el_dir->shard_of(r) : layout.el_shard_for_rank(r);

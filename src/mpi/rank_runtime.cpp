@@ -28,6 +28,8 @@ RankRuntime::RankRuntime(sim::Engine& eng, net::Network& net,
       store_ack_(eng),
       fetch_done_(eng) {
   daemon_->attach_upper([this](net::Message&& m) { on_daemon_up(std::move(m)); });
+  if (hooks_.trace != nullptr) tlane_ = hooks_.trace->rank_lane(rank_);
+  daemon_->set_trace(tlane_);
   ftapi::RankServices svc;
   svc.eng = &eng_;
   svc.daemon = daemon_.get();
@@ -39,6 +41,7 @@ RankRuntime::RankRuntime(sim::Engine& eng, net::Network& net,
   svc.stats = stats_;
   svc.el_dir = hooks_.el_directory;
   svc.service_retry = hooks_.service_retry;
+  svc.trace = tlane_;
   proto_->bind(svc);
 }
 
@@ -59,6 +62,10 @@ void RankRuntime::launch(AppFactory factory) {
 
 void RankRuntime::crash() {
   MPIV_CHECK(proc_ != nullptr, "rank %d has no process", rank_);
+  // Recorded here (not in the fault engine) so every crash path — campaign
+  // injections and the legacy Poisson plan alike — lands on the victim lane.
+  trace::emit(tlane_, eng_.now(), trace::Kind::kFault, trace::kRankCrash,
+              rank_, rsn_, ckpts_completed_);
   net_.crash_node(layout_.rank_node(rank_));
   proc_->kill();
   daemon_->reset();
@@ -75,6 +82,8 @@ void RankRuntime::crash() {
 }
 
 void RankRuntime::restart(AppFactory factory, std::uint64_t image_version) {
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery, trace::kPhaseRestart,
+              rank_, image_version);
   net_.restart_node(layout_.rank_node(rank_));
   app_finished_ = false;
   proc_->start(recovery_main(std::move(factory), image_version));
@@ -176,6 +185,8 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
     blob_len_ = blob_len;
   }
   if (hooks_.timeline != nullptr) hooks_.timeline->mark_image(rank_, eng_.now());
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery, trace::kPhaseImage,
+              rank_, rsn_, ckpt_version_);
   if (proto_->is_message_logging()) {
     const sim::Time t_events = eng_.now();
     std::vector<std::uint64_t> arr_wm(arr_.size());
@@ -221,6 +232,12 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
     // covers every reception): the recovery is live right here.
     if (replay_.empty()) hooks_.timeline->mark_replay_done(rank_, eng_.now());
   }
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery, trace::kPhaseCollect,
+              rank_, replay_.size());
+  if (replay_.empty()) {
+    trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery,
+                trace::kPhaseReplayDone, rank_, rsn_);
+  }
   recovering_ = false;
   stats_->recovery_total_time += eng_.now() - t_start;
   notify_dispatcher(CtlSub::kRecoveryDone);
@@ -253,6 +270,12 @@ sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
       std::max(stats_->pb_peak_msg_bytes,
                static_cast<std::uint64_t>(pb.bytes.size()));
   stats_->pb_peak_msg_events = std::max(stats_->pb_peak_msg_events, pb.events);
+  trace::emit(tlane_, eng_.now(), trace::Kind::kSend, 0, dst, ssn,
+              static_cast<std::uint64_t>(tag), check);
+  if (pb.events > 0) {
+    trace::emit(tlane_, eng_.now(), trace::Kind::kPiggyback, 0, dst, ssn,
+                pb.events, pb.bytes.size());
+  }
   if (hooks_.el_fault_at != nullptr && *hooks_.el_fault_at > 0) {
     stats_->pb_peak_post_el_fault_bytes =
         std::max(stats_->pb_peak_post_el_fault_bytes,
@@ -387,6 +410,8 @@ sim::Task<void> RankRuntime::store_checkpoint(const util::Buffer& app_state,
   if (hooks_.observer != nullptr) {
     hooks_.observer->on_rank_checkpoint(rank_, ckpts_completed_);
   }
+  trace::emit(tlane_, eng_.now(), trace::Kind::kCkpt, 0, rank_, ckpt_version_,
+              ckpts_completed_, rsn_at_image);
 
   // Sender-log GC notices: receptions up to arr watermark are now covered
   // by this image, so peers may drop the corresponding logged payloads.
@@ -544,10 +569,14 @@ void RankRuntime::pump() {
       posted_.erase(pit);
       replay_.pop_front();
       ++stats_->replayed_receptions;
-      if (replay_.empty() && hooks_.timeline != nullptr) {
+      if (replay_.empty()) {
         // Last forced reception matched: the recovery timeline's replay
         // phase ends here and execution is live again.
-        hooks_.timeline->mark_replay_done(rank_, eng_.now());
+        if (hooks_.timeline != nullptr) {
+          hooks_.timeline->mark_replay_done(rank_, eng_.now());
+        }
+        trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery,
+                    trace::kPhaseReplayDone, rank_, rsn_ + 1);
       }
       deliver_to(*pr, msg);
     }
@@ -584,6 +613,8 @@ void RankRuntime::deliver_to(PostedRecv& pr, const StoredMsg& m) {
   d.ssn = m.ssn;
   d.tag = m.tag;
   pr.deliver_cpu = proto_->on_deliver(d);
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecvMatch, 0, m.src_rank, rsn_,
+              m.ssn, m.payload.check);
   pr.result.src = m.src_rank;
   pr.result.tag = m.tag;
   pr.result.bytes = m.payload.bytes;

@@ -36,6 +36,7 @@
 #include "net/daemon.hpp"
 #include "net/network.hpp"
 #include "sim/sync.hpp"
+#include "trace/trace.hpp"
 #include "util/slab.hpp"
 
 namespace mpiv::mpi {
@@ -53,6 +54,9 @@ struct RankHooks {
   /// > 0: retransmit unacked checkpoint-server requests at this interval
   /// (survives checkpoint-server outages; also handed to the EL client).
   sim::Time service_retry = 0;
+  /// Cluster trace sink (null = tracing disabled); the runtime records into
+  /// its own rank lane and shares that lane with the protocol + daemon.
+  trace::TraceSink* trace = nullptr;
 };
 
 /// Control-frame subtypes (carried in Message.tag of kControl frames).
@@ -202,6 +206,7 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   ftapi::RankStats* stats_;
   sim::Process* proc_ = nullptr;
   util::Rng rng_;
+  trace::Lane* tlane_ = nullptr;  // this rank's trace lane (null when off)
 
   // Matching state (serialized into checkpoint images).
   std::uint64_t rsn_ = 0;

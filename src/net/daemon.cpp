@@ -50,11 +50,19 @@ void Daemon::inject(Message&& m) {
   net_.send(std::move(m));
 }
 
-void Daemon::crash_daemon() { down_ = true; }
+void Daemon::crash_daemon() {
+  down_ = true;
+  trace::emit(trace_, net_.engine().now(), trace::Kind::kFault,
+              trace::kDaemonCrash, static_cast<std::int32_t>(node_),
+              held_.size());
+}
 
 std::size_t Daemon::restart_daemon() {
   if (!down_) return 0;
   down_ = false;
+  trace::emit(trace_, net_.engine().now(), trace::Kind::kRecovery,
+              trace::kPhaseDaemonUp, static_cast<std::int32_t>(node_),
+              held_.size());
   // Everything in held_ finished its charge BEFORE any charge still
   // pending on the CPU clock, so releasing the backlog now — and leaving
   // cpu_free_ alone — preserves the daemon's strict FIFO across the

@@ -21,6 +21,7 @@
 #include <utility>
 
 #include "net/network.hpp"
+#include "trace/trace.hpp"
 #include "util/slab.hpp"
 
 namespace mpiv::net {
@@ -51,6 +52,9 @@ class Daemon {
   const CostModel& cost() const { return net_.cost(); }
 
   void attach_upper(UpFn fn) { up_ = std::move(fn); }
+  /// Owning rank's trace lane (null = tracing off): daemon outages and
+  /// respawns are recorded there.
+  void set_trace(trace::Lane* lane) { trace_ = lane; }
 
   /// Sender-side cost charged to the *application* coroutine before the
   /// message is handed to the daemon (pipe write + copy), in ns.
@@ -120,6 +124,7 @@ class Daemon {
   NodeId node_;
   ChannelKind channel_;
   UpFn up_;
+  trace::Lane* trace_ = nullptr;
   util::Slab<Message> parked_;
   sim::Time cpu_free_ = 0;
   bool down_ = false;

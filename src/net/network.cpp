@@ -60,6 +60,9 @@ void Network::partition(const std::vector<NodeId>& a,
   }
   p.until = eng_.now() + duration;
   p.backoff = backoff;
+  trace::emit(trace_, eng_.now(), trace::Kind::kFault, trace::kPartition,
+              static_cast<std::int32_t>(a.empty() ? kNoNode : a.front()),
+              a.size(), b.size(), static_cast<std::uint64_t>(duration));
   std::erase_if(partitions_,
                 [this](const Partition& q) { return q.until <= eng_.now(); });
   // Prune after the heal completes so partition_release()'s per-frame scan

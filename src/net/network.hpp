@@ -24,6 +24,7 @@
 #include "net/cost_model.hpp"
 #include "net/message.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 #include "util/slab.hpp"
 
 namespace mpiv::net {
@@ -49,6 +50,9 @@ class Network {
   /// emulate the ch_p4 channel behaviour.
   void set_half_duplex(NodeId node, bool half) { nodes_[node].half_duplex = half; }
 
+  /// Fabric-level trace lane (the cluster's "engine" lane; null = off).
+  void set_trace(trace::Lane* lane) { trace_ = lane; }
+
   /// Injects a frame. `wire_bytes` must already be set by the sender.
   void send(Message&& m);
 
@@ -57,9 +61,16 @@ class Network {
     Node& n = at(node);
     ++n.epoch;
     n.up = false;
+    trace::emit(trace_, eng_.now(), trace::Kind::kFault, trace::kNodeCrash,
+                static_cast<std::int32_t>(node), n.epoch);
   }
   /// Restart: node accepts traffic again (new epoch already in effect).
-  void restart_node(NodeId node) { at(node).up = true; }
+  void restart_node(NodeId node) {
+    Node& n = at(node);
+    n.up = true;
+    trace::emit(trace_, eng_.now(), trace::Kind::kFault, trace::kNodeRestart,
+                static_cast<std::int32_t>(node), n.epoch);
+  }
   bool node_up(NodeId node) const { return nodes_[node].up; }
   std::uint64_t node_epoch(NodeId node) const { return nodes_[node].epoch; }
 
@@ -72,6 +83,10 @@ class Network {
     const sim::Time until = eng_.now() + duration;
     n.lat_extra = std::max(n.lat_extra, extra);
     n.lat_until = std::max(n.lat_until, until);
+    trace::emit(trace_, eng_.now(), trace::Kind::kFault, trace::kLinkLatency,
+                static_cast<std::int32_t>(node),
+                static_cast<std::uint64_t>(extra),
+                static_cast<std::uint64_t>(duration));
   }
   /// Drop-with-retransmit window: frames arriving at `node` inside the
   /// window are held and re-delivered `backoff` after it closes (TCP loses
@@ -80,6 +95,10 @@ class Network {
     Node& n = at(node);
     n.drop_until = std::max(n.drop_until, eng_.now() + duration);
     n.drop_backoff = std::max(n.drop_backoff, backoff);
+    trace::emit(trace_, eng_.now(), trace::Kind::kFault, trace::kLinkDrop,
+                static_cast<std::int32_t>(node),
+                static_cast<std::uint64_t>(duration),
+                static_cast<std::uint64_t>(backoff));
   }
   /// Partial partition: the switch stops forwarding between the `a` nodes
   /// and the `b` nodes until `duration` elapses (a failed uplink between
@@ -153,6 +172,7 @@ class Network {
 
   sim::Engine& eng_;
   CostModel cost_;
+  trace::Lane* trace_ = nullptr;
   std::vector<Node> nodes_;
   util::Slab<Flight> flights_;
   std::vector<Partition> partitions_;  // empty on fault-free runs

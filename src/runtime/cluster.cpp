@@ -68,10 +68,16 @@ Cluster::Cluster(ClusterConfig cfg)
       stats_(static_cast<std::size_t>(cfg_.nranks)) {
   el_dir_.init(cfg_.nranks, cfg_.el_shards, cfg_.el_standby);
   timeline_.reset(cfg_.nranks);
+  if (cfg_.trace.enabled) {
+    trace_ = std::make_unique<trace::TraceSink>(cfg_.nranks, layout_.el_count,
+                                                cfg_.trace.capacity);
+    net_.set_trace(trace_->engine_lane());
+  }
 
   for (int shard = 0; shard < layout_.el_count; ++shard) {
     els_.push_back(std::make_unique<elog::EventLogger>(
         net_, layout_, &el_stats_, shard, &el_dir_, nullptr));
+    if (trace_) els_.back()->set_trace(trace_->el_lane(shard));
   }
 
   fault::FaultEngine::Bindings fb;
@@ -100,6 +106,7 @@ Cluster::Cluster(ClusterConfig cfg)
     return ranks_[static_cast<std::size_t>(r)]->daemon_down();
   };
   fb.timeline = &timeline_;
+  if (trace_) fb.trace = trace_->engine_lane();
   fault_engine_ = std::make_unique<fault::FaultEngine>(cfg_.campaign, cfg_.seed,
                                                        std::move(fb));
   for (auto& e : els_) e->set_observer(fault_engine_.get());
@@ -113,6 +120,7 @@ Cluster::Cluster(ClusterConfig cfg)
   // event-for-event identical to the pre-engine runtime (the determinism
   // goldens pin this).
   hooks.service_retry = cfg_.campaign.empty() ? 0 : cfg_.campaign.service_retry;
+  hooks.trace = trace_.get();
 
   const net::ChannelKind channel = cfg_.protocol == ProtocolKind::kP4
                                        ? net::ChannelKind::kP4

@@ -21,6 +21,7 @@
 #include "ftapi/stats.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "runtime/dispatcher.hpp"
+#include "trace/trace.hpp"
 
 namespace mpiv::fault {
 class FaultEngine;
@@ -60,6 +61,9 @@ struct ClusterConfig {
   /// the fault engine alongside the legacy plan above.
   fault::Campaign campaign;
   sim::Time detection_delay = 250 * sim::kMillisecond;
+
+  /// Per-rank trace lanes (trace::Config{} = disabled, zero overhead).
+  trace::Config trace{};
 
   /// Safety net for runaway simulations (0 = unlimited).
   sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
@@ -111,6 +115,8 @@ class Cluster {
   fault::FaultEngine& fault_engine() { return *fault_engine_; }
   const fault::RecoveryTimeline& timeline() const { return timeline_; }
   const ClusterConfig& config() const { return cfg_; }
+  /// Null when tracing is disabled.
+  trace::TraceSink* trace_sink() { return trace_.get(); }
 
   /// Human-readable protocol tag ("Manetho (no EL)", "MPICH-P4", ...).
   std::string protocol_label() const;
@@ -129,6 +135,7 @@ class Cluster {
   ftapi::ElStats el_stats_;
   elog::ElDirectory el_dir_;
   fault::RecoveryTimeline timeline_;
+  std::unique_ptr<trace::TraceSink> trace_;
   std::unique_ptr<fault::FaultEngine> fault_engine_;
   std::vector<std::unique_ptr<mpi::RankRuntime>> ranks_;
   std::vector<std::unique_ptr<elog::EventLogger>> els_;

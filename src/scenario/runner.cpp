@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "scenario/registry.hpp"
@@ -19,6 +21,7 @@ struct ClusterRun {
   workloads::PingPongResult pingpong;
   double flops = 0;
   std::string protocol_label;
+  std::string trace_dump;
 };
 
 ClusterRun run_cluster(const ScenarioSpec& spec) {
@@ -33,7 +36,36 @@ ClusterRun run_cluster(const ScenarioSpec& spec) {
   if (wl.checksums) out.checksums = wl.checksums->checksums;
   if (wl.pingpong) out.pingpong = *wl.pingpong;
   out.flops = wl.flops;
+  if (trace::TraceSink* sink = cluster.trace_sink()) {
+    out.trace_dump = sink->dump();
+  }
   return out;
+}
+
+/// Point labels double as trace file stems; anything outside the portable
+/// filename alphabet collapses to '_'.
+std::string sanitize_label(const std::string& label) {
+  std::string s = label;
+  for (char& ch : s) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '.' || ch == '-' ||
+                    ch == '_';
+    if (!ok) ch = '_';
+  }
+  return s;
+}
+
+/// Writes one trace stream under `dir`, returning the path ("" on failure —
+/// a broken report path must not abort a finished run).
+std::string write_trace_file(const std::string& dir, const std::string& stem,
+                             const std::string& dump) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + stem + ".trace";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return "";
+  f << dump;
+  return f.good() ? path : "";
 }
 
 }  // namespace
@@ -161,6 +193,7 @@ runtime::ClusterConfig lower(const ScenarioSpec& spec) {
   cfg.faults_per_minute = spec.faults.faults_per_minute;
   cfg.campaign = spec.faults.campaign;
   cfg.detection_delay = spec.detection_delay;
+  cfg.trace = spec.trace;
   cfg.max_sim_time = spec.max_sim_time;
   return cfg;
 }
@@ -185,6 +218,21 @@ RunResult run_point(const RunPoint& point) {
     r.checksums = run.checksums;
     r.pingpong = run.pingpong;
     r.flops = run.flops;
+    r.trace_dump = run.trace_dump;
+  };
+
+  // Trace streams leave the process only when the spec names a directory;
+  // both return paths below funnel through this.
+  const auto persist_traces = [&r, &point] {
+    if (point.spec.trace_dir.empty()) return;
+    const std::string stem = sanitize_label(r.label);
+    if (!r.trace_dump.empty()) {
+      r.trace_path = write_trace_file(point.spec.trace_dir, stem, r.trace_dump);
+    }
+    if (!r.reference_trace_dump.empty()) {
+      r.reference_trace_path = write_trace_file(
+          point.spec.trace_dir, stem + ".reference", r.reference_trace_dump);
+    }
   };
 
   ScenarioSpec spec = point.spec;
@@ -221,11 +269,13 @@ RunResult run_point(const RunPoint& point) {
     r.has_reference = true;
     r.reference_time = ref_run.report.completion_time;
     r.reference_checksums = ref_run.checksums;
+    r.reference_trace_dump = ref_run.trace_dump;
     if (!ref_run.report.completed || ref_is_measured) {
       // Either the reference never finished (nothing to measure against)
       // or it doubles as the measurement itself.
       adopt(ref_run);
       r.recovered_exact = ref_is_measured && r.completed && !r.checksums.empty();
+      persist_traces();
       return r;
     }
     if (spec.faults.midrun_rank >= 0) {
@@ -243,6 +293,7 @@ RunResult run_point(const RunPoint& point) {
     r.recovered_exact = !r.checksums.empty() &&
                         r.checksums == r.reference_checksums;
   }
+  persist_traces();
   return r;
 }
 
@@ -440,6 +491,7 @@ void write_run(std::ostringstream& out, const RunResult& r,
       if (i) out << ", ";
       out << "{\"rank\": " << rec.rank
           << ", \"complete\": " << (rec.complete() ? "true" : "false")
+          << ", \"interrupted\": " << (rec.interrupted ? "true" : "false")
           << ", \"fault_s\": " << json_num(sim::to_sec(rec.fault_at));
       if (rec.complete()) {
         out << ", \"down_ms\": " << json_num(sim::to_ms(rec.down_ns()))
@@ -455,6 +507,29 @@ void write_run(std::ostringstream& out, const RunResult& r,
                      << json_num(sim::to_sec(r.reference_time))
                      << ", \"recovered_exact\": "
                      << (r.recovered_exact ? "true" : "false") << "}";
+  }
+  if (!r.trace_dump.empty()) {
+    out << ",\n";
+    key("trace") << "{\"records\": ";
+    // Header + lane lines start with '#'; everything else is one record.
+    std::uint64_t records = 0;
+    bool line_start = true;
+    bool comment = false;
+    for (const char ch : r.trace_dump) {
+      if (line_start) comment = ch == '#';
+      line_start = ch == '\n';
+      if (line_start && !comment) ++records;
+    }
+    out << records;
+    if (!r.trace_path.empty()) {
+      out << ", \"path\": ";
+      json_escape(out, r.trace_path);
+    }
+    if (!r.reference_trace_path.empty()) {
+      out << ", \"reference_path\": ";
+      json_escape(out, r.reference_trace_path);
+    }
+    out << "}";
   }
   if (!r.pingpong.points.empty()) {
     out << ",\n";

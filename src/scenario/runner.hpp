@@ -55,6 +55,14 @@ struct RunResult {
   std::vector<std::uint64_t> reference_checksums;
   bool recovered_exact = false;  // checksums == reference_checksums
 
+  // Merged trace streams (empty when trace.enabled = false). The reference
+  // dump is the alignment twin mpiv_trace localizes divergence against.
+  std::string trace_dump;
+  std::string reference_trace_dump;
+  // Where the dumps landed when the spec named a trace.dir ("" = in-memory).
+  std::string trace_path;
+  std::string reference_trace_path;
+
   Outcome outcome() const {
     if (skipped) return Outcome::kSkipped;
     if (!completed) return Outcome::kAbandoned;

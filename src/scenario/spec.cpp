@@ -593,6 +593,12 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
       throw SpecError("unknown faults key '" + key + "' (known: " + known +
                       ")");
     }
+  } else if (key == "trace.enabled") {
+    spec.trace.enabled = parse_bool(key, value);
+  } else if (key == "trace.capacity") {
+    spec.trace.capacity = static_cast<std::uint32_t>(parse_u64(key, value));
+  } else if (key == "trace.dir") {
+    spec.trace_dir = value;
   } else if (key.rfind("cost.", 0) == 0) {
     if (!apply_cost_key(spec.cost, key, value)) {
       throw SpecError("unknown cost key '" + key + "'");
@@ -621,10 +627,10 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         if (line.back() != ']') throw SpecError("unterminated section header");
         section = trim(line.substr(1, line.size() - 2));
         if (section != "scenario" && section != "cost" && section != "sweep" &&
-            section != "quick" && section != "faults") {
+            section != "quick" && section != "faults" && section != "trace") {
           throw SpecError("unknown section [" + section +
-                          "] (use [scenario], [cost], [faults], [sweep], "
-                          "[quick])");
+                          "] (use [scenario], [cost], [faults], [trace], "
+                          "[sweep], [quick])");
         }
         continue;
       }
@@ -641,6 +647,8 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         apply_key(spec, "cost." + key, value);
       } else if (section == "faults") {
         apply_key(spec, "faults." + key, value);
+      } else if (section == "trace") {
+        apply_key(spec, "trace." + key, value);
       } else if (section == "sweep") {
         const std::vector<std::string> values = split_list(value);
         if (values.empty()) {
@@ -712,6 +720,18 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   out << "workload = " << spec.workload.name << "\n";
   for (const auto& [k, v] : spec.workload.params) {
     out << "workload." << k << " = " << v << "\n";
+  }
+  // The [trace] section is emitted only when tracing departs from the
+  // all-defaults (disabled) config — same contract as [cost] below.
+  const trace::Config tdef{};
+  if (spec.trace.enabled || spec.trace.capacity != tdef.capacity ||
+      !spec.trace_dir.empty()) {
+    out << "\n[trace]\n";
+    out << "enabled = " << (spec.trace.enabled ? "true" : "false") << "\n";
+    if (spec.trace.capacity != tdef.capacity) {
+      out << "capacity = " << spec.trace.capacity << "\n";
+    }
+    if (!spec.trace_dir.empty()) out << "dir = " << spec.trace_dir << "\n";
   }
   // The [cost] section is emitted only when a supported knob differs from
   // the calibrated default.
@@ -909,6 +929,10 @@ void validate(const ScenarioSpec& spec) {
                            spec.el_shards + spec.el_standby,
                            spec.variant.event_logger, fail);
   if (spec.ckpt_interval < 0) fail("ckpt_interval must be >= 0");
+  if (spec.trace.capacity < 16 || spec.trace.capacity > (1u << 22)) {
+    fail("trace.capacity must be in [16, 4194304] (got " +
+         std::to_string(spec.trace.capacity) + ")");
+  }
   const WorkloadEntry& wl = workload_registry().at(spec.workload.name);
   for (const auto& [param, value] : spec.workload.params) {
     bool known = false;

@@ -103,6 +103,13 @@ struct ScenarioSpec {
   /// campaign's environment faults, exactly like the midrun protocol.
   bool compare_reference = false;
 
+  /// Per-rank trace lanes (`[trace]` section / `trace.*` keys). When a
+  /// reference pass runs, it inherits the same trace config so the two
+  /// streams can be aligned by mpiv_trace.
+  trace::Config trace{};
+  /// Directory for trace stream files ("" = keep in memory / JSON only).
+  std::string trace_dir;
+
   WorkloadSpec workload;
 
   /// Cartesian sweep axes in declaration order: each key is any scalar
@@ -341,6 +348,19 @@ class ScenarioBuilder {
   /// faulty run — the chaos-soak outcome classifier).
   ScenarioBuilder& compare_reference(bool on = true) {
     spec_.compare_reference = on;
+    return *this;
+  }
+  /// Per-rank trace lanes (merged stream in the report / trace_dir files).
+  ScenarioBuilder& trace(bool on = true) {
+    spec_.trace.enabled = on;
+    return *this;
+  }
+  ScenarioBuilder& trace_capacity(std::uint32_t records_per_lane) {
+    spec_.trace.capacity = records_per_lane;
+    return *this;
+  }
+  ScenarioBuilder& trace_dir(std::string dir) {
+    spec_.trace_dir = std::move(dir);
     return *this;
   }
 

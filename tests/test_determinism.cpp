@@ -26,9 +26,10 @@ struct Fingerprint {
   std::uint64_t checksum = 0;         // order-sensitive app checksum
 };
 
-Fingerprint run_variant(const char* variant, bool ckpt) {
+Fingerprint run_variant(const char* variant, bool ckpt, bool traced = false) {
   scenario::ScenarioBuilder b("determinism");
   b.variant(variant).nranks(4).seed(7);
+  if (traced) b.trace();
   if (ckpt) {
     // Round-robin checkpoints exercise the GC paths: sender-log pruning,
     // Event Logger pruning, and stable-clock advances on the stores.
@@ -85,6 +86,23 @@ TEST(Determinism, FingerprintMatchesGolden) {
       ADD_FAILURE() << "golden values not recorded yet";
       continue;
     }
+    EXPECT_EQ(fp.events_executed, g.fp.events_executed);
+    EXPECT_EQ(fp.wire_bytes, g.fp.wire_bytes);
+    EXPECT_EQ(fp.pb_bytes, g.fp.pb_bytes);
+    EXPECT_EQ(fp.checksum, g.fp.checksum);
+  }
+}
+
+// Trace capture must be schedule-neutral: a lane write is a struct copy
+// stamped with the engine clock, never an event or an allocation the
+// engine can observe. Every golden row must therefore be byte-identical
+// with tracing on — if enabling lanes moves any counter, capture leaked
+// into the simulation.
+TEST(Determinism, TraceCaptureDoesNotPerturbTheGoldens) {
+  for (const Golden& g : kGolden) {
+    const Fingerprint fp = run_variant(g.variant, g.ckpt, /*traced=*/true);
+    SCOPED_TRACE(testing::Message()
+                 << g.variant << (g.ckpt ? " +ckpt" : "") << " +trace");
     EXPECT_EQ(fp.events_executed, g.fp.events_executed);
     EXPECT_EQ(fp.wire_bytes, g.fp.wire_bytes);
     EXPECT_EQ(fp.pb_bytes, g.fp.pb_bytes);

@@ -188,6 +188,46 @@ TEST(ScenarioFile, ParseRoundTripPreservesTheSpec) {
             (std::vector<std::string>{"4", "9", "16"}));
 }
 
+TEST(ScenarioFile, TraceKeysRoundTripAndStayOutOfDefaultText) {
+  ScenarioBuilder b("traced");
+  b.variant("vcausal:el")
+      .nranks(4)
+      .trace()
+      .trace_capacity(1024)
+      .trace_dir("/tmp/mpiv-traces")
+      .compare_reference();
+  const ScenarioSpec spec = b.build();
+
+  const std::string text = scenario::to_scenario_text(spec);
+  EXPECT_NE(text.find("[trace]"), std::string::npos) << text;
+  const ScenarioSpec reparsed = scenario::parse_scenario_text(text);
+  EXPECT_TRUE(reparsed.trace.enabled);
+  EXPECT_EQ(reparsed.trace.capacity, 1024u);
+  EXPECT_EQ(reparsed.trace_dir, "/tmp/mpiv-traces");
+  EXPECT_TRUE(reparsed.compare_reference);
+
+  // A spec that never touched the trace knobs must not grow a [trace]
+  // section (keeps goldens of emitted text stable).
+  ScenarioBuilder plain("plain");
+  plain.variant("vcausal:el").nranks(4);
+  EXPECT_EQ(scenario::to_scenario_text(plain.build()).find("[trace]"),
+            std::string::npos);
+
+  // The flat key spelling works outside the section header too.
+  const ScenarioSpec flat = scenario::parse_scenario_text(
+      "trace.enabled = true\ntrace.capacity = 256\n");
+  EXPECT_TRUE(flat.trace.enabled);
+  EXPECT_EQ(flat.trace.capacity, 256u);
+
+  // validate() bounds the per-lane ring.
+  const std::string msg = error_of([] {
+    ScenarioSpec bad;
+    bad.trace.capacity = 4;
+    scenario::validate(bad);
+  });
+  EXPECT_NE(msg.find("trace.capacity"), std::string::npos) << msg;
+}
+
 TEST(ScenarioFile, ParseErrorsCarryFileAndLine) {
   const std::string msg = error_of([] {
     scenario::parse_scenario_text("[scenario]\nnranks = 4\nbogus_key = 1\n",

@@ -1,13 +1,16 @@
 // Unit tests for util: RNG determinism & distributions, buffer round-trips,
-// sequence-window storage, statistics accumulators.
+// sequence-window storage, slab recycling, statistics accumulators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include "util/buffer.hpp"
 #include "util/rng.hpp"
 #include "util/seq_window.hpp"
+#include "util/slab.hpp"
 #include "util/stats.hpp"
 
 namespace mpiv::util {
@@ -249,6 +252,88 @@ TEST(SeqWindow, PruneOnEmptyRaisesBaseForHighSequences) {
   EXPECT_EQ(w.max_seq(), 3'000'005u);
   EXPECT_FALSE(w.emplace(2'999'999, 9));
   EXPECT_EQ(*w.find(3'000'000), 1);
+}
+
+TEST(SeqWindow, HolesAndPruneAcrossPowerOfTwoBoundary) {
+  // The window starts at 16 slots; drive the live span across the 16 and 32
+  // slot boundaries with deliberate holes so the ring wraps exactly at a
+  // power of two while partially occupied, then prune across the wrap point.
+  SeqWindow<int> w;
+  for (std::uint64_t s = 1; s <= 16; ++s) {
+    if (s % 3 == 0) continue;  // holes inside the first capacity
+    ASSERT_TRUE(w.emplace(s, static_cast<int>(s)));
+  }
+  // seq 17 lands on slot ((17-1) & 15) = 0 — the exact wraparound slot —
+  // and must instead force growth to 32 because seq 1 still lives there.
+  ASSERT_TRUE(w.emplace(17, 17));
+  EXPECT_EQ(*w.find(1), 1);
+  EXPECT_EQ(*w.find(17), 17);
+  EXPECT_EQ(w.find(3), nullptr);  // the holes stayed holes through growth
+  EXPECT_EQ(w.find(15), nullptr);
+
+  // Prune across the old boundary: drops 1..16's survivors (1,2,4,...,16
+  // minus the multiples of 3), keeps 17, and the dropped values arrive in
+  // ascending order.
+  std::vector<int> dropped;
+  w.prune_to(16, [&dropped](const int& v) { dropped.push_back(v); });
+  EXPECT_EQ(w.base(), 16u);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(*w.find(17), 17);
+  ASSERT_FALSE(dropped.empty());
+  EXPECT_TRUE(std::is_sorted(dropped.begin(), dropped.end()));
+  EXPECT_EQ(dropped.front(), 1);
+  EXPECT_EQ(dropped.back(), 16);
+  // The freed pre-boundary slots are reusable at their post-wrap sequences.
+  for (std::uint64_t s = 18; s <= 33; ++s) {
+    ASSERT_TRUE(w.emplace(s, static_cast<int>(s))) << s;
+  }
+  EXPECT_FALSE(w.emplace(16, 0));  // at the watermark: pruned forever
+  EXPECT_EQ(w.size(), 17u);
+  EXPECT_EQ(w.max_seq(), 33u);
+}
+
+TEST(Slab, PutTakeRecyclesSlotsLifo) {
+  Slab<std::string> slab;
+  const std::uint32_t a = slab.put("alpha");
+  const std::uint32_t b = slab.put("beta");
+  const std::uint32_t c = slab.put("gamma");
+  EXPECT_EQ(slab.in_use(), 3u);
+  EXPECT_EQ(slab[b], "beta");
+
+  EXPECT_EQ(slab.take(b), "beta");
+  EXPECT_EQ(slab.take(a), "alpha");
+  EXPECT_EQ(slab.in_use(), 1u);
+  // Freed slots come back LIFO: the most recently freed slot first.
+  EXPECT_EQ(slab.put("delta"), a);
+  EXPECT_EQ(slab.put("epsilon"), b);
+  EXPECT_EQ(slab.in_use(), 3u);
+  EXPECT_EQ(slab[a], "delta");
+  EXPECT_EQ(slab[b], "epsilon");
+  EXPECT_EQ(slab[c], "gamma");
+}
+
+TEST(Slab, ReuseAfterRecycleOverwritesTheHusk) {
+  // take() leaves a moved-from husk in the slot; the next put() must
+  // move-assign a fresh value over it, and release() must clear the value
+  // eagerly (a parked message holding payload memory must not linger).
+  Slab<std::vector<int>> slab;
+  const std::uint32_t s0 = slab.put({1, 2, 3});
+  const std::vector<int> first = slab.take(s0);
+  EXPECT_EQ(first.size(), 3u);
+
+  const std::uint32_t s1 = slab.put({7, 8});
+  EXPECT_EQ(s1, s0);  // recycled, not appended
+  EXPECT_EQ(slab[s1], (std::vector<int>{7, 8}));
+
+  slab.release(s1);
+  EXPECT_EQ(slab.in_use(), 0u);
+  const std::uint32_t s2 = slab.put({9});
+  EXPECT_EQ(s2, s1);
+  EXPECT_EQ(slab[s2], (std::vector<int>{9}));
+
+  slab.clear();
+  EXPECT_EQ(slab.in_use(), 0u);
+  EXPECT_EQ(slab.put({4, 5}), 0u);  // fresh slab indexes from zero again
 }
 
 TEST(SeqWindow, ResetClearsBaseAndEntries) {
