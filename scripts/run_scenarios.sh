@@ -180,4 +180,76 @@ else
   exit 1
 fi
 
+# Split-brain reconciliation: every non-skipped sweep point must have cut a
+# service group, suspected the stale shard, and healed back to ONE merged
+# log — a complete reconcile record, no duplicate determinants surviving the
+# merge (dup_dropped accounts for every resubmitted record the stale shard
+# also stored), and recovered_exact wherever the reference twin ran.
+SB_JSON="$OUT_DIR/split_brain.json"
+if [[ -f "$SB_JSON" ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$SB_JSON" <<'EOF'
+import json, sys
+
+rep = json.load(open(sys.argv[1]))
+checked = dup_total = 0
+for r in rep["runs"]:
+    if r.get("skipped") or r["outcome"] == "skipped":
+        continue
+    checked += 1
+    label = r["label"]
+    fc = r["faults"]
+    if fc["partitions"] < 1 or fc["el_suspects"] < 1 or fc["el_reconciles"] < 1:
+        sys.exit(f"split-brain FAILED: {label}: no service cut/suspect/reconcile "
+                 f"({fc['partitions']}/{fc['el_suspects']}/{fc['el_reconciles']})")
+    recs = r.get("el_reconciles", [])
+    if len(recs) != fc["el_reconciles"]:
+        sys.exit(f"split-brain FAILED: {label}: {len(recs)} reconcile records "
+                 f"for {fc['el_reconciles']} reconciles")
+    resub = sum(s["el_dup_submissions"] for s in r.get("rank_stats", []))
+    for rec in recs:
+        if not rec["complete"]:
+            sys.exit(f"split-brain FAILED: {label}: reconcile left incomplete")
+        # Every heal-time drop is a record the split double-logged: the
+        # successor can only drop what clients resubmitted to it.
+        if rec["dup_dropped"] > resub:
+            sys.exit(f"split-brain FAILED: {label}: dropped {rec['dup_dropped']} "
+                     f"duplicates but only {resub} resubmissions were made")
+        dup_total += rec["dup_dropped"]
+    ref = r.get("reference")
+    if ref is not None and not ref.get("recovered_exact", False):
+        sys.exit(f"split-brain FAILED: {label}: not recovered_exact after merge")
+if checked == 0:
+    sys.exit("split-brain FAILED: every sweep point was skipped")
+print(f"split-brain OK ({checked} points reconciled, "
+      f"{dup_total} duplicate determinants dropped at heal)")
+EOF
+  else
+    echo "split-brain aggregation skipped (no python3)"
+  fi
+else
+  echo "split-brain FAILED: $SB_JSON missing" >&2
+  exit 1
+fi
+
+# Split-brain trace smoke: mpiv_trace must name the first duplicated
+# submission the merge dropped (creator rank + sequence number) and find the
+# healed run replay-equivalent to its fault-free twin.
+SB_TRACE="$OUT_DIR/split_brain.trace.txt"
+if "$BUILD_DIR/mpiv_trace" --quick scenarios/split_brain.scn \
+    > "$SB_TRACE" 2> "$OUT_DIR/split_brain.trace.log"; then
+  for marker in 'first reconciled duplicate' 'replay-equivalent: yes'; do
+    if ! grep -q "$marker" "$SB_TRACE"; then
+      echo "split-brain trace FAILED: missing '$marker' in mpiv_trace output" >&2
+      sed 's/^/  | /' "$SB_TRACE" >&2
+      exit 1
+    fi
+  done
+  echo "split-brain trace OK (first duplicate localized, replay-equivalent)"
+else
+  echo "split-brain trace FAILED: mpiv_trace exited $? on split_brain.scn" >&2
+  sed 's/^/  | /' "$OUT_DIR/split_brain.trace.log" >&2
+  exit 1
+fi
+
 echo "all scenarios OK (reports in $OUT_DIR)"

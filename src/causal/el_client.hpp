@@ -37,6 +37,7 @@ class ElClient {
     net::Message m;
     m.kind = net::MsgKind::kElEvent;
     m.src_rank = svc_.rank;
+    m.arg = dir_epoch();  // epoch-stamped store batch (0 fault-free)
     m.body.put_u32(1);
     d.serialize(m.body);
     svc_.send_ctl(svc_.el_node_for(svc_.rank), std::move(m));
@@ -50,6 +51,7 @@ class ElClient {
     net::Message m;
     m.kind = net::MsgKind::kElEvent;
     m.src_rank = svc_.rank;
+    m.arg = dir_epoch();
     m.body.put_u32(static_cast<std::uint32_t>(dets.size()));
     for (const ftapi::Determinant& d : dets) {
       pending_.emplace(d.seq, svc_.eng->now());
@@ -60,6 +62,19 @@ class ElClient {
 
   /// Handles a stable-clock acknowledgement from the EL.
   void on_ack(net::Message&& m) {
+    // Split-brain fence: an ack stamped with a pre-failover directory epoch
+    // by a shard that is no longer our home carries a minority-side
+    // watermark — a heal-time redelivery from the stale side of a cut.
+    // Pruning against it could discard determinants only the stale shard's
+    // unmerged log covers, so drop it. Fault-free both epochs are 0 and the
+    // stamp shard equals the home shard.
+    if (m.arg < dir_epoch() &&
+        static_cast<int>(m.src_rank) != svc_.el_shard_for(svc_.rank)) {
+      ++svc_.stats->stale_acks_fenced;
+      trace::emit(svc_.trace, svc_.eng->now(), trace::Kind::kElAck, 2,
+                  m.src_rank, m.arg, dir_epoch());
+      return;
+    }
     std::vector<std::uint64_t> vec(stable_.size());
     for (std::uint64_t& v : vec) v = m.body.get_u64();
     // Ack latency: time from determinant creation to coverage by an ack.
@@ -88,6 +103,10 @@ class ElClient {
   const std::vector<std::uint64_t>& stable() const { return stable_; }
   std::uint64_t own_stable() const {
     return stable_[static_cast<std::size_t>(svc_.rank)];
+  }
+  /// The directory epoch this client sees (0 without live routing).
+  std::uint64_t dir_epoch() const {
+    return svc_.el_dir != nullptr ? svc_.el_dir->epoch() : 0;
   }
 
   /// Pessimistic gate: waits until all own determinants up to `seq` are

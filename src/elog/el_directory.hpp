@@ -95,8 +95,23 @@ class ElDirectory {
     return moved;
   }
 
+  /// Partial re-home for suspected (not dead) shards: moves only `ranks`
+  /// onto `successor`, leaving the suspect serving whatever clients still
+  /// reach it — the split-brain configuration a heal later reconciles.
+  void rehome_ranks(const std::vector<int>& ranks, int successor) {
+    for (int r : ranks) shard_of_[static_cast<std::size_t>(r)] = successor;
+    cold_[static_cast<std::size_t>(successor)] = 0;
+  }
+
+  /// Directory epoch: bumped on every suspected failover. Acks stamped with
+  /// an older epoch by a shard that no longer serves the rank are fenced by
+  /// the client, so nobody prunes against a minority-side watermark.
+  std::uint64_t epoch() const { return epoch_; }
+  void bump_epoch() { ++epoch_; }
+
  private:
   int serving_ = 0;
+  std::uint64_t epoch_ = 0;
   std::vector<int> shard_of_;
   std::vector<char> dead_;
   std::vector<char> abandoned_;

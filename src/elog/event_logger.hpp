@@ -51,7 +51,10 @@ class EventLogger {
         dir_(dir),
         obs_(obs),
         port_(net, layout.el_node(shard)),
-        per_(static_cast<std::size_t>(layout.nranks)) {
+        per_(static_cast<std::size_t>(layout.nranks)),
+        dup_by_rank_(static_cast<std::size_t>(layout.nranks), 0),
+        reconciled_by_rank_(static_cast<std::size_t>(layout.nranks), 0),
+        deferred_(static_cast<std::size_t>(layout.nranks), 0) {
     net.attach(layout.el_node(shard),
                [this](net::Message&& m) { on_frame(std::move(m)); });
     if (layout_.el_count > 1) arm_exchange();
@@ -84,6 +87,34 @@ class EventLogger {
   }
   /// Determinant store operations performed (trigger-threshold counter).
   std::uint64_t stored_ops() const { return stored_ops_; }
+  /// Submissions from `creator` this shard dropped as duplicates of records
+  /// it already held (resubmission after a failover, or a heal-time merge).
+  std::uint64_t dup_submissions(int creator) const {
+    return dup_by_rank_[static_cast<std::size_t>(creator)];
+  }
+  /// Records of `creator` a split-brain heal merged over from the stale
+  /// shard's live log.
+  std::uint64_t reconciled_records(int creator) const {
+    return reconciled_by_rank_[static_cast<std::size_t>(creator)];
+  }
+
+  /// Directory epoch this shard believes is current; stamped into every
+  /// ack so clients can fence watermarks from a superseded home. A shard
+  /// behind a cut keeps its stale view — epochs propagate by assignment at
+  /// failover time, never through the cut.
+  void set_dir_epoch(std::uint64_t epoch) { dir_epoch_ = epoch; }
+  std::uint64_t dir_epoch() const { return dir_epoch_; }
+
+  /// Holds recovery reads for `ranks` until the pending split-brain merge
+  /// commits: a moved rank's log is incomplete here (its acked prefix lives
+  /// on the unreachable stale shard), so answering now would replay a hole.
+  /// Clients retry on the campaign's service_retry cadence into the heal.
+  void defer_recovery(const std::vector<int>& ranks) {
+    for (const int r : ranks) deferred_[static_cast<std::size_t>(r)] = 1;
+  }
+  void clear_deferred(const std::vector<int>& ranks) {
+    for (const int r : ranks) deferred_[static_cast<std::size_t>(r)] = 0;
+  }
 
   // --- failure injection (driven by the fault engine) ----------------------
   /// Service crash: queued-but-unserviced work is lost (those clients never
@@ -140,6 +171,70 @@ class EventLogger {
         });
   }
 
+  /// Outcome of a split-brain merge, delivered to reconcile_from's `done`.
+  struct ReconcileResult {
+    std::uint64_t merged = 0;       // records pulled over from the stale log
+    std::uint64_t duplicates = 0;   // submissions both sides had stored
+    int first_dup_rank = -1;        // creator of the first duplicate dropped
+    std::uint64_t first_dup_seq = 0;
+  };
+
+  /// Split-brain heal: merges `stale`'s live log for `ranks` into this
+  /// shard's, keyed by (creator, seq) against the SeqWindow stores so the
+  /// merge is idempotent — a record both sides hold is dropped exactly
+  /// once, and the stability watermark advances only over the merged log.
+  /// Unlike mount_log the other shard is alive and keeps serving its own
+  /// side; only the moved ranks' records are reconciled. Priced like a
+  /// failover read-out.
+  void reconcile_from(const EventLogger& stale, const std::vector<int>& ranks,
+                      std::function<void(const ReconcileResult&)> done) {
+    std::size_t to_read = 0;
+    for (const int r : ranks) {
+      to_read += stale.per_[static_cast<std::size_t>(r)].dets.size();
+    }
+    const net::CostModel& c = net_.cost();
+    port_.charge_then(
+        static_cast<sim::Time>(to_read) * c.el_recovery_read + c.el_ack_build,
+        [this, &stale, ranks, done = std::move(done)] {
+          ReconcileResult res;
+          if (down_) {
+            // Successor died before the merge committed; the shard-crash
+            // failover path will mount both logs instead.
+            done(res);
+            return;
+          }
+          for (const int r : ranks) {
+            Per& mine = per_[static_cast<std::size_t>(r)];
+            const Per& theirs = stale.per_[static_cast<std::size_t>(r)];
+            theirs.dets.for_each([this, &mine, &res,
+                                  r](std::uint64_t,
+                                     const ftapi::Determinant& d) {
+              if (d.seq <= mine.contiguous || !mine.dets.emplace(d.seq, d)) {
+                ++res.duplicates;
+                ++dup_by_rank_[static_cast<std::size_t>(r)];
+                if (res.first_dup_rank < 0) {
+                  res.first_dup_rank = r;
+                  res.first_dup_seq = d.seq;
+                }
+                trace::emit(trace_, net_.engine().now(), trace::Kind::kRecovery,
+                            trace::kPhaseDupDrop, r, d.seq, mine.contiguous);
+              } else {
+                ++res.merged;
+                ++reconciled_by_rank_[static_cast<std::size_t>(r)];
+              }
+            });
+            // The stale side's watermark is backed by its (now merged)
+            // durable log plus checkpoint-covered prunes — both safe.
+            mine.contiguous = std::max(mine.contiguous, theirs.contiguous);
+            while (mine.dets.contains(mine.contiguous + 1)) ++mine.contiguous;
+          }
+          trace::emit(trace_, net_.engine().now(), trace::Kind::kRecovery,
+                      trace::kPhaseReconcile, stale.shard_, res.merged,
+                      res.duplicates);
+          done(res);
+        });
+  }
+
  private:
   /// Shard storage per creator: a sequence-indexed window whose base is the
   /// checkpoint-GC floor (kElGc), holding everything received since; the
@@ -177,6 +272,12 @@ class EventLogger {
       }
       case net::MsgKind::kElRecoveryReq: {
         const auto rank = static_cast<std::uint32_t>(m.arg);
+        if (deferred_[rank] != 0) {
+          // Split-brain merge pending for this rank: its acked prefix is
+          // still on the unreachable stale shard. Stay silent; the client's
+          // retry loop re-asks after the heal commits the merge.
+          return;
+        }
         const net::NodeId reply_to = m.src;
         const std::uint64_t gen = svc_gen_;
         // The read MUST be serialized behind the store queue, not snapshot
@@ -245,8 +346,14 @@ class EventLogger {
     Per& p = per_[d.creator];
     ++stats_->events_stored;
     ++stored_ops_;
-    if (d.seq <= p.contiguous) return;  // duplicate (replayed resubmission)
-    p.dets.emplace(d.seq, d);
+    if (d.seq <= p.contiguous || !p.dets.emplace(d.seq, d)) {
+      // Duplicate submission: a post-failover resubmission (or a parked
+      // frame redelivered after a heal) of a record this shard already
+      // covers. Keyed by (creator, seq); dropping it is the idempotence
+      // the reconciliation path relies on.
+      ++dup_by_rank_[d.creator];
+      return;
+    }
     while (p.dets.contains(p.contiguous + 1)) ++p.contiguous;
     // code=1 distinguishes EL-side storage from the rank-side creation
     // record of the same determinant.
@@ -260,6 +367,10 @@ class EventLogger {
     net::Message a;
     a.kind = net::MsgKind::kElAck;
     a.dst = to;
+    // Epoch + shard stamp (header fields, wire-neutral): lets a client whose
+    // home moved while this ack crossed a cut recognize and fence it.
+    a.arg = dir_epoch_;
+    a.src_rank = shard_;
     for (const Per& p : per_) a.body.put_u64(p.contiguous);
     ++stats_->acks_sent;
     trace::emit(trace_, net_.engine().now(), trace::Kind::kElAck, 1,
@@ -300,6 +411,10 @@ class EventLogger {
   trace::Lane* trace_ = nullptr;
   net::ServicePort port_;
   std::vector<Per> per_;
+  std::vector<std::uint64_t> dup_by_rank_;
+  std::vector<std::uint64_t> reconciled_by_rank_;
+  std::vector<char> deferred_;
+  std::uint64_t dir_epoch_ = 0;
   std::uint64_t pending_ = 0;
   std::uint64_t stored_ops_ = 0;
   std::uint64_t svc_gen_ = 0;

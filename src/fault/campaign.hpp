@@ -68,7 +68,19 @@ struct Injection {
   // kPartition only: the two mutually unreachable rank sets.
   std::vector<int> group_a;
   std::vector<int> group_b;
+  // kPartition only: service endpoints cut alongside the ranks. Values
+  // >= 0 name an Event Logger shard (serving or standby); kCkptService
+  // names the checkpoint server. Empty on rank-only partitions.
+  std::vector<int> services_a;
+  std::vector<int> services_b;
+
+  bool cuts_services() const {
+    return !services_a.empty() || !services_b.empty();
+  }
 };
+
+/// Sentinel inside Injection::services_a/b: the checkpoint server.
+inline constexpr int kCkptService = -1;
 
 /// What the engine does with a dead Event Logger shard.
 enum class ElFailover : std::uint8_t {
@@ -92,6 +104,11 @@ struct Campaign {
   /// and Event Logger requests. Armed only while a campaign is active so
   /// fault-free runs schedule no extra events.
   sim::Time service_retry = 500 * sim::kMillisecond;
+  /// How long a service cut must persist before the directory declares the
+  /// cut-off shard suspect and fails its unreachable clients over to a
+  /// reachable successor (the split-brain trigger). -1 inherits the
+  /// cluster-level detection_delay used for rank-crash detection.
+  sim::Time detection_delay = -1;
   /// Mixed into the engine's stochastic streams so fault schedules sweep
   /// independently of the workload seed.
   std::uint64_t seed_salt = 0;
@@ -115,6 +132,10 @@ struct FaultCounts {
   std::uint64_t ckpt_outages = 0;
   std::uint64_t link_faults = 0;
   std::uint64_t partitions = 0;
+  // Derived events, like el_failovers: suspected failovers fired behind a
+  // service cut, and the heal-time log merges they forced.
+  std::uint64_t el_suspects = 0;
+  std::uint64_t el_reconciles = 0;
 
   std::uint64_t total() const {
     return rank_crashes + daemon_crashes + el_crashes + el_outages +
@@ -148,6 +169,10 @@ inline const char* el_failover_name(ElFailover f) {
 template <class Fail>
 void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
                        bool event_logger, Fail&& fail) {
+  if (campaign.detection_delay != -1 && campaign.detection_delay <= 0) {
+    fail("faults.detection_delay must be positive (-1 inherits the "
+         "cluster detection delay)");
+  }
   for (const Injection& inj : campaign.injections) {
     switch (inj.trigger) {
       case Trigger::kAt:
@@ -248,8 +273,9 @@ void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
           fail("partitions are timed (trigger = at)");
         }
         if (inj.duration <= 0) fail("partitions need a positive duration");
-        if (inj.group_a.empty() || inj.group_b.empty()) {
-          fail("a partition needs two non-empty rank groups");
+        if (inj.group_a.empty() + inj.services_a.empty() == 2 ||
+            inj.group_b.empty() + inj.services_b.empty() == 2) {
+          fail("a partition needs two non-empty groups (ranks or services)");
         }
         for (const std::vector<int>* g : {&inj.group_a, &inj.group_b}) {
           for (const int r : *g) {
@@ -260,10 +286,33 @@ void validate_campaign(const Campaign& campaign, int nranks, int total_shards,
             }
           }
         }
+        for (const std::vector<int>* g : {&inj.services_a, &inj.services_b}) {
+          for (const int s : *g) {
+            if (s == kCkptService) continue;
+            if (!event_logger) {
+              fail("partition group cuts an EL shard but the variant "
+                   "disables the event logger");
+            } else if (s < 0 || s >= total_shards) {
+              fail("partition group names EL shard " + std::to_string(s) +
+                   " but only shards 0.." + std::to_string(total_shards - 1) +
+                   " exist");
+            }
+          }
+        }
         for (const int a : inj.group_a) {
           for (const int b : inj.group_b) {
             if (a == b) {
               fail("rank " + std::to_string(a) +
+                   " appears on both sides of a partition");
+            }
+          }
+        }
+        for (const int a : inj.services_a) {
+          for (const int b : inj.services_b) {
+            if (a == b) {
+              fail(std::string(a == kCkptService
+                                   ? "the checkpoint server"
+                                   : "EL shard " + std::to_string(a)) +
                    " appears on both sides of a partition");
             }
           }

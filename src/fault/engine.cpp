@@ -88,7 +88,8 @@ void FaultEngine::execute(const Injection& inj) {
       crash_daemon(inj.index, inj.duration);
       return;
     case Target::kFabric:
-      partition(inj.group_a, inj.group_b, inj.duration, inj.magnitude);
+      partition(inj.group_a, inj.group_b, inj.duration, inj.magnitude,
+                inj.services_a, inj.services_b);
       return;
     case Target::kElShard:
       if (inj.action == Action::kOutage) {
@@ -188,7 +189,7 @@ void FaultEngine::el_outage(int shard, sim::Time duration) {
 
 void FaultEngine::fail_over(int dead_shard) {
   const std::vector<int> ranks = b_.directory->ranks_on(dead_shard);
-  const int succ = b_.directory->pick_successor(
+  int succ = b_.directory->pick_successor(
       dead_shard, campaign_.el_failover == ElFailover::kStandby);
   if (succ < 0) {
     // No live successor right now. A shard in a *transient* outage will be
@@ -205,6 +206,26 @@ void FaultEngine::fail_over(int dead_shard) {
     b_.directory->mark_abandoned(dead_shard);
     announce_failover(ranks, dead_shard, -1);
     return;
+  }
+  if (!successor_reachable(succ, ranks)) {
+    // The chosen successor is alive but behind a cut from the clients it
+    // must serve: mounting now would strand their resubmissions and
+    // recovery fetches at the fabric. Prefer any other live shard every
+    // client reaches; failing that, retry into the heal.
+    int alt = -1;
+    for (int s = 0; s < b_.directory->total_shards(); ++s) {
+      if (s != dead_shard && !b_.directory->dead(s) &&
+          successor_reachable(s, ranks)) {
+        alt = s;
+        break;
+      }
+    }
+    if (alt < 0) {
+      b_.eng->after(campaign_.el_failover_delay,
+                    [this, dead_shard] { fail_over(dead_shard); });
+      return;
+    }
+    succ = alt;
   }
   elog::EventLogger& successor = *b_.els[static_cast<std::size_t>(succ)];
   elog::EventLogger& dead = *b_.els[static_cast<std::size_t>(dead_shard)];
@@ -255,9 +276,11 @@ void FaultEngine::crash_daemon(int rank, sim::Time downtime) {
   const sim::Time dt =
       downtime > 0 ? downtime : campaign_.daemon_restart_delay;
   b_.eng->after(dt, [this, rank, gen] {
-    // Same guard as every deferred injection path: after the workload
-    // completes, nothing mutates stats or the timeline.
-    if (b_.run_done()) return;
+    // No run_done guard here, unlike the injection paths: the workload can
+    // complete while the daemon is down (a partition heal redelivering a
+    // parked completion frame, or the rank had already finished), and the
+    // respawn still drains the daemon at this time — the outage record must
+    // close at drain time or it reads as "still down at run end".
     // A newer outage owns the rank now; its own timer will respawn it.
     if (gen != daemon_gen_[static_cast<std::size_t>(rank)]) return;
     // -1: a rank crash in the interim restarted the whole node — the
@@ -276,14 +299,140 @@ void FaultEngine::crash_daemon(int rank, sim::Time downtime) {
 
 void FaultEngine::partition(const std::vector<int>& group_a,
                             const std::vector<int>& group_b,
-                            sim::Time duration, sim::Time heal_backoff) {
+                            sim::Time duration, sim::Time heal_backoff,
+                            const std::vector<int>& services_a,
+                            const std::vector<int>& services_b) {
   ++counts_.partitions;
   std::vector<net::NodeId> a, b;
-  a.reserve(group_a.size());
-  b.reserve(group_b.size());
+  a.reserve(group_a.size() + services_a.size());
+  b.reserve(group_b.size() + services_b.size());
   for (const int r : group_a) a.push_back(b_.layout.rank_node(r));
   for (const int r : group_b) b.push_back(b_.layout.rank_node(r));
+  for (const int s : services_a) {
+    a.push_back(s == kCkptService ? b_.layout.ckpt_node()
+                                  : b_.layout.el_node(s));
+  }
+  for (const int s : services_b) {
+    b.push_back(s == kCkptService ? b_.layout.ckpt_node()
+                                  : b_.layout.el_node(s));
+  }
   b_.net->partition(a, b, duration, heal_backoff);
+
+  // A cut EL shard is indistinguishable from a dead one to the clients it
+  // can no longer reach: arm the failure detector. After the detection
+  // delay, clients still cut from a live shard are re-homed onto a
+  // reachable successor — the split-brain the heal later reconciles. (The
+  // checkpoint server needs no detector: its frames park at the fabric and
+  // clients ride the cut out on the campaign's service_retry cadence.)
+  if (b_.directory == nullptr || b_.els.empty()) return;
+  const sim::Time cut_at = b_.eng->now();
+  const sim::Time heal_at = cut_at + duration + heal_backoff;
+  const sim::Time delay = campaign_.detection_delay >= 0
+                              ? campaign_.detection_delay
+                              : b_.detection_delay;
+  std::vector<char> seen(static_cast<std::size_t>(
+                             b_.directory->total_shards()),
+                         0);
+  for (const std::vector<int>* g : {&services_a, &services_b}) {
+    for (const int s : *g) {
+      if (s == kCkptService || s >= b_.directory->total_shards()) continue;
+      if (seen[static_cast<std::size_t>(s)]) continue;
+      seen[static_cast<std::size_t>(s)] = 1;
+      b_.eng->after(delay, [this, s, cut_at, heal_at] {
+        suspect_shard(s, cut_at, heal_at);
+      });
+    }
+  }
+}
+
+void FaultEngine::suspect_shard(int shard, sim::Time cut_at,
+                                sim::Time heal_at) {
+  if (b_.run_done()) return;
+  if (b_.directory->dead(shard)) return;  // a real crash took over
+  // Re-evaluate at fire time: the cut may have healed under the detection
+  // delay (blip absorbed, nobody moves), clients may have crashed, and
+  // overlapping cuts compose — reachability is the only truth.
+  const net::NodeId shard_node = b_.layout.el_node(shard);
+  std::vector<int> cut;
+  for (const int r : b_.directory->ranks_on(shard)) {
+    const net::NodeId rn = b_.layout.rank_node(r);
+    if (!b_.net->node_up(rn)) continue;  // crashed rank: not a live client
+    if (!b_.net->reachable(rn, shard_node)) cut.push_back(r);
+  }
+  if (cut.empty()) return;
+  // The successor must be reachable from every client it inherits — by
+  // construction it sits on the clients' side of the cut (or outside it).
+  int succ = -1;
+  for (int s = 0; s < b_.directory->total_shards(); ++s) {
+    if (s != shard && !b_.directory->dead(s) && successor_reachable(s, cut)) {
+      succ = s;
+      break;
+    }
+  }
+  if (succ < 0) return;  // nothing reachable: clients ride out the cut
+  ++counts_.el_suspects;
+  ++counts_.el_failovers;
+  trace::emit(b_.trace, b_.eng->now(), trace::Kind::kFault, trace::kElSuspect,
+              shard, cut.size(), static_cast<std::uint64_t>(succ));
+  // Both shards stay live from here to the heal: the suspect keeps serving
+  // whatever still reaches it, the successor takes the cut-off clients.
+  // The epoch bump fences acks the suspect still emits toward moved
+  // clients (parked at the fabric, redelivered after the heal).
+  b_.directory->bump_epoch();
+  b_.directory->rehome_ranks(cut, succ);
+  elog::EventLogger& successor = *b_.els[static_cast<std::size_t>(succ)];
+  successor.set_dir_epoch(b_.directory->epoch());
+  // The moved clients' acked prefix lives only in the suspect's log until
+  // the merge: recovery reads for them wait for it.
+  successor.defer_recovery(cut);
+  const int rec =
+      b_.timeline != nullptr
+          ? b_.timeline->begin_reconcile(shard, succ,
+                                         static_cast<int>(cut.size()), cut_at,
+                                         b_.eng->now())
+          : -1;
+  announce_failover(cut, shard, succ);
+  b_.eng->at(heal_at, [this, shard, succ, cut, rec] {
+    reconcile(shard, succ, cut, rec);
+  });
+}
+
+void FaultEngine::reconcile(int stale_shard, int successor,
+                            std::vector<int> ranks, int record_idx) {
+  elog::EventLogger& succ = *b_.els[static_cast<std::size_t>(successor)];
+  if (b_.directory->dead(successor)) return;  // crash failover re-homes again
+  if (b_.directory->dead(stale_shard)) {
+    // The suspect really died during the split: the shard-crash failover
+    // mounts its whole persistent log, superseding this merge.
+    succ.clear_deferred(ranks);
+    return;
+  }
+  const sim::Time heal_at = b_.eng->now();
+  trace::emit(b_.trace, heal_at, trace::Kind::kFault, trace::kPartitionHeal,
+              stale_shard, ranks.size(), static_cast<std::uint64_t>(successor));
+  succ.reconcile_from(
+      *b_.els[static_cast<std::size_t>(stale_shard)], ranks,
+      [this, successor, ranks, record_idx,
+       heal_at](const elog::EventLogger::ReconcileResult& res) {
+        b_.els[static_cast<std::size_t>(successor)]->clear_deferred(ranks);
+        ++counts_.el_reconciles;
+        if (b_.timeline != nullptr) {
+          b_.timeline->end_reconcile(record_idx, heal_at, b_.eng->now(),
+                                     res.merged, res.duplicates,
+                                     res.first_dup_rank, res.first_dup_seq);
+        }
+      });
+}
+
+bool FaultEngine::successor_reachable(int succ,
+                                      const std::vector<int>& ranks) const {
+  const net::NodeId sn = b_.layout.el_node(succ);
+  for (const int r : ranks) {
+    const net::NodeId rn = b_.layout.rank_node(r);
+    if (!b_.net->node_up(rn)) continue;  // crashed: will fetch after restart
+    if (!b_.net->reachable(rn, sn)) return false;
+  }
+  return b_.net->node_up(sn);
 }
 
 void FaultEngine::ckpt_outage(sim::Time duration) {

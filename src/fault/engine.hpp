@@ -60,6 +60,9 @@ class FaultEngine final : public ftapi::FaultObserver {
     RecoveryTimeline* timeline = nullptr;
     /// The cluster's engine-side trace lane (null = tracing off).
     trace::Lane* trace = nullptr;
+    /// Cluster-level failure-detection delay: the default suspicion window
+    /// for a service cut when the campaign does not override it.
+    sim::Time detection_delay = 0;
   };
 
   FaultEngine(Campaign campaign, std::uint64_t seed, Bindings b);
@@ -84,10 +87,15 @@ class FaultEngine final : public ftapi::FaultObserver {
   /// `downtime` later (0 = the campaign's daemon_restart_delay). No-op on a
   /// daemon already down.
   void crash_daemon(int rank, sim::Time downtime = 0);
-  /// Opens a partition window between the two rank groups.
+  /// Opens a partition window between the two groups. Each side may name
+  /// service endpoints (EL shards by id, kCkptService for the checkpoint
+  /// server) alongside its ranks; cutting a serving EL shard from clients
+  /// arms the suspicion -> split-brain -> heal-time reconcile machinery.
   void partition(const std::vector<int>& group_a,
                  const std::vector<int>& group_b, sim::Time duration,
-                 sim::Time heal_backoff);
+                 sim::Time heal_backoff,
+                 const std::vector<int>& services_a = {},
+                 const std::vector<int>& services_b = {});
 
   const Campaign& campaign() const { return campaign_; }
   const FaultCounts& counts() const { return counts_; }
@@ -106,6 +114,14 @@ class FaultEngine final : public ftapi::FaultObserver {
   void fail_over(int dead_shard);
   void announce_failover(const std::vector<int>& ranks, int dead_shard,
                          int successor);
+  /// True when every live moved rank can reach shard `succ` right now.
+  bool successor_reachable(int succ, const std::vector<int>& ranks) const;
+  /// Detection-delay check behind a service cut: still-unreachable clients
+  /// of a live shard are re-homed onto a reachable successor (split-brain).
+  void suspect_shard(int shard, sim::Time cut_at, sim::Time heal_at);
+  /// Heal-time merge of the stale shard's live log into the successor's.
+  void reconcile(int stale_shard, int successor, std::vector<int> ranks,
+                 int record_idx);
 
   Campaign campaign_;
   Bindings b_;

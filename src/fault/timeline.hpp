@@ -61,11 +61,40 @@ struct DaemonOutageRecord {
   sim::Time down_ns() const { return restart_at - fault_at; }
 };
 
+/// A split-brain Event Logger reconciliation: a service-side partition cut
+/// a shard from part of its clientele, the directory declared it suspect
+/// after the detection delay and re-homed the unreachable clients onto a
+/// successor (both shards live, both logs growing), and the heal merged
+/// the two logs idempotently. Phases:
+///   detect     cut -> suspected failover fired (clients re-homed)
+///   split      suspect -> heal (both sides accepting submissions)
+///   merge      heal -> duplicate-free union committed on the successor
+struct ElReconcileRecord {
+  int stale_shard = -1;  // the shard left behind the cut
+  int successor = -1;    // where the cut-off clients were re-homed
+  int moved_ranks = 0;
+  sim::Time cut_at = 0;      // the partition opened
+  sim::Time suspect_at = 0;  // detection delay elapsed, clients re-homed
+  sim::Time heal_at = 0;     // cut healed, merge started
+  sim::Time done_at = 0;     // merge committed
+  std::uint64_t merged_records = 0;  // pulled over from the stale log
+  std::uint64_t dup_dropped = 0;     // (creator, seq) both sides held
+  // First duplicate the merge dropped; creator -1 = none dropped.
+  int first_dup_rank = -1;
+  std::uint64_t first_dup_seq = 0;
+
+  bool complete() const { return done_at != 0; }
+  sim::Time detect_ns() const { return suspect_at - cut_at; }
+  sim::Time split_ns() const { return heal_at - suspect_at; }
+  sim::Time merge_ns() const { return done_at - heal_at; }
+};
+
 class RecoveryTimeline {
  public:
   void reset(int nranks) {
     records_.clear();
     daemon_records_.clear();
+    reconcile_records_.clear();
     open_.assign(static_cast<std::size_t>(nranks), -1);
     open_daemon_.assign(static_cast<std::size_t>(nranks), -1);
   }
@@ -139,6 +168,41 @@ class RecoveryTimeline {
     return daemon_records_;
   }
 
+  // --- split-brain reconcile records ---------------------------------------
+  /// Opens a reconcile record at suspicion time; returns its index (the
+  /// heal closure carries it — unlike ranks, a shard can accumulate several
+  /// overlapping reconciles across distinct cuts).
+  int begin_reconcile(int stale_shard, int successor, int moved_ranks,
+                      sim::Time cut_at, sim::Time suspect_at) {
+    ElReconcileRecord r;
+    r.stale_shard = stale_shard;
+    r.successor = successor;
+    r.moved_ranks = moved_ranks;
+    r.cut_at = cut_at;
+    r.suspect_at = suspect_at;
+    reconcile_records_.push_back(r);
+    return static_cast<int>(reconcile_records_.size()) - 1;
+  }
+  /// Closes a reconcile record once the merge commits on the successor.
+  void end_reconcile(int idx, sim::Time heal_at, sim::Time done_at,
+                     std::uint64_t merged, std::uint64_t dups,
+                     int first_dup_rank, std::uint64_t first_dup_seq) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= reconcile_records_.size()) {
+      return;
+    }
+    ElReconcileRecord& r = reconcile_records_[static_cast<std::size_t>(idx)];
+    r.heal_at = heal_at;
+    r.done_at = done_at;
+    r.merged_records = merged;
+    r.dup_dropped = dups;
+    r.first_dup_rank = first_dup_rank;
+    r.first_dup_seq = first_dup_seq;
+  }
+
+  const std::vector<ElReconcileRecord>& reconcile_records() const {
+    return reconcile_records_;
+  }
+
  private:
   RecoveryRecord* open_record(int rank) {
     if (static_cast<std::size_t>(rank) >= open_.size()) return nullptr;
@@ -148,6 +212,7 @@ class RecoveryTimeline {
 
   std::vector<RecoveryRecord> records_;
   std::vector<DaemonOutageRecord> daemon_records_;
+  std::vector<ElReconcileRecord> reconcile_records_;
   std::vector<int> open_;         // per rank: index of the open record, or -1
   std::vector<int> open_daemon_;  // per rank: open daemon record, or -1
 };

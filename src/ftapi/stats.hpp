@@ -43,6 +43,15 @@ struct RankStats {
   // survives, stalled, while the dispatcher respawns the daemon).
   std::uint64_t daemon_crashes = 0;
   sim::Time daemon_down_time = 0;
+  // Split-brain reconciliation (service-side partitions). The first two are
+  // EL-side, attributed to the creator rank: submissions the shard dropped
+  // as duplicates of records it already held, and records a heal-time merge
+  // pulled over from the stale shard's live log. The third is client-side:
+  // acks discarded because they carried a pre-failover directory epoch from
+  // a shard that is no longer the rank's home.
+  std::uint64_t el_dup_submissions = 0;
+  std::uint64_t el_reconciled_records = 0;
+  std::uint64_t stale_acks_fenced = 0;
   // Memory watermarks.
   std::uint64_t sender_log_peak_bytes = 0;
   std::uint64_t event_store_peak = 0;
@@ -70,6 +79,9 @@ struct RankStats {
     replayed_receptions += o.replayed_receptions;
     daemon_crashes += o.daemon_crashes;
     daemon_down_time += o.daemon_down_time;
+    el_dup_submissions += o.el_dup_submissions;
+    el_reconciled_records += o.el_reconciled_records;
+    stale_acks_fenced += o.stale_acks_fenced;
     sender_log_peak_bytes = std::max(sender_log_peak_bytes, o.sender_log_peak_bytes);
     event_store_peak = std::max(event_store_peak, o.event_store_peak);
     graph_peak_nodes = std::max(graph_peak_nodes, o.graph_peak_nodes);

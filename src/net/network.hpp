@@ -112,6 +112,14 @@ class Network {
                  sim::Time duration, sim::Time backoff);
   /// Active partitions right now (expired windows are pruned lazily).
   std::size_t active_partitions() const;
+  /// True when a frame `a -> b` would reach the destination unobstructed:
+  /// both nodes up and no active cut between them. The fault engine's
+  /// suspicion and failover logic keys off this (a service behind a cut is
+  /// indistinguishable from a dead one until the heal).
+  bool reachable(NodeId a, NodeId b) const {
+    return a < nodes_.size() && b < nodes_.size() && nodes_[a].up &&
+           nodes_[b].up && partition_release(a, b) == 0;
+  }
 
   // --- Introspection / stats ----------------------------------------------
   std::uint64_t frames_sent() const { return frames_sent_; }

@@ -107,6 +107,10 @@ Cluster::Cluster(ClusterConfig cfg)
   };
   fb.timeline = &timeline_;
   if (trace_) fb.trace = trace_->engine_lane();
+  // The same detector window the dispatcher uses for rank crashes bounds
+  // how long a service cut goes unsuspected (faults.detection_delay
+  // overrides it per campaign).
+  fb.detection_delay = cfg_.detection_delay;
   fault_engine_ = std::make_unique<fault::FaultEngine>(cfg_.campaign, cfg_.seed,
                                                        std::move(fb));
   for (auto& e : els_) e->set_observer(fault_engine_.get());
@@ -169,14 +173,45 @@ ClusterReport Cluster::run(mpi::AppFactory factory) {
     eng_.run();
   }
 
+  // A daemon can still be inside a specified downtime window when the
+  // workload completes (the victim had nothing left to send, or a
+  // partition heal redelivered the last completion frame): the dispatcher
+  // stops the engine at completion, so the respawn timer never fires.
+  // Teardown drains those daemons here — the outage ends at run end —
+  // instead of leaving the record open as if the daemon were lost.
+  // Abandoned runs keep their records open: there "still down at run end"
+  // is the truth.
+  if (dispatcher_->all_done()) {
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      mpi::RankRuntime& rr = *ranks_[static_cast<std::size_t>(r)];
+      if (!rr.daemon_down()) continue;
+      const long drained = rr.daemon_restart();
+      if (drained >= 0) {
+        timeline_.end_daemon(r, eng_.now(),
+                             static_cast<std::uint64_t>(drained));
+      }
+    }
+  }
+
   ClusterReport rep;
   rep.completed = dispatcher_->all_done();
   rep.completion_time = dispatcher_->completion_time();
   rep.faults_injected = dispatcher_->faults_injected();
   rep.rank_stats = stats_;
+  // EL-side split-brain counters are kept per creator rank inside each
+  // shard (all shards share one ElStats); fold them into the per-rank rows.
+  for (const auto& e : els_) {
+    for (int r = 0; r < cfg_.nranks; ++r) {
+      rep.rank_stats[static_cast<std::size_t>(r)].el_dup_submissions +=
+          e->dup_submissions(r);
+      rep.rank_stats[static_cast<std::size_t>(r)].el_reconciled_records +=
+          e->reconciled_records(r);
+    }
+  }
   rep.el_stats = el_stats_;
   rep.recoveries = timeline_.records();
   rep.daemon_outages = timeline_.daemon_records();
+  rep.el_reconciles = timeline_.reconcile_records();
   rep.fault_counts = fault_engine_->counts();
   rep.first_el_fault = fault_engine_->first_el_fault();
   return rep;

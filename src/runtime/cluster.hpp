@@ -80,6 +80,9 @@ struct ClusterReport {
   /// Daemon-process outages (failure domain split from the rank: the app
   /// survived, stalled, while the dispatcher respawned the daemon).
   std::vector<fault::DaemonOutageRecord> daemon_outages;
+  /// Split-brain EL reconciliations (service-side partitions: suspected
+  /// failover behind the cut, heal-time merge of the two live logs).
+  std::vector<fault::ElReconcileRecord> el_reconciles;
   /// What the fault engine actually injected.
   fault::FaultCounts fault_counts;
   sim::Time first_el_fault = 0;

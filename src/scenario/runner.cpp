@@ -450,6 +450,8 @@ void write_run(std::ostringstream& out, const RunResult& r,
                 << ", \"ckpt_outages\": " << fc.ckpt_outages
                 << ", \"link_faults\": " << fc.link_faults
                 << ", \"partitions\": " << fc.partitions
+                << ", \"el_suspects\": " << fc.el_suspects
+                << ", \"el_reconciles\": " << fc.el_reconciles
                 << ", \"first_el_fault_s\": "
                 << json_num(sim::to_sec(r.report.first_el_fault)) << "},\n";
   // One timeline entry per recovery: the per-phase breakdown Fig. 10's
@@ -500,6 +502,56 @@ void write_run(std::ostringstream& out, const RunResult& r,
       out << "}";
     }
     out << "]";
+  }
+  if (!r.report.el_reconciles.empty()) {
+    out << ",\n";
+    // Split-brain merges: a suspected failover behind a service cut left
+    // two shards accepting submissions; the heal folded the stale log into
+    // the successor's, dropping (creator, seq) duplicates.
+    key("el_reconciles") << "[";
+    for (std::size_t i = 0; i < r.report.el_reconciles.size(); ++i) {
+      const fault::ElReconcileRecord& rec = r.report.el_reconciles[i];
+      if (i) out << ", ";
+      out << "{\"stale_shard\": " << rec.stale_shard
+          << ", \"successor\": " << rec.successor
+          << ", \"moved_ranks\": " << rec.moved_ranks
+          << ", \"complete\": " << (rec.complete() ? "true" : "false")
+          << ", \"detect_ms\": " << json_num(sim::to_ms(rec.detect_ns()));
+      if (rec.complete()) {
+        out << ", \"split_ms\": " << json_num(sim::to_ms(rec.split_ns()))
+            << ", \"merge_ms\": " << json_num(sim::to_ms(rec.merge_ns()))
+            << ", \"merged_records\": " << rec.merged_records
+            << ", \"dup_dropped\": " << rec.dup_dropped;
+        if (rec.first_dup_rank >= 0) {
+          out << ", \"first_dup_rank\": " << rec.first_dup_rank
+              << ", \"first_dup_seq\": " << rec.first_dup_seq;
+        }
+      }
+      out << "}";
+    }
+    out << "]";
+  }
+  {
+    bool split_brain = false;
+    for (const ftapi::RankStats& s : r.report.rank_stats) {
+      split_brain = split_brain || s.el_dup_submissions != 0 ||
+                    s.el_reconciled_records != 0 || s.stale_acks_fenced != 0;
+    }
+    // Per-rank split-brain counters, emitted only when a run actually
+    // exercised the dual-log window so fault-free JSON keeps its shape.
+    if (split_brain) {
+      out << ",\n";
+      key("rank_stats") << "[";
+      for (std::size_t i = 0; i < r.report.rank_stats.size(); ++i) {
+        const ftapi::RankStats& s = r.report.rank_stats[i];
+        if (i) out << ", ";
+        out << "{\"rank\": " << i
+            << ", \"el_dup_submissions\": " << s.el_dup_submissions
+            << ", \"el_reconciled_records\": " << s.el_reconciled_records
+            << ", \"stale_acks_fenced\": " << s.stale_acks_fenced << "}";
+      }
+      out << "]";
+    }
   }
   if (r.has_reference) {
     out << ",\n";

@@ -134,6 +134,52 @@ std::string format_rank_group(const std::vector<int>& ranks) {
   return out;
 }
 
+/// Parses one side of a service partition: the rank-group grammar extended
+/// with service tokens — "elK" names EL shard K, "ckpt" the checkpoint
+/// server ("el0+2+4" = shard 0 plus ranks {2,4}). Ranks land in `ranks`,
+/// service ids in `services` (fault::kCkptService for the ckpt server).
+void parse_service_group(const std::string& key, const std::string& s,
+                         std::vector<int>& ranks, std::vector<int>& services) {
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t plus = s.find('+', pos);
+    if (plus == std::string::npos) plus = s.size();
+    const std::string tok = trim(s.substr(pos, plus - pos));
+    pos = plus + 1;
+    if (tok.empty()) {
+      bad_value(key, s, "ranks/ranges plus service tokens like 'el0' / 'ckpt'");
+    }
+    if (tok == "ckpt") {
+      services.push_back(fault::kCkptService);
+    } else if (tok.size() > 2 && tok.rfind("el", 0) == 0 &&
+               tok.find_first_not_of("0123456789", 2) == std::string::npos) {
+      services.push_back(static_cast<int>(parse_i64(key, tok.substr(2))));
+    } else {
+      const std::size_t dash = tok.find('-', 1);
+      if (dash == std::string::npos) {
+        ranks.push_back(static_cast<int>(parse_i64(key, tok)));
+      } else {
+        const int lo = static_cast<int>(parse_i64(key, tok.substr(0, dash)));
+        const int hi = static_cast<int>(parse_i64(key, tok.substr(dash + 1)));
+        if (hi < lo) bad_value(key, s, "an ascending range like '0-3'");
+        for (int r = lo; r <= hi; ++r) ranks.push_back(r);
+      }
+    }
+    if (pos > s.size()) break;
+  }
+}
+
+std::string format_service_group(const std::vector<int>& ranks,
+                                 const std::vector<int>& services) {
+  std::string out = format_rank_group(ranks);
+  for (const int s : services) {
+    if (!out.empty()) out += "+";
+    out += s == fault::kCkptService ? std::string("ckpt")
+                                    : "el" + std::to_string(s);
+  }
+  return out;
+}
+
 /// Splits ':'-separated injection fields, trimming each.
 std::vector<std::string> split_fields(const std::string& s) {
   std::vector<std::string> out;
@@ -299,6 +345,42 @@ bool apply_fault_key(ScenarioSpec& spec, const std::string& key,
     inj.magnitude =
         f.size() == 4 ? parse_time(key, f[3]) : 2 * sim::kMillisecond;
     c.injections.push_back(inj);
+  } else if (key == "faults.partition_services") {
+    // Like faults.partition, but each side may also name service endpoints:
+    // "elK" (EL shard K) or "ckpt", e.g. "30ms:el0|2+4:80ms:2ms" cuts shard
+    // 0 away from ranks 2 and 4 (split-brain when a failover fires inside
+    // the window).
+    if (f.size() != 3 && f.size() != 4) {
+      bad_fields(key, value,
+                 "'<time>:<group>|<group>:<duration>[:<backoff>]' with "
+                 "ranks, 'elK' and 'ckpt' tokens per group");
+    }
+    const std::size_t bar = f[1].find('|');
+    if (bar == std::string::npos) {
+      bad_fields(key, value, "two '|'-separated groups like 'el0|2+4'");
+    }
+    fault::Injection inj;
+    inj.target = fault::Target::kFabric;
+    inj.action = fault::Action::kPartition;
+    inj.at = parse_time(key, f[0]);
+    parse_service_group(key, trim(f[1].substr(0, bar)), inj.group_a,
+                        inj.services_a);
+    parse_service_group(key, trim(f[1].substr(bar + 1)), inj.group_b,
+                        inj.services_b);
+    if (inj.services_a.empty() && inj.services_b.empty()) {
+      bad_fields(key, value,
+                 "at least one 'elK' / 'ckpt' token (use faults.partition "
+                 "for rank-only cuts)");
+    }
+    inj.duration = parse_time(key, f[2]);
+    inj.magnitude =
+        f.size() == 4 ? parse_time(key, f[3]) : 2 * sim::kMillisecond;
+    c.injections.push_back(inj);
+  } else if (key == "faults.detection_delay") {
+    c.detection_delay = parse_time(key, value);
+    if (c.detection_delay <= 0) {
+      bad_value(key, value, "a positive duration like 5ms");
+    }
   } else if (key == "faults.el_failover") {
     if (value == "reassign") {
       c.el_failover = fault::ElFailover::kReassign;
@@ -411,6 +493,13 @@ const std::vector<FaultKeyInfo>& fault_key_table() {
       {"faults.partition", "<time>:<ranks>|<ranks>:<duration>[:<backoff>]",
        "10ms:0-1|2-3:25ms:2ms",
        "partial partition: the two rank groups mutually unreachable"},
+      {"faults.partition_services",
+       "<time>:<group>|<group>:<duration>[:<backoff>]", "30ms:el0|2+4:80ms:2ms",
+       "partition whose sides may name services ('elK', 'ckpt'); cutting a "
+       "serving EL shard arms split-brain reconciliation"},
+      {"faults.detection_delay", "<duration>", "5ms",
+       "suspicion window for a service cut (default: cluster "
+       "detection_delay)"},
       {"faults.el_failover", "reassign | standby", "standby",
        "what mounts a dead shard's log: surviving shard or cold standby"},
       {"faults.el_failover_delay", "<duration>", "25ms",
@@ -447,7 +536,13 @@ void strip_fault_key(ScenarioSpec& spec, const std::string& key) {
       return i.target == Target::kDaemon && i.trigger == Trigger::kRate;
     };
   } else if (key == "faults.partition") {
-    match = [](const Injection& i) { return i.target == Target::kFabric; };
+    match = [](const Injection& i) {
+      return i.target == Target::kFabric && !i.cuts_services();
+    };
+  } else if (key == "faults.partition_services") {
+    match = [](const Injection& i) {
+      return i.target == Target::kFabric && i.cuts_services();
+    };
   } else if (key == "faults.crash_el") {
     match = [](const Injection& i) {
       return i.target == Target::kElShard && i.action == Action::kCrash;
@@ -808,10 +903,17 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
         }
         break;
       case fault::Target::kFabric:
-        fb << "partition = " << inj.at << "ns:"
-           << format_rank_group(inj.group_a) << "|"
-           << format_rank_group(inj.group_b) << ":" << inj.duration << "ns:"
-           << inj.magnitude << "ns\n";
+        if (inj.cuts_services()) {
+          fb << "partition_services = " << inj.at << "ns:"
+             << format_service_group(inj.group_a, inj.services_a) << "|"
+             << format_service_group(inj.group_b, inj.services_b) << ":"
+             << inj.duration << "ns:" << inj.magnitude << "ns\n";
+        } else {
+          fb << "partition = " << inj.at << "ns:"
+             << format_rank_group(inj.group_a) << "|"
+             << format_rank_group(inj.group_b) << ":" << inj.duration << "ns:"
+             << inj.magnitude << "ns\n";
+        }
         break;
       case fault::Target::kCkptServer:
         fb << "ckpt_outage = " << inj.at << "ns:" << inj.duration << "ns\n";
@@ -832,6 +934,9 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   }
   if (camp.el_failover_delay != defc.el_failover_delay) {
     fb << "el_failover_delay = " << camp.el_failover_delay << "ns\n";
+  }
+  if (camp.detection_delay != defc.detection_delay) {
+    fb << "detection_delay = " << camp.detection_delay << "ns\n";
   }
   if (camp.daemon_restart_delay != defc.daemon_restart_delay) {
     fb << "daemon_restart_delay = " << camp.daemon_restart_delay << "ns\n";

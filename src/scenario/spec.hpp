@@ -262,6 +262,33 @@ class ScenarioBuilder {
     inj.group_b = std::move(b);
     return inject(inj);
   }
+  /// Service-side partition: like partition(), but each side additionally
+  /// names service endpoints — EL shard ids in `sa` / `sb`, or
+  /// fault::kCkptService for the checkpoint server. Cutting a serving EL
+  /// shard from its clients arms suspicion and split-brain reconciliation.
+  ScenarioBuilder& partition_services(sim::Time at, std::vector<int> a,
+                                      std::vector<int> b, std::vector<int> sa,
+                                      std::vector<int> sb, sim::Time duration,
+                                      sim::Time backoff = 2 *
+                                                          sim::kMillisecond) {
+    fault::Injection inj;
+    inj.target = fault::Target::kFabric;
+    inj.action = fault::Action::kPartition;
+    inj.at = at;
+    inj.duration = duration;
+    inj.magnitude = backoff;
+    inj.group_a = std::move(a);
+    inj.group_b = std::move(b);
+    inj.services_a = std::move(sa);
+    inj.services_b = std::move(sb);
+    return inject(inj);
+  }
+  /// Campaign-level suspicion window for service cuts (-1 inherits the
+  /// cluster detection_delay).
+  ScenarioBuilder& fault_detection_delay(sim::Time t) {
+    spec_.faults.campaign.detection_delay = t;
+    return *this;
+  }
   /// Kills `rank` when it commits its `nth` checkpoint.
   ScenarioBuilder& crash_rank_on_ckpt(int rank, std::uint64_t nth) {
     fault::Injection inj;

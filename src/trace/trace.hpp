@@ -50,6 +50,9 @@ enum FaultCode : std::uint8_t {
   kPartition,
   kNodeCrash,    // network-level node epoch bump (any node id)
   kNodeRestart,
+  kElSuspect,      // shard behind a cut declared suspect (peer = shard,
+                   // seq = cut clients, aux = successor shard)
+  kPartitionHeal,  // service cut healed; reconciliation starts
 };
 
 /// `code` values of kRecovery records.
@@ -61,6 +64,10 @@ enum PhaseCode : std::uint8_t {
   kPhaseElFailover,   // home shard re-homed (peer = dead shard, aux = successor)
   kPhaseDaemonUp,     // respawned daemon serving again (seq = drained frames)
   kPhaseLogMounted,   // successor shard mounted a dead shard's log
+  kPhaseReconcile,    // split-brain heal merged two live logs (peer = stale
+                      // shard, seq = records merged, aux = duplicates dropped)
+  kPhaseDupDrop,      // a duplicate submission dropped during reconciliation
+                      // (peer = creator rank, seq = duplicate seq)
 };
 
 /// One trace record. POD on purpose: capture is a struct copy into the

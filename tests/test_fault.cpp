@@ -153,6 +153,49 @@ TEST(FaultCampaign, DaemonAndPartitionKeysParse) {
   EXPECT_EQ(c.daemon_restart_delay, 35 * sim::kMillisecond);
 }
 
+TEST(FaultCampaign, ServicePartitionKeysParse) {
+  const char* text =
+      "[scenario]\n"
+      "variant = vcausal:el\n"
+      "nranks = 6\n"
+      "el_shards = 2\n"
+      "[faults]\n"
+      "partition_services = 30ms:el0|2+4:80ms:3ms\n"
+      "partition_services = 50ms:ckpt+el1|0-2:10ms\n"
+      "detection_delay = 5ms\n";
+  const ScenarioSpec spec = scenario::parse_scenario_text(text);
+  const fault::Campaign& c = spec.faults.campaign;
+  ASSERT_EQ(c.injections.size(), 2u);
+
+  EXPECT_EQ(c.injections[0].target, Target::kFabric);
+  EXPECT_EQ(c.injections[0].action, Action::kPartition);
+  EXPECT_EQ(c.injections[0].at, 30 * sim::kMillisecond);
+  EXPECT_TRUE(c.injections[0].group_a.empty());
+  EXPECT_EQ(c.injections[0].services_a, (std::vector<int>{0}));
+  EXPECT_EQ(c.injections[0].group_b, (std::vector<int>{2, 4}));
+  EXPECT_TRUE(c.injections[0].services_b.empty());
+  EXPECT_EQ(c.injections[0].duration, 80 * sim::kMillisecond);
+  EXPECT_EQ(c.injections[0].magnitude, 3 * sim::kMillisecond);
+  EXPECT_TRUE(c.injections[0].cuts_services());
+
+  EXPECT_EQ(c.injections[1].services_a,
+            (std::vector<int>{fault::kCkptService, 1}));
+  EXPECT_EQ(c.injections[1].group_b, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(c.injections[1].magnitude, 2 * sim::kMillisecond);  // default
+
+  EXPECT_EQ(c.detection_delay, 5 * sim::kMillisecond);
+
+  // A service partition without a service token belongs to faults.partition.
+  ScenarioSpec s2;
+  EXPECT_THROW(
+      scenario::apply_key(s2, "faults.partition_services", "1ms:0|1:5ms"),
+      SpecError);
+  // The suspicion window must be positive (-1 = inherit is the default, not
+  // a scenario-file value).
+  EXPECT_THROW(scenario::apply_key(s2, "faults.detection_delay", "0ms"),
+               SpecError);
+}
+
 TEST(FaultCampaign, KeyTableExamplesAllParse) {
   // The table is the contract between the parser, `mpiv_run --list` and
   // docs/SCENARIOS.md: every listed example must go through apply_key, and
@@ -185,6 +228,9 @@ TEST(FaultCampaign, BuilderRoundTripsThroughScenarioText) {
           .daemon_restart_delay(21 * sim::kMillisecond)
           .partition(4 * sim::kMillisecond, {0, 1, 2}, {5, 6},
                      7 * sim::kMillisecond)
+          .partition_services(6 * sim::kMillisecond, {}, {2, 4}, {0},
+                              {fault::kCkptService}, 9 * sim::kMillisecond)
+          .fault_detection_delay(11 * sim::kMillisecond)
           .el_failover(fault::ElFailover::kStandby, 17 * sim::kMillisecond)
           .build();
   const ScenarioSpec back =
@@ -204,9 +250,12 @@ TEST(FaultCampaign, BuilderRoundTripsThroughScenarioText) {
     EXPECT_EQ(a.injections[i].magnitude, b.injections[i].magnitude);
     EXPECT_EQ(a.injections[i].group_a, b.injections[i].group_a);
     EXPECT_EQ(a.injections[i].group_b, b.injections[i].group_b);
+    EXPECT_EQ(a.injections[i].services_a, b.injections[i].services_a);
+    EXPECT_EQ(a.injections[i].services_b, b.injections[i].services_b);
   }
   EXPECT_EQ(a.el_failover, b.el_failover);
   EXPECT_EQ(a.el_failover_delay, b.el_failover_delay);
+  EXPECT_EQ(a.detection_delay, b.detection_delay);
   EXPECT_EQ(a.daemon_restart_delay, b.daemon_restart_delay);
   EXPECT_EQ(spec.el_standby, back.el_standby);
 }
@@ -283,6 +332,69 @@ TEST(FaultValidation, RejectsCampaignAgainstMissingTargets) {
                    .partition(sim::kMillisecond, {}, {1}, sim::kMillisecond)
                    .build(),
                SpecError);
+}
+
+TEST(FaultValidation, ServicePartitionTargetsAreValidated) {
+  // Shard id out of range.
+  EXPECT_THROW(base("svc_oob", 6, 2)
+                   .partition_services(sim::kMillisecond, {}, {2, 4}, {2}, {},
+                                       5 * sim::kMillisecond)
+                   .build(),
+               SpecError);
+  // The same shard on both sides of the cut.
+  EXPECT_THROW(base("svc_overlap", 6, 2)
+                   .partition_services(sim::kMillisecond, {1}, {2}, {0}, {0},
+                                       5 * sim::kMillisecond)
+                   .build(),
+               SpecError);
+  // A shard reference without an event logger.
+  EXPECT_THROW(ScenarioBuilder("svc_noel")
+                   .variant("vcausal:noel")
+                   .nranks(4)
+                   .ring(10, 1024)
+                   .partition_services(sim::kMillisecond, {}, {1, 2}, {0}, {},
+                                       5 * sim::kMillisecond)
+                   .build(),
+               SpecError);
+  // A services-only side is legal (the checkpoint server cut away from two
+  // ranks), including standby shard ids above el_shards.
+  EXPECT_NO_THROW(base("svc_ckpt")
+                      .partition_services(sim::kMillisecond, {}, {1, 2},
+                                          {fault::kCkptService}, {},
+                                          5 * sim::kMillisecond)
+                      .build());
+  EXPECT_NO_THROW(base("svc_standby", 6, 2)
+                      .el_standby(1)
+                      .partition_services(sim::kMillisecond, {}, {2, 4}, {2},
+                                          {}, 5 * sim::kMillisecond)
+                      .build());
+}
+
+TEST(FaultValidation, SweptServicePartitionStripsOnlyItsOwnKind) {
+  // faults.partition and faults.partition_services are both kFabric, but a
+  // sweep axis on one must not strip the other: the rank-only cut survives
+  // a swept service cut, and vice versa.
+  ScenarioBuilder b = base("svc_sweep", 6, 2);
+  b.partition(4 * sim::kMillisecond, {0, 1}, {3, 5}, 7 * sim::kMillisecond)
+      .partition_services(6 * sim::kMillisecond, {}, {2, 4}, {0}, {},
+                          9 * sim::kMillisecond)
+      .sweep("faults.partition_services",
+             {"10ms:el0|2+4:20ms", "30ms:el1|1+3:40ms"});
+  const std::vector<scenario::RunPoint> points = scenario::expand(b.build());
+  ASSERT_EQ(points.size(), 2u);
+  for (const scenario::RunPoint& p : points) {
+    int plain = 0, service = 0;
+    for (const Injection& i : p.spec.faults.campaign.injections) {
+      if (i.target != Target::kFabric) continue;
+      i.cuts_services() ? ++service : ++plain;
+    }
+    EXPECT_EQ(plain, 1) << p.label;
+    EXPECT_EQ(service, 1) << p.label;
+  }
+  EXPECT_EQ(points[0].spec.faults.campaign.injections.back().services_a,
+            (std::vector<int>{0}));
+  EXPECT_EQ(points[1].spec.faults.campaign.injections.back().services_a,
+            (std::vector<int>{1}));
 }
 
 TEST(FaultValidation, LegacyClusterRejectsBadPlansToo) {
@@ -534,6 +646,39 @@ TEST(DaemonFaults, DaemonCrashStallsTheRankButLosesNothing) {
   EXPECT_EQ(rec.down_ns(), 30 * sim::kMillisecond);
   EXPECT_GT(rec.held_frames, 0u);  // the ring kept talking at the dead node
   EXPECT_EQ(r.report.totals().daemon_down_time, 30 * sim::kMillisecond);
+}
+
+TEST(DaemonFaults, OutageRecordClosesWhenTheRunOutlastsIt) {
+  // The daemon dies moments before the workload finishes: the run completes
+  // while the daemon is still down (the victim had nothing left to send),
+  // and the dispatcher stops the engine at completion so the respawn timer
+  // never fires. The outage record must still close — at drain time, when
+  // teardown restarts the daemon — because an open-ended record here would
+  // misreport "lost until abandonment" for a downtime the run outlived.
+  const scenario::RunResult ref =
+      scenario::run_spec(ring_base("drain_ref").build());
+  ASSERT_TRUE(ref.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  const sim::Time downtime = 30 * sim::kMillisecond;
+  const scenario::RunResult r = scenario::run_spec(
+      ring_base("drain_close")
+          .crash_daemon_at(t - 20 * sim::kMicrosecond, 1, downtime)
+          .build());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.report.daemon_outages.size(), 1u);
+  const fault::DaemonOutageRecord& rec = r.report.daemon_outages[0];
+  // The run finished before the respawn: the interesting window this test
+  // exists for.
+  ASSERT_LT(r.report.completion_time, rec.fault_at + downtime);
+  EXPECT_TRUE(rec.complete());
+  EXPECT_FALSE(rec.interrupted);
+  // Drain-time close: the outage ends when the run does, not at the full
+  // scheduled downtime (which lies beyond the run).
+  EXPECT_EQ(rec.restart_at, r.report.completion_time);
+  EXPECT_GT(rec.down_ns(), 0);
+  EXPECT_LT(rec.down_ns(), downtime);
+  EXPECT_EQ(r.checksums, ref.checksums);
 }
 
 TEST(DaemonFaults, DefaultRestartDelayApplies) {

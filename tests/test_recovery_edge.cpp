@@ -423,6 +423,114 @@ TEST(RecoveryEdge, PartitionAcrossARecoveryHealsInOrder) {
   EXPECT_TRUE(out.report.recoveries[0].complete());
 }
 
+/// Injects a service-side partition: `services_a` (EL shard ids) cut away
+/// from ranks `group_b` for `duration`.
+void cut_services(ClusterConfig& cfg, sim::Time at, std::vector<int> services_a,
+                  std::vector<int> group_b, sim::Time duration) {
+  fault::Injection inj;
+  inj.target = fault::Target::kFabric;
+  inj.action = fault::Action::kPartition;
+  inj.at = at;
+  inj.duration = duration;
+  inj.magnitude = 2 * sim::kMillisecond;
+  inj.services_a = std::move(services_a);
+  inj.group_b = std::move(group_b);
+  cfg.campaign.injections.push_back(inj);
+}
+
+TEST(RecoveryEdge, SplitBrainReconcilesToOneLogAndReplaysExactly) {
+  // Shard 0 is cut away from ranks 2 and 4 but NOT from rank 0: it stays
+  // live, still storing rank 0's determinants, while suspicion re-homes
+  // the cut clients onto shard 1 with an epoch bump — both shards accept
+  // submissions until the heal. Records shard 0 stored whose acks the cut
+  // parked are resubmitted to shard 1 (el_ack_build is raised so some are
+  // always in that window), so the heal-time merge must drop real
+  // (creator, seq) duplicates. A post-heal crash of a re-homed rank then
+  // proves the merged log replays the reference bit for bit.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  cfg.cost.el_ack_build = 500 * sim::kMicrosecond;
+  const RunOutput ref = run_ring(cfg, 80);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  cut_services(c2, t / 4, {0}, {2, 4}, 60 * sim::kMillisecond);
+  c2.campaign.detection_delay = 10 * sim::kMillisecond;
+  c2.campaign.service_retry = 10 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{t / 4 + 100 * sim::kMillisecond, 2});
+  RunOutput out = run_ring(c2, 80);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.partitions, 1u);
+  EXPECT_EQ(out.report.fault_counts.el_suspects, 1u);
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.report.fault_counts.el_reconciles, 1u);
+  ASSERT_EQ(out.report.el_reconciles.size(), 1u);
+  const fault::ElReconcileRecord& rec = out.report.el_reconciles[0];
+  EXPECT_TRUE(rec.complete());
+  EXPECT_EQ(rec.stale_shard, 0);
+  EXPECT_EQ(rec.successor, 1);
+  EXPECT_EQ(rec.moved_ranks, 2);
+  EXPECT_EQ(rec.detect_ns(), 10 * sim::kMillisecond);
+  // The dual-log window produced real duplicates, the merge dropped them,
+  // and the first one is localized to a moved rank.
+  EXPECT_GE(rec.dup_dropped, 1u);
+  EXPECT_TRUE(rec.first_dup_rank == 2 || rec.first_dup_rank == 4);
+  const std::uint64_t dup_total =
+      out.report.rank_stats[2].el_dup_submissions +
+      out.report.rank_stats[4].el_dup_submissions;
+  EXPECT_GE(dup_total, rec.dup_dropped);
+  // Ranks outside the cut never hit the dedup or fence paths.
+  for (const int r : {0, 1, 3, 5}) {
+    EXPECT_EQ(out.report.rank_stats[static_cast<std::size_t>(r)]
+                  .el_dup_submissions,
+              0u)
+        << "rank " << r;
+    EXPECT_EQ(out.report.rank_stats[static_cast<std::size_t>(r)]
+                  .stale_acks_fenced,
+              0u)
+        << "rank " << r;
+  }
+  // The replay from the merged log is exact.
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ASSERT_EQ(out.report.recoveries.size(), 1u);
+  EXPECT_TRUE(out.report.recoveries[0].complete());
+}
+
+TEST(RecoveryEdge, RehomeWhileSuccessorPartitionedRetriesIntoTheHeal) {
+  // Shard 0 crashes while the only successor (shard 1) is itself cut away
+  // from shard 0's clients. The failover must not mount the log onto an
+  // unreachable successor: it retries until the cut heals, then mounts,
+  // and a later crash of a re-homed rank still replays exactly.
+  ClusterConfig cfg = causal_cfg(6);
+  cfg.el_shards = 2;
+  const RunOutput ref = run_ring(cfg, 80);
+  ASSERT_TRUE(ref.report.completed);
+  const sim::Time t = ref.report.completion_time;
+
+  ClusterConfig c2 = cfg;
+  // Shard 1 unreachable from the even ranks (shard 0's clientele); shard
+  // 1's own clients are untouched, so no suspicion fires for the cut
+  // itself — it is pure environment for the crash failover under test.
+  cut_services(c2, t / 4 - 2 * sim::kMillisecond, {1}, {0, 2, 4},
+               40 * sim::kMillisecond);
+  crash_el(c2, t / 4, 0);
+  c2.campaign.el_failover_delay = 5 * sim::kMillisecond;
+  c2.campaign.service_retry = 10 * sim::kMillisecond;
+  c2.faults.push_back(FaultSpec{t / 4 + 80 * sim::kMillisecond, 2});
+  RunOutput out = run_ring(c2, 80);
+  ASSERT_TRUE(out.report.completed);
+  EXPECT_EQ(out.report.fault_counts.el_crashes, 1u);
+  // Exactly one failover — the retries did not double-mount — and no
+  // split-brain machinery engaged (the dead shard cannot stay live).
+  EXPECT_EQ(out.report.fault_counts.el_failovers, 1u);
+  EXPECT_EQ(out.report.fault_counts.el_suspects, 0u);
+  EXPECT_TRUE(out.report.el_reconciles.empty());
+  EXPECT_EQ(out.checksums.checksums, ref.checksums.checksums);
+  ASSERT_EQ(out.report.recoveries.size(), 1u);
+  EXPECT_TRUE(out.report.recoveries[0].complete());
+}
+
 TEST(RecoveryEdge, FaultStormSurvivesOverlappingInjections) {
   // Chaos: an EL shard dies, a link degrades, the checkpoint server blips,
   // and two ranks crash close together — all overlapping. Results must

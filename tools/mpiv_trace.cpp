@@ -175,6 +175,27 @@ void analyze_point(const scenario::RunResult& r, int max_chain, Tally* tally) {
     std::printf("  victim: none (no rank-crash record in the stream)\n");
   }
 
+  // Split-brain localization: the first duplicate determinant the
+  // heal-time merge dropped, straight from the successor shard's lane
+  // (kRecovery/kPhaseDupDrop: peer = creator rank, seq = duplicated seq).
+  std::uint64_t dup_total = 0;
+  const trace::StreamRecord* first_dup = nullptr;
+  for (const trace::StreamRecord& sr : faulty.records) {
+    if (sr.rec.kind == trace::Kind::kRecovery &&
+        sr.rec.code == trace::kPhaseDupDrop) {
+      ++dup_total;
+      if (first_dup == nullptr) first_dup = &sr;
+    }
+  }
+  if (first_dup != nullptr) {
+    std::printf("  first reconciled duplicate: creator rank %d seq %llu "
+                "(dropped on lane %s at %.6f s; %llu duplicate(s) total)\n",
+                first_dup->rec.peer,
+                static_cast<unsigned long long>(first_dup->rec.seq),
+                first_dup->lane.c_str(), sim::to_sec(first_dup->rec.t),
+                static_cast<unsigned long long>(dup_total));
+  }
+
   if (rep.equivalent) {
     std::printf("  replay-equivalent: yes — every rank's logical "
                 "send/recv-match sequence matches the reference\n");
