@@ -252,4 +252,124 @@ else
   exit 1
 fi
 
+# Family race: the five recovery-protocol families through one Poisson
+# crash lineup. Per-point invariants: every non-skipped point classifies;
+# replica points are crash-transparent (a complete promotion per crash and
+# NO restart/replay recovery records); ulfm points carry a complete repair
+# record per crash with the survivor count shrinking by exactly one each
+# time. Then fold the grid into the per-family completion-probability /
+# recovery-time table; a --full run re-emits it into docs/BENCHMARKS.md
+# between the family-race markers (quick grids only print it).
+FR_JSON="$OUT_DIR/family_race.json"
+if [[ -f "$FR_JSON" ]]; then
+  if command -v python3 > /dev/null 2>&1; then
+    python3 - "$FR_JSON" "$QUICK" <<'EOF'
+import collections, json, sys
+
+rep = json.load(open(sys.argv[1]))
+full = sys.argv[2] == "0"
+NRANKS = 8  # [scenario] nranks in scenarios/family_race.scn
+
+fams = {}  # variant -> aggregate, in sweep order
+for r in rep["runs"]:
+    if r.get("skipped") or r["outcome"] == "skipped":
+        continue
+    label = r["label"]
+    out = r["outcome"]
+    if out not in ("completed", "recovered_exact", "completed_shrunk",
+                   "abandoned"):
+        sys.exit(f"family-race FAILED: {label}: unclassified outcome '{out}'")
+    variant = dict(r["axes"])["variant"]
+    crashes = r["faults"]["rank_crashes"]
+    recs = r.get("recoveries") or []
+    repairs = r.get("repairs") or []
+    proms = r.get("promotions") or []
+    if variant == "replica":
+        # Crash-transparent: the shadow takes over — any restart/replay
+        # record means the hybrid fell back to logging machinery.
+        if recs:
+            sys.exit(f"family-race FAILED: {label}: replica recorded "
+                     f"{len(recs)} restart/replay recoveries")
+        if len(proms) != crashes:
+            sys.exit(f"family-race FAILED: {label}: {crashes} crashes but "
+                     f"{len(proms)} promotions")
+        if out != "abandoned" and not all(p["complete"] for p in proms):
+            sys.exit(f"family-race FAILED: {label}: incomplete promotion")
+        times = [p["promote_ms"] for p in proms if p["complete"]]
+    elif variant == "ulfm":
+        if recs:
+            sys.exit(f"family-race FAILED: {label}: ulfm recorded "
+                     f"{len(recs)} restart/replay recoveries")
+        if len(repairs) != crashes:
+            sys.exit(f"family-race FAILED: {label}: {crashes} crashes but "
+                     f"{len(repairs)} repair records")
+        for i, rec in enumerate(repairs):
+            if rec["survivors"] != NRANKS - 1 - i:
+                sys.exit(f"family-race FAILED: {label}: repair {i} left "
+                         f"{rec['survivors']} survivors, expected "
+                         f"{NRANKS - 1 - i}")
+            if out != "abandoned" and not rec["complete"]:
+                sys.exit(f"family-race FAILED: {label}: repair of rank "
+                         f"{rec['victim']} never closed")
+        times = [rec["total_ms"] for rec in repairs if rec["complete"]]
+    else:
+        # Logging / coordinated: executed crashes must leave recovery records
+        # (coordinated rolls back every rank, so there can be more than one
+        # record per crash).
+        if crashes and not recs and out != "abandoned":
+            sys.exit(f"family-race FAILED: {label}: {crashes} crashes but "
+                     f"no recovery records")
+        times = [rec["total_ms"] for rec in recs if rec["complete"]]
+    f = fams.setdefault(variant, {"n": 0, "done": 0, "crashes": 0,
+                                  "times": []})
+    f["n"] += 1
+    f["crashes"] += crashes
+    if out != "abandoned":
+        f["done"] += 1
+    f["times"] += times
+
+if not fams:
+    sys.exit("family-race FAILED: every sweep point was skipped")
+
+rows = []
+for variant, f in fams.items():
+    mean = (f"{sum(f['times']) / len(f['times']):.2f}" if f["times"]
+            else "—")
+    rows.append((variant, f["n"], f["crashes"],
+                 f"{f['done'] / f['n']:.2f}", mean))
+
+print("family-race per-family results (completion probability, mean "
+      "per-crash recovery/promotion/repair time):")
+hdr = f"  {'family':<14} {'points':>6} {'crashes':>8} {'P(complete)':>12} {'mean rec (ms)':>14}"
+print(hdr)
+for v, n, c, p, m in rows:
+    print(f"  {v:<14} {n:>6} {c:>8} {p:>12} {m:>14}")
+print(f"family-race OK ({sum(f['n'] for f in fams.values())} points, "
+      f"{len(fams)} families, every point classified)")
+
+if full:
+    path = "docs/BENCHMARKS.md"
+    begin, end = "<!-- family-race:begin -->", "<!-- family-race:end -->"
+    try:
+        text = open(path).read()
+    except OSError:
+        sys.exit(0)
+    if begin in text and end in text:
+        table = ["| family | points | crashes | completion probability | mean recovery (ms) |",
+                 "|---|---|---|---|---|"]
+        table += [f"| `{v}` | {n} | {c} | {p} | {m} |" for v, n, c, p, m in rows]
+        head, rest = text.split(begin, 1)
+        _, tail = rest.split(end, 1)
+        open(path, "w").write(head + begin + "\n" + "\n".join(table) + "\n"
+                              + end + tail)
+        print(f"family-race table re-emitted into {path}")
+EOF
+  else
+    echo "family-race aggregation skipped (no python3)"
+  fi
+else
+  echo "family-race FAILED: $FR_JSON missing" >&2
+  exit 1
+fi
+
 echo "all scenarios OK (reports in $OUT_DIR)"

@@ -19,9 +19,15 @@ namespace mpiv::causal {
 
 class CausalProtocol final : public MsgLogProtocolBase {
  public:
-  CausalProtocol(StrategyKind kind, bool use_el)
+  // payload_at_sender: keep logged payloads in the sender's own memory
+  // instead of copying them through the daemon on every send. The per-byte
+  // slog copy disappears from the critical path; the price moves to
+  // retention (sender_log_peak_bytes grows identically and is only pruned
+  // by the same GC notices — the paper's copy-vs-memory trade).
+  CausalProtocol(StrategyKind kind, bool use_el, bool payload_at_sender = false)
       : MsgLogProtocolBase(use_el),
         kind_(kind),
+        payload_at_sender_(payload_at_sender),
         strategy_(make_strategy(kind)) {}
 
   const char* name() const override { return strategy_->name(); }
@@ -43,9 +49,13 @@ class CausalProtocol final : public MsgLogProtocolBase {
     // Fixed logging bookkeeping + sender-based copy + piggyback work; only
     // the last is "time to prepare causality information" (Fig. 8).
     out.stats_cpu = w.cpu;
-    out.cpu = svc_.cost->mlog_send_fixed + w.cpu +
-              static_cast<sim::Time>(static_cast<double>(payload.bytes) *
-                                     svc_.cost->slog_ns_per_byte);
+    out.cpu = svc_.cost->mlog_send_fixed + w.cpu;
+    if (!payload_at_sender_) {
+      // Daemon-side copy into the sender log; with payload_at_sender the
+      // buffer is merely pinned in place and this copy never happens.
+      out.cpu += static_cast<sim::Time>(static_cast<double>(payload.bytes) *
+                                        svc_.cost->slog_ns_per_byte);
+    }
     update_peaks();
     return out;
   }
@@ -113,6 +123,7 @@ class CausalProtocol final : public MsgLogProtocolBase {
   }
 
   StrategyKind kind_;
+  bool payload_at_sender_;
   std::unique_ptr<Strategy> strategy_;
 };
 

@@ -89,12 +89,47 @@ struct ElReconcileRecord {
   sim::Time merge_ns() const { return done_at - heal_at; }
 };
 
+/// A ULFM-style communicator repair (the kRepair lane): instead of
+/// restarting the victim, the survivors revoke the communicator, run a
+/// priced agreement/rebuild window, and relaunch shrunk. Phases:
+///   detect   crash -> revoke broadcast reaches the survivors
+///   repair   revoke -> agreement + communicator rebuild done, survivors
+///            relaunched on the shrunk communicator
+struct RepairRecord {
+  int victim = -1;       // the rank the repair excludes for good
+  int survivors = 0;     // communicator size after the shrink
+  sim::Time fault_at = 0;
+  sim::Time revoke_at = 0;       // revoke notices broadcast
+  sim::Time repair_done_at = 0;  // shrunk communicator live again
+
+  bool complete() const { return repair_done_at != 0; }
+  sim::Time detect_ns() const { return revoke_at - fault_at; }
+  sim::Time repair_ns() const { return repair_done_at - revoke_at; }
+  sim::Time total_ns() const { return repair_done_at - fault_at; }
+};
+
+/// A replica shadow promotion: the crash never reaches the application —
+/// the shadow takes over after the detection window, inheriting the
+/// victim's traffic (held at the delivery boundary meanwhile). No image
+/// fetch, no collect, no replay: the one phase is the promotion stall.
+struct PromotionRecord {
+  int rank = -1;
+  sim::Time fault_at = 0;
+  sim::Time promoted_at = 0;     // shadow serving as the primary
+  std::uint64_t held_frames = 0; // frames parked during the switchover
+
+  bool complete() const { return promoted_at != 0; }
+  sim::Time promote_ns() const { return promoted_at - fault_at; }
+};
+
 class RecoveryTimeline {
  public:
   void reset(int nranks) {
     records_.clear();
     daemon_records_.clear();
     reconcile_records_.clear();
+    repair_records_.clear();
+    promotion_records_.clear();
     open_.assign(static_cast<std::size_t>(nranks), -1);
     open_daemon_.assign(static_cast<std::size_t>(nranks), -1);
   }
@@ -203,6 +238,54 @@ class RecoveryTimeline {
     return reconcile_records_;
   }
 
+  // --- ULFM repair records (kRepair lane) ----------------------------------
+  /// Opens a repair record at crash time; returns its index (repairs for
+  /// different victims can overlap, so the closure carries it).
+  int begin_repair(int victim, int survivors, sim::Time fault_at) {
+    RepairRecord r;
+    r.victim = victim;
+    r.survivors = survivors;
+    r.fault_at = fault_at;
+    repair_records_.push_back(r);
+    return static_cast<int>(repair_records_.size()) - 1;
+  }
+  void mark_revoke(int idx, sim::Time t) {
+    if (RepairRecord* r = repair_at(idx)) r->revoke_at = t;
+  }
+  /// Closes the repair: the shrunk communicator is live.
+  void end_repair(int idx, sim::Time t) {
+    if (RepairRecord* r = repair_at(idx)) r->repair_done_at = t;
+  }
+
+  const std::vector<RepairRecord>& repair_records() const {
+    return repair_records_;
+  }
+
+  // --- replica promotion records -------------------------------------------
+  /// Opens a promotion record at crash time; returns its index.
+  int begin_promotion(int rank, sim::Time fault_at) {
+    PromotionRecord r;
+    r.rank = rank;
+    r.fault_at = fault_at;
+    promotion_records_.push_back(r);
+    return static_cast<int>(promotion_records_.size()) - 1;
+  }
+  /// Closes the promotion: the shadow is the primary and the held traffic
+  /// drained to it.
+  void end_promotion(int idx, sim::Time t, std::uint64_t held_frames) {
+    if (idx < 0 ||
+        static_cast<std::size_t>(idx) >= promotion_records_.size()) {
+      return;
+    }
+    PromotionRecord& r = promotion_records_[static_cast<std::size_t>(idx)];
+    r.promoted_at = t;
+    r.held_frames = held_frames;
+  }
+
+  const std::vector<PromotionRecord>& promotion_records() const {
+    return promotion_records_;
+  }
+
  private:
   RecoveryRecord* open_record(int rank) {
     if (static_cast<std::size_t>(rank) >= open_.size()) return nullptr;
@@ -210,9 +293,18 @@ class RecoveryTimeline {
     return idx < 0 ? nullptr : &records_[static_cast<std::size_t>(idx)];
   }
 
+  RepairRecord* repair_at(int idx) {
+    if (idx < 0 || static_cast<std::size_t>(idx) >= repair_records_.size()) {
+      return nullptr;
+    }
+    return &repair_records_[static_cast<std::size_t>(idx)];
+  }
+
   std::vector<RecoveryRecord> records_;
   std::vector<DaemonOutageRecord> daemon_records_;
   std::vector<ElReconcileRecord> reconcile_records_;
+  std::vector<RepairRecord> repair_records_;
+  std::vector<PromotionRecord> promotion_records_;
   std::vector<int> open_;         // per rank: index of the open record, or -1
   std::vector<int> open_daemon_;  // per rank: open daemon record, or -1
 };

@@ -52,6 +52,16 @@ struct RankStats {
   std::uint64_t el_dup_submissions = 0;
   std::uint64_t el_reconciled_records = 0;
   std::uint64_t stale_acks_fenced = 0;
+  // Replica hybrid pricing: sync frames shipped to the shadow, their bytes,
+  // and the per-send mirror copy keeping the shadow's image warm (the 2×
+  // compute shows up as mirror cpu, the fabric share as sync bytes).
+  std::uint64_t replica_sync_msgs = 0;
+  std::uint64_t replica_sync_bytes = 0;
+  sim::Time replica_mirror_cpu = 0;
+  // ULFM shrink-and-repair: revoke notices this rank absorbed and the
+  // agreement rounds it participated in.
+  std::uint64_t ulfm_revokes_seen = 0;
+  std::uint64_t ulfm_repairs = 0;
   // Memory watermarks.
   std::uint64_t sender_log_peak_bytes = 0;
   std::uint64_t event_store_peak = 0;
@@ -82,6 +92,11 @@ struct RankStats {
     el_dup_submissions += o.el_dup_submissions;
     el_reconciled_records += o.el_reconciled_records;
     stale_acks_fenced += o.stale_acks_fenced;
+    replica_sync_msgs += o.replica_sync_msgs;
+    replica_sync_bytes += o.replica_sync_bytes;
+    replica_mirror_cpu += o.replica_mirror_cpu;
+    ulfm_revokes_seen += o.ulfm_revokes_seen;
+    ulfm_repairs += o.ulfm_repairs;
     sender_log_peak_bytes = std::max(sender_log_peak_bytes, o.sender_log_peak_bytes);
     event_store_peak = std::max(event_store_peak, o.event_store_peak);
     graph_peak_nodes = std::max(graph_peak_nodes, o.graph_peak_nodes);

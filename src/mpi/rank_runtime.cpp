@@ -102,6 +102,59 @@ long RankRuntime::daemon_restart() {
   return static_cast<long>(daemon_->restart_daemon());
 }
 
+bool RankRuntime::promote_hold() {
+  // A daemon outage already owns the hold: promoting on top of it would
+  // corrupt the open DaemonOutageRecord, so the switchover is absorbed
+  // into that outage (the dispatcher records 0 held frames).
+  if (daemon_->daemon_down()) return false;
+  // The primary did die — the crash lands on the victim lane like any
+  // other — but nothing below it resets: the shadow holds identical state.
+  trace::emit(tlane_, eng_.now(), trace::Kind::kFault, trace::kRankCrash,
+              rank_, rsn_, ckpts_completed_);
+  daemon_->crash_daemon();
+  return true;
+}
+
+long RankRuntime::promote_release() {
+  if (!daemon_->daemon_down()) return -1;
+  const long held = static_cast<long>(daemon_->restart_daemon());
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery, trace::kPhasePromote,
+              rank_, held < 0 ? 0 : static_cast<std::uint64_t>(held));
+  return held;
+}
+
+void RankRuntime::shrink_relaunch(AppFactory factory,
+                                  std::vector<int> survivors, int victim) {
+  MPIV_CHECK(proc_ != nullptr, "rank %d has no process", rank_);
+  // Crash-style soft teardown, minus the fault record: ULFM wipes the
+  // revoked communicator wholesale, so no frame, match or protocol state
+  // from the old world may leak into the shrunk one.
+  net_.crash_node(layout_.rank_node(rank_));
+  proc_->kill();
+  daemon_->reset();
+  reset_volatile();
+  proto_->reset();
+  rsn_ = 0;
+  coll_seq_ = 0;
+  std::fill(send_ssn_.begin(), send_ssn_.end(), 0);
+  for (auto& a : arr_) a.reset();
+  unexpected_.clear();
+  restart_image_.reset();
+
+  survivors_ = std::move(survivors);
+  vrank_ = 0;
+  for (std::size_t i = 0; i < survivors_.size(); ++i) {
+    if (survivors_[i] == rank_) vrank_ = static_cast<int>(i);
+  }
+  ++stats_->ulfm_repairs;
+  trace::emit(tlane_, eng_.now(), trace::Kind::kRecovery,
+              trace::kPhaseRepairDone, victim,
+              static_cast<std::uint64_t>(survivors_.size()));
+  net_.restart_node(layout_.rank_node(rank_));
+  app_finished_ = false;
+  proc_->start(app_main(std::move(factory)));
+}
+
 void RankRuntime::reset_volatile() {
   posted_.clear();
   pending_irecvs_.clear();
@@ -252,12 +305,15 @@ sim::Task<void> RankRuntime::recovery_main(AppFactory factory,
 
 sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
                                   std::uint64_t check) {
-  MPIV_CHECK(dst >= 0 && dst < layout_.nranks && dst != rank_,
-             "rank %d: bad send destination %d", rank_, dst);
+  // The application speaks virtual ranks (identity when un-shrunk); the
+  // wire, matching and protocol layers all stay physical.
+  MPIV_CHECK(dst >= 0 && dst < size() && dst != rank(),
+             "rank %d: bad send destination %d", rank(), dst);
+  const int pdst = to_physical(dst);
   co_await proto_->send_gate();
-  const std::uint64_t ssn = ++send_ssn_[static_cast<std::size_t>(dst)];
+  const std::uint64_t ssn = ++send_ssn_[static_cast<std::size_t>(pdst)];
   net::Payload payload{bytes, check};
-  ftapi::PiggybackOut pb = proto_->on_send(dst, ssn, payload, tag);
+  ftapi::PiggybackOut pb = proto_->on_send(pdst, ssn, payload, tag);
   ++stats_->app_msgs_sent;
   stats_->app_bytes_sent += bytes;
   stats_->pb_bytes_sent += pb.bytes.size();
@@ -270,10 +326,10 @@ sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
       std::max(stats_->pb_peak_msg_bytes,
                static_cast<std::uint64_t>(pb.bytes.size()));
   stats_->pb_peak_msg_events = std::max(stats_->pb_peak_msg_events, pb.events);
-  trace::emit(tlane_, eng_.now(), trace::Kind::kSend, 0, dst, ssn,
+  trace::emit(tlane_, eng_.now(), trace::Kind::kSend, 0, pdst, ssn,
               static_cast<std::uint64_t>(tag), check);
   if (pb.events > 0) {
-    trace::emit(tlane_, eng_.now(), trace::Kind::kPiggyback, 0, dst, ssn,
+    trace::emit(tlane_, eng_.now(), trace::Kind::kPiggyback, 0, pdst, ssn,
                 pb.events, pb.bytes.size());
   }
   if (hooks_.el_fault_at != nullptr && *hooks_.el_fault_at > 0) {
@@ -290,9 +346,9 @@ sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
   net::Message m;
   m.kind = net::MsgKind::kAppData;
   m.src = layout_.rank_node(rank_);
-  m.dst = layout_.rank_node(dst);
+  m.dst = layout_.rank_node(pdst);
   m.src_rank = rank_;
-  m.dst_rank = dst;
+  m.dst_rank = pdst;
   m.tag = tag;
   m.ssn = ssn;
   m.payload = payload;
@@ -302,9 +358,9 @@ sim::Task<void> RankRuntime::send(int dst, int tag, std::uint64_t bytes,
 }
 
 sim::Task<RecvResult> RankRuntime::recv(int src, int tag) {
-  MPIV_CHECK(src == kAnySource || (src >= 0 && src < layout_.nranks),
-             "rank %d: bad recv source %d", rank_, src);
-  PostedRecv pr(eng_, src, tag);
+  MPIV_CHECK(src == kAnySource || (src >= 0 && src < size()),
+             "rank %d: bad recv source %d", rank(), src);
+  PostedRecv pr(eng_, src == kAnySource ? kAnySource : to_physical(src), tag);
   posted_.push_back(&pr);
   pump();
   co_await pr.done.wait();
@@ -313,9 +369,10 @@ sim::Task<RecvResult> RankRuntime::recv(int src, int tag) {
 }
 
 Comm::RecvHandle RankRuntime::irecv(int src, int tag) {
-  MPIV_CHECK(src == kAnySource || (src >= 0 && src < layout_.nranks),
-             "rank %d: bad irecv source %d", rank_, src);
-  auto pr = std::make_unique<PostedRecv>(eng_, src, tag);
+  MPIV_CHECK(src == kAnySource || (src >= 0 && src < size()),
+             "rank %d: bad irecv source %d", rank(), src);
+  auto pr = std::make_unique<PostedRecv>(
+      eng_, src == kAnySource ? kAnySource : to_physical(src), tag);
   PostedRecv* p = pr.get();
   const std::uint64_t id = ++irecv_seq_;
   pending_irecvs_.emplace(id, std::move(pr));
@@ -615,7 +672,7 @@ void RankRuntime::deliver_to(PostedRecv& pr, const StoredMsg& m) {
   pr.deliver_cpu = proto_->on_deliver(d);
   trace::emit(tlane_, eng_.now(), trace::Kind::kRecvMatch, 0, m.src_rank, rsn_,
               m.ssn, m.payload.check);
-  pr.result.src = m.src_rank;
+  pr.result.src = to_virtual(m.src_rank);
   pr.result.tag = m.tag;
   pr.result.bytes = m.payload.bytes;
   pr.result.check = m.payload.check;

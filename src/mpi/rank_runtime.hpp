@@ -106,6 +106,28 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   void restart(AppFactory factory, std::uint64_t image_version = 0);
   bool app_finished() const { return app_finished_; }
 
+  // --- replica promotion (dispatcher, RecoveryMode::kPromote) --------------
+  /// A crash under the replication hybrid: the primary dies but its hot
+  /// shadow holds identical state, so nothing rolls back — the node's
+  /// traffic merely parks at the daemon for the switchover window.
+  /// Distinct from daemon_crash(): no daemon-fault stats are charged; the
+  /// stall is recorded as a PromotionRecord, not a DaemonOutageRecord.
+  /// Returns false when the daemon was already down (a daemon outage in
+  /// progress owns the hold — the release is then skipped too).
+  bool promote_hold();
+  /// The shadow is the primary: release the held traffic to it. Returns
+  /// the number of drained frames.
+  long promote_release();
+
+  // --- ULFM shrink-and-repair (dispatcher, RecoveryMode::kShrink) ----------
+  /// Survivor side of a communicator repair: wipe the revoked
+  /// communicator's state (crash-style soft teardown, no fault record) and
+  /// relaunch the application on the shrunk communicator. `survivors` maps
+  /// virtual rank -> physical rank; this rank's Comm view (rank()/size()
+  /// and every src/dst) speaks virtual ranks from here on.
+  void shrink_relaunch(AppFactory factory, std::vector<int> survivors,
+                       int victim);
+
   // --- daemon-process faults (fault engine) --------------------------------
   /// Kills only the communication daemon: the MPI process survives with all
   /// of its volatile state but stalls — nothing is forwarded until the
@@ -140,8 +162,14 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   PostedInfo posted_front() const;
 
   // --- Comm -------------------------------------------------------------------
-  int rank() const override { return rank_; }
-  int size() const override { return layout_.nranks; }
+  // After a ULFM shrink the application speaks virtual ranks on the
+  // repaired communicator; with no shrink (survivors_ empty) virtual ==
+  // physical and the translation is the identity.
+  int rank() const override { return survivors_.empty() ? rank_ : vrank_; }
+  int size() const override {
+    return survivors_.empty() ? layout_.nranks
+                              : static_cast<int>(survivors_.size());
+  }
   sim::Task<void> send(int dst, int tag, std::uint64_t bytes,
                        std::uint64_t check) override;
   sim::Task<RecvResult> recv(int src, int tag) override;
@@ -196,6 +224,20 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   void restore_matching(util::Buffer& b);
   void reset_volatile();
 
+  /// Virtual -> physical rank on the (possibly shrunk) communicator.
+  int to_physical(int v) const {
+    return survivors_.empty() ? v : survivors_[static_cast<std::size_t>(v)];
+  }
+  /// Physical -> virtual; a physical rank outside the shrunk communicator
+  /// (a stale pre-shrink frame) passes through unchanged.
+  int to_virtual(int phys) const {
+    if (survivors_.empty()) return phys;
+    for (std::size_t i = 0; i < survivors_.size(); ++i) {
+      if (survivors_[i] == phys) return static_cast<int>(i);
+    }
+    return phys;
+  }
+
   sim::Engine& eng_;
   net::Network& net_;
   ftapi::NodeLayout layout_;
@@ -207,6 +249,13 @@ class RankRuntime final : public Comm, public ftapi::ICheckpointOps {
   sim::Process* proc_ = nullptr;
   util::Rng rng_;
   trace::Lane* tlane_ = nullptr;  // this rank's trace lane (null when off)
+
+  // Shrunk-communicator view (ULFM repair). Empty = full communicator;
+  // otherwise survivors_[v] is the physical rank at virtual rank v and
+  // vrank_ is this rank's own virtual rank. Matching/ssn/arrival state
+  // stays physical — only the Comm boundary translates.
+  std::vector<int> survivors_;
+  int vrank_ = 0;
 
   // Matching state (serialized into checkpoint images).
   std::uint64_t rsn_ = 0;

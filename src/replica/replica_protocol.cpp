@@ -1,0 +1,55 @@
+#include "replica/replica_protocol.hpp"
+
+namespace mpiv::replica {
+
+ReplicaProtocol::ReplicaProtocol(int sync_interval)
+    : sync_interval_(sync_interval < 1 ? 1 : sync_interval) {}
+
+ftapi::PiggybackOut ReplicaProtocol::on_send(int dst_rank, std::uint64_t ssn,
+                                             const net::Payload& payload,
+                                             std::int32_t tag) {
+  (void)dst_rank;
+  (void)ssn;
+  (void)tag;
+  ftapi::PiggybackOut out;
+  out.cpu = svc_.cost->memcpy_time(payload.bytes);
+  svc_.stats->replica_mirror_cpu += out.cpu;
+  pending_sync_bytes_ += payload.bytes;
+  if (++sends_since_sync_ >= sync_interval_ && svc_.nranks > 1) {
+    sends_since_sync_ = 0;
+    const int dst = buddy();
+    net::Message m;
+    m.kind = net::MsgKind::kControl;
+    m.tag = static_cast<std::int32_t>(kReplicaSync);
+    m.src_rank = svc_.rank;
+    m.dst_rank = dst;
+    m.arg = pending_sync_bytes_;
+    m.payload.bytes = pending_sync_bytes_;
+    ++svc_.stats->replica_sync_msgs;
+    svc_.stats->replica_sync_bytes += pending_sync_bytes_;
+    pending_sync_bytes_ = 0;
+    svc_.send_ctl_to_rank(dst, std::move(m));
+  }
+  return out;
+}
+
+void ReplicaProtocol::on_ctl(net::Message&& m) {
+  // Sync frames land at the buddy's shadow; the fabric and select-loop
+  // costs were already paid on the way in, nothing further to account.
+  (void)m;
+}
+
+sim::Task<void> ReplicaProtocol::at_checkpoint_site(ftapi::ICheckpointOps& ops,
+                                                    const util::Buffer&) {
+  // The hot shadow is the checkpoint: absorb scheduler requests instead of
+  // shipping an image to the server.
+  if (ops.checkpoint_requested()) ops.clear_checkpoint_request();
+  co_return;
+}
+
+void ReplicaProtocol::reset() {
+  sends_since_sync_ = 0;
+  pending_sync_bytes_ = 0;
+}
+
+}  // namespace mpiv::replica

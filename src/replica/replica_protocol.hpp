@@ -1,0 +1,63 @@
+// Replication hybrid (FTHP-MPI direction, PAPERS.md): every logical rank
+// runs with a hot shadow replica on the same node image. The fabric
+// dual-delivers — modelled as a per-send mirror copy keeping the shadow's
+// state warm plus a periodic sync frame shipping the dirty bytes to the
+// buddy — so a crash never rolls anything back: the dispatcher promotes
+// the shadow in place (RecoveryMode::kPromote) while this protocol prices
+// what replication costs when nothing fails.
+//
+// What is priced, and where:
+//   - mirror copy: every application send charges memcpy_time(payload) on
+//     the sender's critical path (stats.replica_mirror_cpu). This is the
+//     visible slice of the 2x compute — the duplicated execution itself
+//     runs on the shadow's core, off the primary's critical path.
+//   - sync traffic: every `sync_interval` sends, one control frame carries
+//     the accumulated dirty bytes to the buddy rank (stats.replica_sync_*).
+//     The frame rides the real fabric, so it pays select-loop and wire
+//     costs like any other control message.
+//   - checkpoints: none. The shadow IS the checkpoint, so scheduler
+//     requests are absorbed (at_checkpoint_site stores no image).
+//
+// The crash path itself lives in runtime::Dispatcher (promotion hold /
+// release on the victim's daemon) and fault::RecoveryTimeline
+// (PromotionRecord) — by design this protocol has no recovery hook at
+// all: that absence is the claim being measured.
+#pragma once
+
+#include "ftapi/vprotocol.hpp"
+
+namespace mpiv::replica {
+
+/// Control subtag of replica sync frames. Values >= 32 keep clear of
+/// mpi::CtlSub (1..7, 16) and the coord marker range (16..21).
+enum ReplicaSub : std::int32_t {
+  kReplicaSync = 33,
+};
+
+class ReplicaProtocol final : public ftapi::VProtocol {
+ public:
+  /// `sync_interval` = application sends between shadow sync frames
+  /// (ClusterConfig::replica_sync_interval; <= 1 means every send).
+  explicit ReplicaProtocol(int sync_interval);
+
+  const char* name() const override { return "Replica"; }
+
+  ftapi::PiggybackOut on_send(int dst_rank, std::uint64_t ssn,
+                              const net::Payload& payload,
+                              std::int32_t tag) override;
+  void on_ctl(net::Message&& m) override;
+  sim::Task<void> at_checkpoint_site(ftapi::ICheckpointOps& ops,
+                                     const util::Buffer& app_state) override;
+  void reset() override;
+
+ private:
+  /// The shadow sync target: the next rank's node hosts this rank's
+  /// replica, ring-style, so sync traffic spreads across the fabric.
+  int buddy() const { return (svc_.rank + 1) % svc_.nranks; }
+
+  int sync_interval_;
+  int sends_since_sync_ = 0;
+  std::uint64_t pending_sync_bytes_ = 0;  // dirty bytes since the last sync
+};
+
+}  // namespace mpiv::replica

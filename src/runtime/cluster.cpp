@@ -152,14 +152,20 @@ std::string Cluster::protocol_label() const {
 }
 
 ClusterReport Cluster::run(mpi::AppFactory factory) {
+  RecoveryMode mode = RecoveryMode::kRestart;
+  switch (cfg_.protocol) {
+    case ProtocolKind::kCoordinated: mode = RecoveryMode::kCoordinated; break;
+    case ProtocolKind::kReplica: mode = RecoveryMode::kPromote; break;
+    case ProtocolKind::kUlfm: mode = RecoveryMode::kShrink; break;
+    default: break;
+  }
   dispatcher_ = std::make_unique<Dispatcher>(
       net_, layout_, [this] {
         std::vector<mpi::RankRuntime*> v;
         for (auto& r : ranks_) v.push_back(r.get());
         return v;
       }(),
-      factory, cfg_.protocol == ProtocolKind::kCoordinated,
-      cfg_.detection_delay, &timeline_);
+      factory, mode, cfg_.detection_delay, &timeline_, cfg_.ulfm_repair_cost);
   std::vector<std::pair<sim::Time, int>> legacy;
   legacy.reserve(cfg_.faults.size());
   for (const FaultSpec& f : cfg_.faults) legacy.emplace_back(f.at, f.rank);
@@ -212,6 +218,8 @@ ClusterReport Cluster::run(mpi::AppFactory factory) {
   rep.recoveries = timeline_.records();
   rep.daemon_outages = timeline_.daemon_records();
   rep.el_reconciles = timeline_.reconcile_records();
+  rep.repairs = timeline_.repair_records();
+  rep.promotions = timeline_.promotion_records();
   rep.fault_counts = fault_engine_->counts();
   rep.first_el_fault = fault_engine_->first_el_fault();
   return rep;

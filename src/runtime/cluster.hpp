@@ -35,6 +35,9 @@ enum class ProtocolKind : std::uint8_t {
   kCausal,       // causal message logging (strategy selects the reduction)
   kPessimistic,  // MPICH-V2-style pessimistic logging
   kCoordinated,  // Chandy-Lamport coordinated checkpointing
+  kReplica,      // replication hybrid: shadow replica absorbs the crash
+  kUlfm,         // ULFM-style shrink-and-repair: survivors continue without
+                 // the victim on a rebuilt communicator
 };
 
 struct ClusterConfig {
@@ -62,6 +65,18 @@ struct ClusterConfig {
   fault::Campaign campaign;
   sim::Time detection_delay = 250 * sim::kMillisecond;
 
+  /// Replica hybrid: the shadow is refreshed with one sync frame every this
+  /// many application sends (0 = every send).
+  int replica_sync_interval = 8;
+  /// ULFM shrink-and-repair: the priced agreement + communicator-rebuild
+  /// window between revoke and the survivors' relaunch.
+  sim::Time ulfm_repair_cost = 10 * sim::kMillisecond;
+  /// Causal variant knob: keep logged payloads in the sender's application
+  /// memory instead of copying them into the daemon (skips the per-byte
+  /// daemon copy charge; the retention watermark is still priced via
+  /// sender_log_peak_bytes).
+  bool payload_at_sender = false;
+
   /// Per-rank trace lanes (trace::Config{} = disabled, zero overhead).
   trace::Config trace{};
 
@@ -83,6 +98,10 @@ struct ClusterReport {
   /// Split-brain EL reconciliations (service-side partitions: suspected
   /// failover behind the cut, heal-time merge of the two live logs).
   std::vector<fault::ElReconcileRecord> el_reconciles;
+  /// ULFM communicator repairs (revoke -> agreement -> shrunk relaunch).
+  std::vector<fault::RepairRecord> repairs;
+  /// Replica shadow promotions (crash absorbed with no rollback).
+  std::vector<fault::PromotionRecord> promotions;
   /// What the fault engine actually injected.
   fault::FaultCounts fault_counts;
   sim::Time first_el_fault = 0;

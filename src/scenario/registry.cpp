@@ -13,6 +13,8 @@
 #include "coord/coordinated_protocol.hpp"
 #include "ftapi/vprotocol.hpp"
 #include "pessimist/pessimistic_protocol.hpp"
+#include "replica/replica_protocol.hpp"
+#include "ulfm/ulfm_protocol.hpp"
 #include "util/check.hpp"
 #include "workloads/apps.hpp"
 
@@ -128,8 +130,8 @@ Registry<ProtocolEntry>& protocols() {
             "causal message logging (strategy selects the reduction)",
             /*fault_tolerant=*/true,
             [](const runtime::ClusterConfig& cfg) -> std::unique_ptr<ftapi::VProtocol> {
-              return std::make_unique<causal::CausalProtocol>(cfg.strategy,
-                                                              cfg.event_logger);
+              return std::make_unique<causal::CausalProtocol>(
+                  cfg.strategy, cfg.event_logger, cfg.payload_at_sender);
             },
             [](const runtime::ClusterConfig& cfg) {
               return std::string(causal::strategy_kind_name(cfg.strategy)) +
@@ -152,6 +154,27 @@ Registry<ProtocolEntry>& protocols() {
             },
             [](const runtime::ClusterConfig&) {
               return fixed_label("Coordinated (Chandy-Lamport)");
+            }});
+    r->add("replica",
+           {runtime::ProtocolKind::kReplica,
+            "replication hybrid: hot shadow absorbs the crash, no rollback",
+            /*fault_tolerant=*/true,
+            [](const runtime::ClusterConfig& cfg) -> std::unique_ptr<ftapi::VProtocol> {
+              return std::make_unique<replica::ReplicaProtocol>(
+                  cfg.replica_sync_interval);
+            },
+            [](const runtime::ClusterConfig&) {
+              return fixed_label("Replica hybrid");
+            }});
+    r->add("ulfm",
+           {runtime::ProtocolKind::kUlfm,
+            "ULFM-style shrink-and-repair: survivors rebuild and continue",
+            /*fault_tolerant=*/true,
+            [](const runtime::ClusterConfig&) -> std::unique_ptr<ftapi::VProtocol> {
+              return std::make_unique<ulfm::UlfmProtocol>();
+            },
+            [](const runtime::ClusterConfig&) {
+              return fixed_label("ULFM shrink-and-repair");
             }});
     return r;
   }();

@@ -80,6 +80,7 @@ const char* outcome_name(Outcome o) {
   switch (o) {
     case Outcome::kSkipped: return "skipped";
     case Outcome::kAbandoned: return "abandoned";
+    case Outcome::kCompletedShrunk: return "completed_shrunk";
     case Outcome::kCompleted: return "completed";
     case Outcome::kRecoveredExact: return "recovered_exact";
   }
@@ -92,6 +93,7 @@ OutcomeCounts RunSet::tally() const {
     switch (r.outcome()) {
       case Outcome::kSkipped: ++t.skipped; break;
       case Outcome::kAbandoned: ++t.abandoned; break;
+      case Outcome::kCompletedShrunk: ++t.completed_shrunk; break;
       case Outcome::kCompleted: ++t.completed; break;
       case Outcome::kRecoveredExact: ++t.recovered_exact; break;
     }
@@ -193,6 +195,9 @@ runtime::ClusterConfig lower(const ScenarioSpec& spec) {
   cfg.faults_per_minute = spec.faults.faults_per_minute;
   cfg.campaign = spec.faults.campaign;
   cfg.detection_delay = spec.detection_delay;
+  cfg.replica_sync_interval = spec.replica_sync_interval;
+  cfg.ulfm_repair_cost = spec.ulfm_repair_cost;
+  cfg.payload_at_sender = spec.payload_at_sender;
   cfg.trace = spec.trace;
   cfg.max_sim_time = spec.max_sim_time;
   return cfg;
@@ -503,6 +508,63 @@ void write_run(std::ostringstream& out, const RunResult& r,
     }
     out << "]";
   }
+  if (!r.report.repairs.empty()) {
+    out << ",\n";
+    // ULFM repairs: fault -> revoke broadcast -> agreement/rebuild ->
+    // survivors relaunched shrunk. An incomplete record means the run hit
+    // max_sim_time inside the repair window.
+    key("repairs") << "[";
+    for (std::size_t i = 0; i < r.report.repairs.size(); ++i) {
+      const fault::RepairRecord& rec = r.report.repairs[i];
+      if (i) out << ", ";
+      out << "{\"victim\": " << rec.victim
+          << ", \"survivors\": " << rec.survivors
+          << ", \"complete\": " << (rec.complete() ? "true" : "false")
+          << ", \"fault_s\": " << json_num(sim::to_sec(rec.fault_at));
+      if (rec.revoke_at != 0) {
+        out << ", \"detect_ms\": " << json_num(sim::to_ms(rec.detect_ns()));
+      }
+      if (rec.complete()) {
+        out << ", \"repair_ms\": " << json_num(sim::to_ms(rec.repair_ns()))
+            << ", \"total_ms\": " << json_num(sim::to_ms(rec.total_ns()));
+      }
+      out << "}";
+    }
+    out << "]";
+  }
+  if (!r.report.promotions.empty()) {
+    out << ",\n";
+    // Replica promotions: the shadow took over in place — no rollback, so
+    // the only cost is the switchover window holding the victim's frames.
+    key("promotions") << "[";
+    for (std::size_t i = 0; i < r.report.promotions.size(); ++i) {
+      const fault::PromotionRecord& rec = r.report.promotions[i];
+      if (i) out << ", ";
+      out << "{\"rank\": " << rec.rank
+          << ", \"complete\": " << (rec.complete() ? "true" : "false")
+          << ", \"fault_s\": " << json_num(sim::to_sec(rec.fault_at));
+      if (rec.complete()) {
+        out << ", \"promote_ms\": " << json_num(sim::to_ms(rec.promote_ns()))
+            << ", \"held_frames\": " << rec.held_frames;
+      }
+      out << "}";
+    }
+    out << "]";
+  }
+  if (t.replica_sync_msgs != 0 || t.replica_mirror_cpu != 0) {
+    out << ",\n";
+    // The replication hybrid's steady-state price: the visible slice of the
+    // 2x compute (mirror copies) plus the shadow-sync fabric traffic.
+    key("replica") << "{\"sync_msgs\": " << t.replica_sync_msgs
+                   << ", \"sync_bytes\": " << t.replica_sync_bytes
+                   << ", \"mirror_cpu_s\": "
+                   << json_num(sim::to_sec(t.replica_mirror_cpu)) << "}";
+  }
+  if (t.ulfm_revokes_seen != 0 || t.ulfm_repairs != 0) {
+    out << ",\n";
+    key("ulfm") << "{\"revokes_seen\": " << t.ulfm_revokes_seen
+                << ", \"repairs\": " << t.ulfm_repairs << "}";
+  }
   if (!r.report.el_reconciles.empty()) {
     out << ",\n";
     // Split-brain merges: a suspected failover behind a service cut left
@@ -610,6 +672,7 @@ void write_set(std::ostringstream& out, const RunSet& set,
   out << ",\n"
       << indent << "  \"outcomes\": {\"recovered_exact\": " << t.recovered_exact
       << ", \"completed\": " << t.completed
+      << ", \"completed_shrunk\": " << t.completed_shrunk
       << ", \"abandoned\": " << t.abandoned << ", \"skipped\": " << t.skipped
       << ", \"total\": " << t.total() << "}";
   out << ",\n" << indent << "  \"runs\": [\n";

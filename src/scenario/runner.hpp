@@ -23,11 +23,13 @@ struct RunPoint {
 /// How one run point ended — the chaos-soak classifier. Ordered from worst
 /// to best so tallies can be compared at a glance.
 enum class Outcome : std::uint8_t {
-  kSkipped,         // the point never ran (workload/rank mismatch, ...)
-  kAbandoned,       // hit max_sim_time without finishing
-  kCompleted,       // finished, but no reference (or an inexact replay)
-  kRecoveredExact,  // finished AND reproduced the fault-free reference
-                    // checksums bit for bit
+  kSkipped,          // the point never ran (workload/rank mismatch, ...)
+  kAbandoned,        // hit max_sim_time without finishing
+  kCompletedShrunk,  // finished on a repaired, smaller communicator (ULFM:
+                     // the victim's share was redone by the survivors)
+  kCompleted,        // finished, but no reference (or an inexact replay)
+  kRecoveredExact,   // finished AND reproduced the fault-free reference
+                     // checksums bit for bit
 };
 
 const char* outcome_name(Outcome o);
@@ -66,6 +68,9 @@ struct RunResult {
   Outcome outcome() const {
     if (skipped) return Outcome::kSkipped;
     if (!completed) return Outcome::kAbandoned;
+    // A repaired run finished on fewer ranks than the reference — it can
+    // never be recovered_exact, but it did not merely "complete" either.
+    if (!report.repairs.empty()) return Outcome::kCompletedShrunk;
     if (has_reference && recovered_exact) return Outcome::kRecoveredExact;
     return Outcome::kCompleted;
   }
@@ -86,11 +91,13 @@ struct RunResult {
 struct OutcomeCounts {
   std::size_t skipped = 0;
   std::size_t abandoned = 0;
+  std::size_t completed_shrunk = 0;
   std::size_t completed = 0;
   std::size_t recovered_exact = 0;
 
   std::size_t total() const {
-    return skipped + abandoned + completed + recovered_exact;
+    return skipped + abandoned + completed_shrunk + completed +
+           recovered_exact;
   }
 };
 

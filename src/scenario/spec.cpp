@@ -645,6 +645,12 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.max_sim_time = parse_time(key, value);
   } else if (key == "compare_reference") {
     spec.compare_reference = parse_bool(key, value);
+  } else if (key == "replica.sync_interval") {
+    spec.replica_sync_interval = static_cast<int>(parse_i64(key, value));
+  } else if (key == "ulfm.repair_cost") {
+    spec.ulfm_repair_cost = parse_time(key, value);
+  } else if (key == "payload_at_sender") {
+    spec.payload_at_sender = parse_bool(key, value);
   } else if (key == "faults_per_minute") {
     spec.faults.faults_per_minute = parse_f64(key, value);
   } else if (key == "fault") {
@@ -802,6 +808,17 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   out << "detection_delay = " << spec.detection_delay << "ns\n";
   out << "max_sim_time = " << spec.max_sim_time << "ns\n";
   if (spec.compare_reference) out << "compare_reference = true\n";
+  // Protocol-family knobs: emitted only when they depart from the defaults
+  // (same contract as [trace] / [cost] below), so existing scenarios
+  // round-trip byte-identically.
+  const ScenarioSpec sdef{};
+  if (spec.replica_sync_interval != sdef.replica_sync_interval) {
+    out << "replica.sync_interval = " << spec.replica_sync_interval << "\n";
+  }
+  if (spec.ulfm_repair_cost != sdef.ulfm_repair_cost) {
+    out << "ulfm.repair_cost = " << spec.ulfm_repair_cost << "ns\n";
+  }
+  if (spec.payload_at_sender) out << "payload_at_sender = true\n";
   if (spec.faults.faults_per_minute > 0) {
     out << "faults_per_minute = " << num(spec.faults.faults_per_minute) << "\n";
   }
@@ -1034,6 +1051,16 @@ void validate(const ScenarioSpec& spec) {
                            spec.el_shards + spec.el_standby,
                            spec.variant.event_logger, fail);
   if (spec.ckpt_interval < 0) fail("ckpt_interval must be >= 0");
+  if (spec.replica_sync_interval < 0) {
+    fail("replica.sync_interval must be >= 0 (got " +
+         std::to_string(spec.replica_sync_interval) + ")");
+  }
+  if (spec.ulfm_repair_cost < 0) fail("ulfm.repair_cost must be >= 0");
+  if (spec.payload_at_sender &&
+      spec.variant.protocol != runtime::ProtocolKind::kCausal) {
+    fail("payload_at_sender is a causal-logging knob but variant '" +
+         spec.variant.name + "' is not causal");
+  }
   if (spec.trace.capacity < 16 || spec.trace.capacity > (1u << 22)) {
     fail("trace.capacity must be in [16, 4194304] (got " +
          std::to_string(spec.trace.capacity) + ")");

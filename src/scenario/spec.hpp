@@ -97,6 +97,16 @@ struct ScenarioSpec {
   sim::Time detection_delay = 250 * sim::kMillisecond;
   sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
 
+  /// Replica hybrid: application sends between shadow sync frames
+  /// (`replica.sync_interval`; <= 1 syncs on every send).
+  int replica_sync_interval = 8;
+  /// ULFM shrink-and-repair: agreement + communicator-rebuild window
+  /// between revoke and the survivors' relaunch (`ulfm.repair_cost`).
+  sim::Time ulfm_repair_cost = 10 * sim::kMillisecond;
+  /// Causal variant knob (`payload_at_sender`): retain logged payloads in
+  /// sender application memory instead of copying into the daemon.
+  bool payload_at_sender = false;
+
   /// Run a fault-free reference pass even without a midrun fault, so
   /// `recovered_exact` is computed for ANY faulty run (the chaos-soak
   /// outcome classifier). The reference strips rank crashes but keeps the
@@ -371,6 +381,21 @@ class ScenarioBuilder {
   }
   ScenarioBuilder& detection_delay(sim::Time t) { spec_.detection_delay = t; return *this; }
   ScenarioBuilder& max_sim_time(sim::Time t) { spec_.max_sim_time = t; return *this; }
+  /// Replica hybrid: sends between shadow sync frames (<= 1 = every send).
+  ScenarioBuilder& replica_sync_interval(int sends) {
+    spec_.replica_sync_interval = sends;
+    return *this;
+  }
+  /// ULFM: priced agreement + communicator-rebuild window.
+  ScenarioBuilder& ulfm_repair_cost(sim::Time t) {
+    spec_.ulfm_repair_cost = t;
+    return *this;
+  }
+  /// Causal: keep logged payloads in sender memory (skip the daemon copy).
+  ScenarioBuilder& payload_at_sender(bool on = true) {
+    spec_.payload_at_sender = on;
+    return *this;
+  }
   /// Always run the fault-free reference pass (recovered_exact on any
   /// faulty run — the chaos-soak outcome classifier).
   ScenarioBuilder& compare_reference(bool on = true) {

@@ -68,6 +68,12 @@ enum PhaseCode : std::uint8_t {
                       // shard, seq = records merged, aux = duplicates dropped)
   kPhaseDupDrop,      // a duplicate submission dropped during reconciliation
                       // (peer = creator rank, seq = duplicate seq)
+  kPhasePromote,      // replica shadow promoted to primary (seq = held
+                      // frames drained to the new incarnation)
+  kPhaseRevoke,       // ULFM revoke notice reached this survivor
+                      // (peer = victim rank)
+  kPhaseRepairDone,   // shrunk communicator live (peer = victim,
+                      // seq = surviving communicator size)
 };
 
 /// One trace record. POD on purpose: capture is a struct copy into the

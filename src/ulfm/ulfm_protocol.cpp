@@ -1,0 +1,17 @@
+#include "ulfm/ulfm_protocol.hpp"
+
+#include "trace/trace.hpp"
+
+namespace mpiv::ulfm {
+
+void UlfmProtocol::on_ctl(net::Message&& m) {
+  if (m.kind == net::MsgKind::kControl &&
+      m.tag == static_cast<std::int32_t>(kUlfmRevoke)) {
+    ++svc_.stats->ulfm_revokes_seen;
+    trace::emit(svc_.trace, svc_.eng->now(), trace::Kind::kRecovery,
+                trace::kPhaseRevoke, static_cast<std::int32_t>(m.arg),
+                /*seq=*/0);
+  }
+}
+
+}  // namespace mpiv::ulfm

@@ -1,0 +1,40 @@
+// ULFM-style shrink-and-repair ("Fault-Aware Non-Collective Communication
+// Creation and Reparation in MPI" direction, PAPERS.md): no logging, no
+// checkpoint restore — when a rank dies the survivors revoke the
+// communicator, run a priced agreement/repair window, and relaunch the
+// workload shrunk onto the surviving ranks (outcome `completed_shrunk`).
+//
+// Division of labour:
+//   - runtime::Dispatcher (RecoveryMode::kShrink) crashes the victim for
+//     good, broadcasts revoke control frames to the survivors after the
+//     detection delay, waits ClusterConfig::ulfm_repair_cost for the
+//     agreement + communicator rebuild, then shrink-relaunches every
+//     survivor. fault::RecoveryTimeline keeps the RepairRecord
+//     (fault -> revoke -> repair-done) the reports and the family-race
+//     harness assert on.
+//   - mpi::RankRuntime carries the shrunk communicator view (virtual rank
+//     translation) and counts stats.ulfm_repairs at relaunch.
+//   - this protocol is the survivor-side endpoint: it absorbs the revoke
+//     notices (stats.ulfm_revokes_seen, trace kPhaseRevoke) and otherwise
+//     stays out of the send path — zero steady-state overhead is the
+//     point of the family.
+#pragma once
+
+#include "ftapi/vprotocol.hpp"
+
+namespace mpiv::ulfm {
+
+/// Control subtag of the dispatcher's revoke broadcast. Values >= 32 keep
+/// clear of mpi::CtlSub (1..7, 16) and the coord marker range (16..21).
+enum UlfmSub : std::int32_t {
+  kUlfmRevoke = 32,
+};
+
+class UlfmProtocol final : public ftapi::VProtocol {
+ public:
+  const char* name() const override { return "ULFM"; }
+
+  void on_ctl(net::Message&& m) override;
+};
+
+}  // namespace mpiv::ulfm

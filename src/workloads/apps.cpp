@@ -36,7 +36,11 @@ sim::Task<void> ring_app(mpi::Comm& c, int laps, std::uint64_t token_bytes,
   c.set_logical_state_bytes(64 * 1024);
 
   for (int lap = static_cast<int>(st.iter); lap < laps; ++lap) {
-    if (rank == 0) {
+    // A ULFM repair can shrink the communicator to one survivor; the ring
+    // degenerates to the compute phase (there is nobody to pass a token to).
+    if (size == 1) {
+      st.chk = mix64(st.chk);
+    } else if (rank == 0) {
       co_await c.send(next, 7, token_bytes, st.chk);
       const mpi::RecvResult r = co_await c.recv(prev, 7);
       st.chk = mix64(st.chk ^ r.check);  // order-sensitive

@@ -122,6 +122,59 @@ TEST(Registry, UnknownNameErrorListsWhatIsRegistered) {
   EXPECT_NE(msg.find("logon"), std::string::npos) << msg;
 }
 
+TEST(Registry, UnknownProtocolErrorNamesOffenderAndFamilies) {
+  const std::string msg = error_of([] { scenario::protocols().at("raft"); });
+  EXPECT_NE(msg.find("unknown protocol 'raft'"), std::string::npos) << msg;
+  // The listing must include the newer families, not just the seed set.
+  EXPECT_NE(msg.find("replica"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ulfm"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("coordinated"), std::string::npos) << msg;
+}
+
+TEST(Registry, UnknownWorkloadErrorNamesOffender) {
+  const std::string msg =
+      error_of([] { scenario::workload_registry().at("matmul"); });
+  EXPECT_NE(msg.find("unknown workload 'matmul'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ring"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("nas"), std::string::npos) << msg;
+}
+
+TEST(Registry, EveryRegisteredNameParsesBackThroughScn) {
+  // Whatever is registered must be reachable from a .scn file and survive
+  // a serialize/reparse cycle — a protocol you can instantiate but not
+  // name in a scenario is a registration bug.
+  for (const auto& [name, e] : scenario::protocols().entries()) {
+    if (e.kind == runtime::ProtocolKind::kCausal) continue;  // needs strategy
+    const ScenarioSpec spec =
+        scenario::parse_scenario_text("variant = " + name + "\n");
+    EXPECT_EQ(spec.variant.protocol, e.kind) << name;
+    const ScenarioSpec again =
+        scenario::parse_scenario_text(scenario::to_scenario_text(spec));
+    EXPECT_EQ(again.variant.protocol, e.kind) << name;
+    EXPECT_EQ(again.variant.name, spec.variant.name) << name;
+  }
+  for (const auto& [name, e] : scenario::strategies().entries()) {
+    for (const char* suffix : {":el", ":noel"}) {
+      const ScenarioSpec spec =
+          scenario::parse_scenario_text("variant = " + name + suffix + "\n");
+      EXPECT_EQ(spec.variant.protocol, runtime::ProtocolKind::kCausal);
+      EXPECT_EQ(spec.variant.strategy, e.kind) << name << suffix;
+      const ScenarioSpec again =
+          scenario::parse_scenario_text(scenario::to_scenario_text(spec));
+      EXPECT_EQ(again.variant.strategy, e.kind) << name << suffix;
+      EXPECT_EQ(again.variant.event_logger, spec.variant.event_logger);
+    }
+  }
+  for (const auto& [name, e] : scenario::workload_registry().entries()) {
+    const ScenarioSpec spec =
+        scenario::parse_scenario_text("workload = " + name + "\n");
+    EXPECT_EQ(spec.workload.name, name);
+    const ScenarioSpec again =
+        scenario::parse_scenario_text(scenario::to_scenario_text(spec));
+    EXPECT_EQ(again.workload.name, name);
+  }
+}
+
 TEST(Registry, StrategyFactoryResolvesThroughRegistry) {
   // causal::make_strategy is now a registry lookup; names must agree.
   auto s = causal::make_strategy(causal::StrategyKind::kLogOn);
@@ -226,6 +279,53 @@ TEST(ScenarioFile, TraceKeysRoundTripAndStayOutOfDefaultText) {
     scenario::validate(bad);
   });
   EXPECT_NE(msg.find("trace.capacity"), std::string::npos) << msg;
+}
+
+TEST(ScenarioFile, FamilyKeysRoundTripAndStayOutOfDefaultText) {
+  const ScenarioSpec spec = scenario::parse_scenario_text(
+      "variant = replica\n"
+      "replica.sync_interval = 4\n"
+      "ulfm.repair_cost = 7ms\n");
+  EXPECT_EQ(spec.replica_sync_interval, 4);
+  EXPECT_EQ(spec.ulfm_repair_cost, 7 * sim::kMillisecond);
+
+  const std::string text = scenario::to_scenario_text(spec);
+  EXPECT_NE(text.find("replica.sync_interval = 4"), std::string::npos) << text;
+  const ScenarioSpec reparsed = scenario::parse_scenario_text(text);
+  EXPECT_EQ(reparsed.replica_sync_interval, 4);
+  EXPECT_EQ(reparsed.ulfm_repair_cost, 7 * sim::kMillisecond);
+
+  // Default values stay out of emitted text (keeps text goldens stable).
+  const std::string plain =
+      scenario::to_scenario_text(ScenarioBuilder("plain").build());
+  EXPECT_EQ(plain.find("replica.sync_interval"), std::string::npos);
+  EXPECT_EQ(plain.find("ulfm.repair_cost"), std::string::npos);
+  EXPECT_EQ(plain.find("payload_at_sender"), std::string::npos);
+
+  // validate() bounds the new knobs.
+  EXPECT_NE(error_of([] {
+              scenario::validate(scenario::parse_scenario_text(
+                  "replica.sync_interval = -2\n"));
+            }).find("replica.sync_interval"),
+            std::string::npos);
+}
+
+TEST(ScenarioFile, PayloadAtSenderIsCausalOnly) {
+  // The flag round-trips on a causal variant...
+  ScenarioBuilder b("pas");
+  b.variant("vcausal:el").payload_at_sender();
+  const std::string text = scenario::to_scenario_text(b.build());
+  EXPECT_NE(text.find("payload_at_sender = true"), std::string::npos) << text;
+  EXPECT_TRUE(scenario::parse_scenario_text(text).payload_at_sender);
+  EXPECT_NO_THROW(scenario::validate(scenario::parse_scenario_text(text)));
+
+  // ...and is rejected, naming the variant, anywhere else.
+  const std::string msg = error_of([] {
+    scenario::validate(scenario::parse_scenario_text(
+        "variant = replica\npayload_at_sender = true\n"));
+  });
+  EXPECT_NE(msg.find("payload_at_sender"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("replica"), std::string::npos) << msg;
 }
 
 TEST(ScenarioFile, ParseErrorsCarryFileAndLine) {

@@ -35,17 +35,25 @@ void usage(std::FILE* out, const char* argv0) {
 }
 
 void list_registries() {
-  std::printf("protocols:\n");
+  std::printf("protocols ([ft] = fault tolerant):\n");
   for (const auto& [name, e] : scenario::protocols().entries()) {
-    std::printf("  %-14s %s\n", name.c_str(), e.summary);
+    std::printf("  %-14s %-5s %s\n", name.c_str(),
+                e.fault_tolerant ? "[ft]" : "", e.summary);
   }
   std::printf("strategies (variant names accept :el / :noel suffixes):\n");
   for (const auto& [name, e] : scenario::strategies().entries()) {
     std::printf("  %-14s %s — %s\n", name.c_str(), e.display, e.summary);
   }
-  std::printf("workloads:\n");
+  std::printf("workloads (accepted workload.* keys in parentheses):\n");
   for (const auto& [name, e] : scenario::workload_registry().entries()) {
-    std::printf("  %-14s %s\n", name.c_str(), e.summary);
+    std::string params;
+    for (const char* p : e.params) {
+      params += params.empty() ? "workload." : ", workload.";
+      params += p;
+    }
+    std::printf("  %-14s %s%s%s%s\n", name.c_str(), e.summary,
+                params.empty() ? "" : " (", params.c_str(),
+                params.empty() ? "" : ")");
   }
   // The [faults] key family straight from the parser's own table, so this
   // listing and docs/SCENARIOS.md cannot diverge from what .scn files
