@@ -108,6 +108,34 @@ if [[ -x "$BUILD_DIR/mpiv_run" && -f scenarios/fault_campaign.scn ]]; then
   rm -f "$FC_TMP"
 fi
 
+# Scale-probe metrics artifact: run the metrics-enabled nranks sweep and
+# embed each point's EL object (ack latency mean/p50/p99 tails) so the
+# EL-saturation curve rides the same perf history. The gauge time-series
+# CSVs land next to the report for plotting.
+SCALE_ROWS=""
+if [[ -x "$BUILD_DIR/mpiv_run" && -f scenarios/scale_probe.scn ]]; then
+  echo "== scale probe (EL ack tails, metrics sampler) =="
+  SP_TMP=$(mktemp)
+  METRICS_DIR="${OUT%.json}_metrics"
+  mkdir -p "$METRICS_DIR"
+  SP_FLAGS=(--set "metrics.dir=$METRICS_DIR")
+  [[ $QUICK -eq 1 ]] && SP_FLAGS+=(--quick)
+  if "$BUILD_DIR/mpiv_run" "${SP_FLAGS[@]}" --out "$SP_TMP" scenarios/scale_probe.scn > /dev/null 2>&1; then
+    while IFS=$'\t' read -r label el; do
+      echo "  $label  $el"
+      [[ -n $SCALE_ROWS ]] && SCALE_ROWS+=$',\n'
+      SCALE_ROWS+="    {\"label\": \"$label\", \"el\": $el}"
+    done < <(paste <(grep -o '"label": "[^"]*"' "$SP_TMP" | sed 's/.*: "\(.*\)"/\1/') \
+                   <(grep -o '"el": {[^}]*}' "$SP_TMP" | sed 's/"el": //'))
+    echo "  gauge series CSVs in $METRICS_DIR/"
+  else
+    echo "error: mpiv_run failed on scenarios/scale_probe.scn" >&2
+    rm -f "$SP_TMP"
+    exit 1
+  fi
+  rm -f "$SP_TMP"
+fi
+
 echo "== figure benches =="
 FIG_ROWS=""
 for b in "${FIGS[@]}"; do
@@ -146,6 +174,11 @@ done
   fi
   if [[ -n $FAULT_JSON ]]; then
     echo "  \"fault_campaign\": {${FAULT_JSON}},"
+  fi
+  if [[ -n $SCALE_ROWS ]]; then
+    echo "  \"scale_probe\": ["
+    printf '%s\n' "$SCALE_ROWS"
+    echo "  ],"
   fi
   echo "  \"micro\":"
   sed 's/^/  /' "$MICRO_JSON"

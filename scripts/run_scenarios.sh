@@ -25,9 +25,10 @@ while [[ $# -gt 0 ]]; do
   shift
 done
 
-if [[ ! -x "$BUILD_DIR/mpiv_run" || ! -x "$BUILD_DIR/mpiv_trace" ]]; then
-  echo "error: $BUILD_DIR/mpiv_run or mpiv_trace not found — build first:" >&2
-  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target mpiv_run mpiv_trace" >&2
+if [[ ! -x "$BUILD_DIR/mpiv_run" || ! -x "$BUILD_DIR/mpiv_trace" ||
+      ! -x "$BUILD_DIR/mpiv_stat" ]]; then
+  echo "error: $BUILD_DIR/mpiv_run, mpiv_trace or mpiv_stat not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j --target mpiv_run mpiv_trace mpiv_stat" >&2
   exit 1
 fi
 
@@ -369,6 +370,37 @@ EOF
   fi
 else
   echo "family-race FAILED: $FR_JSON missing" >&2
+  exit 1
+fi
+
+# Metrics smoke: the scale probe ran with metrics.enabled in the loop
+# above, so its report must carry the metrics object and the EL-ack tail
+# percentiles. Then the determinism contract: a second identical-seed run
+# diffed against the first through mpiv_stat must show zero drift (exit 0)
+# — the simulator is deterministic, so any drift is a real change.
+SP_JSON="$OUT_DIR/scale_probe.json"
+if [[ ! -f "$SP_JSON" ]]; then
+  echo "metrics smoke FAILED: $SP_JSON missing" >&2
+  exit 1
+fi
+for marker in '"metrics":' '"p99_ack_us":' '"histograms":' '"series":'; do
+  if ! grep -q "$marker" "$SP_JSON"; then
+    echo "metrics smoke FAILED: missing $marker in $SP_JSON" >&2
+    exit 1
+  fi
+done
+SP_JSON2="$OUT_DIR/scale_probe.rerun.json"
+if ! "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$SP_JSON2" \
+    scenarios/scale_probe.scn 2> "$OUT_DIR/scale_probe.rerun.log"; then
+  echo "metrics smoke FAILED: scale_probe rerun crashed" >&2
+  sed 's/^/  | /' "$OUT_DIR/scale_probe.rerun.log" >&2
+  exit 1
+fi
+if DIFF_OUT=$("$BUILD_DIR/mpiv_stat" --diff "$SP_JSON" "$SP_JSON2"); then
+  echo "metrics smoke OK ($(echo "$DIFF_OUT" | head -1); zero drift across reruns)"
+else
+  echo "metrics smoke FAILED: identical-seed reports drifted" >&2
+  echo "$DIFF_OUT" | sed 's/^/  | /' >&2
   exit 1
 fi
 

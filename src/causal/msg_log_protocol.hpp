@@ -26,6 +26,9 @@ class MsgLogProtocolBase : public ftapi::VProtocol {
 
   bool is_message_logging() const override { return true; }
   bool uses_event_logger() const { return use_el_; }
+  std::size_t pb_set_size() const override {
+    return store_ ? store_->held_count() : 0;
+  }
 
   void bind(const ftapi::RankServices& svc) override {
     ftapi::VProtocol::bind(svc);

@@ -87,6 +87,9 @@ class EventLogger {
   }
   /// Determinant store operations performed (trigger-threshold counter).
   std::uint64_t stored_ops() const { return stored_ops_; }
+  /// Submissions accepted but not yet acked (metrics queue-depth probe;
+  /// peak is tracked separately in ElStats::peak_queue).
+  std::uint32_t queue_depth() const { return pending_; }
   /// Submissions from `creator` this shard dropped as duplicates of records
   /// it already held (resubmission after a failover, or a heal-time merge).
   std::uint64_t dup_submissions(int creator) const {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "sim/time.hpp"
 #include "util/stats.hpp"
 
@@ -33,7 +34,11 @@ struct RankStats {
   sim::Time pb_recv_cpu = 0;   // parse + merge on the receive path
   // Determinants and the Event Logger.
   std::uint64_t dets_created = 0;
-  util::Accumulator el_ack_latency_us;
+  // Histogram, not just a mean: the EL ack tail (p99) is what bounds how
+  // long events linger in piggyback sets. mean() is bit-identical to the
+  // util::Accumulator this replaced (the histogram embeds one), so the
+  // fault-free `mean_ack_us` goldens are unaffected.
+  metrics::Histogram el_ack_latency_us;
   // Recovery (Fig. 10).
   sim::Time recovery_collect_time = 0;  // time to gather all events to replay
   sim::Time recovery_total_time = 0;    // image fetch + events + replay

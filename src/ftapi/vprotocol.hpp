@@ -55,6 +55,10 @@ class VProtocol {
   /// Message-logging protocols replay receptions after a crash; coordinated
   /// checkpointing rolls everyone back instead.
   virtual bool is_message_logging() const { return false; }
+  /// Events currently held for piggybacking (not yet EL-stable / pruned) —
+  /// the metrics sampler's per-rank causality-footprint probe. Protocols
+  /// without a piggyback set report 0.
+  virtual std::size_t pb_set_size() const { return 0; }
 
   virtual void bind(const RankServices& svc) { svc_ = svc; }
 

@@ -1,0 +1,110 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mpiv::metrics {
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = acc_.count();
+  if (n == 0) return 0.0;
+  if (p <= 0.0) return acc_.min();
+  if (p >= 100.0) return acc_.max();
+  // Rank of the requested percentile, 1-based: the smallest value v such
+  // that at least `target` observations are <= v.
+  const double target = p / 100.0 * static_cast<double>(n);
+  double cum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto c = buckets_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    const double next = cum + static_cast<double>(c);
+    if (next >= target) {
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      const double frac = (target - cum) / static_cast<double>(c);
+      const double v = lo + (hi - lo) * frac;
+      return std::clamp(v, acc_.min(), acc_.max());
+    }
+    cum = next;
+  }
+  return acc_.max();
+}
+
+void Sampler::tick(sim::Time t) {
+  const std::size_t stride = names_.size() + 1;
+  data_.resize(capacity_ * stride);
+  std::int64_t* row =
+      &data_[static_cast<std::size_t>(total_ % capacity_) * stride];
+  row[0] = static_cast<std::int64_t>(t);
+  for (std::size_t i = 0; i < probes_.size(); ++i) row[1 + i] = probes_[i]();
+  ++total_;
+}
+
+void Registry::merge(const Registry& o) {
+  for (const auto& [name, c] : o.counters_) counters_[name].merge(c);
+  for (const auto& [name, g] : o.gauges_) gauges_[name].merge(g);
+  for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
+}
+
+Snapshot Registry::snapshot(const Sampler* sampler) const {
+  Snapshot s;
+  s.enabled = true;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c.value());
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g.value());
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSummary hs;
+    hs.name = name;
+    hs.count = h.count();
+    if (hs.count > 0) {
+      hs.mean = h.mean();
+      hs.min = h.min();
+      hs.max = h.max();
+      hs.p50 = h.p50();
+      hs.p90 = h.p90();
+      hs.p99 = h.p99();
+    }
+    s.histograms.push_back(std::move(hs));
+  }
+  if (sampler != nullptr) {
+    s.sample_interval = sampler->interval();
+    s.series_columns = sampler->columns();
+    s.series_dropped = sampler->dropped();
+    s.series_times.reserve(sampler->retained_rows());
+    s.series_values.reserve(sampler->retained_rows() *
+                            s.series_columns.size());
+    sampler->for_each_row(
+        [&s](sim::Time t, const std::int64_t* vals, std::size_t n) {
+          s.series_times.push_back(t);
+          s.series_values.insert(s.series_values.end(), vals, vals + n);
+        });
+  }
+  return s;
+}
+
+std::string Snapshot::series_csv() const {
+  std::string out = "t_ns";
+  for (const auto& c : series_columns) {
+    out += ',';
+    out += c;
+  }
+  out += '\n';
+  const std::size_t ncols = series_columns.size();
+  char buf[32];
+  for (std::size_t r = 0; r < series_times.size(); ++r) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(series_times[r]));
+    out += buf;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      std::snprintf(buf, sizeof(buf), ",%lld",
+                    static_cast<long long>(series_values[r * ncols + c]));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mpiv::metrics

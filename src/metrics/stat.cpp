@@ -1,0 +1,428 @@
+#include "metrics/stat.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace mpiv::metrics {
+
+namespace {
+
+/// Recursive-descent JSON parser over the in-memory document. The grammar
+/// is full JSON (the reports only use a subset, but scn users may feed any
+/// file to mpiv_stat).
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Json v;
+        v.kind = Json::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': {
+        Json v;
+        v.kind = Json::Kind::kBool;
+        if (consume("true")) {
+          v.boolean = true;
+        } else if (consume("false")) {
+          v.boolean = false;
+        } else {
+          fail("bad literal");
+        }
+        return v;
+      }
+      case 'n': {
+        if (!consume("null")) fail("bad literal");
+        return Json{};
+      }
+      default: return number();
+    }
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::Kind::kObject;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected member name");
+      std::string name = string();
+      expect(':');
+      v.members.emplace_back(std::move(name), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return v;
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::Kind::kArray;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (report text is ASCII; this
+          // keeps arbitrary inputs lossless enough for diffing).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Json v;
+    v.kind = Json::Kind::kNumber;
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("malformed number '" + tok + "'");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+/// Collects every numeric leaf of `v` under dotted `path` (bools as 0/1;
+/// strings and arrays skipped — arrays hold per-record detail the diff
+/// would double-count against the folded histograms).
+void flatten(const Json& v, const std::string& path,
+             std::vector<std::pair<std::string, double>>& out) {
+  switch (v.kind) {
+    case Json::Kind::kNumber: out.emplace_back(path, v.number); break;
+    case Json::Kind::kBool:
+      out.emplace_back(path, v.boolean ? 1.0 : 0.0);
+      break;
+    case Json::Kind::kObject:
+      for (const auto& [name, child] : v.members) {
+        flatten(child, path.empty() ? name : path + "." + name, out);
+      }
+      break;
+    default: break;
+  }
+}
+
+void collect_runs(const Json& doc, std::vector<RunMetrics>& out) {
+  const Json* runs = doc.find("runs");
+  if (runs != nullptr && runs->kind == Json::Kind::kArray) {
+    for (const Json& run : runs->items) {
+      RunMetrics rm;
+      if (const Json* label = run.find("label");
+          label != nullptr && label->kind == Json::Kind::kString) {
+        rm.label = label->str;
+      }
+      if (const Json* skipped = run.find("skipped")) {
+        rm.skipped = skipped->kind == Json::Kind::kBool && skipped->boolean;
+      }
+      flatten(run, "", rm.values);
+      std::sort(rm.values.begin(), rm.values.end());
+      out.push_back(std::move(rm));
+    }
+  }
+  if (const Json* reports = doc.find("reports");
+      reports != nullptr && reports->kind == Json::Kind::kArray) {
+    for (const Json& sub : reports->items) collect_runs(sub, out);
+  }
+}
+
+/// Splits "metrics.<family>.<entity>.<rest>" when <entity> is a per-rank
+/// or per-shard instrument name ("rank12", "el0"); returns false otherwise.
+bool split_entity(const std::string& name, std::string& entity,
+                  std::string& detail) {
+  if (name.rfind("metrics.", 0) != 0) return false;
+  const std::size_t fam_end = name.find('.', sizeof("metrics.") - 1);
+  if (fam_end == std::string::npos) return false;
+  const std::size_t ent_end = name.find('.', fam_end + 1);
+  if (ent_end == std::string::npos) return false;
+  const std::string ent = name.substr(fam_end + 1, ent_end - fam_end - 1);
+  std::size_t digits = 0;
+  std::string stem;
+  if (ent.rfind("rank", 0) == 0) {
+    stem = "rank";
+  } else if (ent.rfind("el", 0) == 0) {
+    stem = "el";
+  } else {
+    return false;
+  }
+  for (std::size_t i = stem.size(); i < ent.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(ent[i])) == 0) return false;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  entity = ent;
+  detail = name.substr(ent_end + 1);
+  return true;
+}
+
+}  // namespace
+
+const Json* Json::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, child] : members) {
+    if (name == key) return &child;
+  }
+  return nullptr;
+}
+
+Json parse_json(const std::string& text) { return Parser(text).parse(); }
+
+const double* RunMetrics::find(const std::string& name) const {
+  const auto it = std::lower_bound(
+      values.begin(), values.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  return it != values.end() && it->first == name ? &it->second : nullptr;
+}
+
+std::vector<RunMetrics> extract_runs(const Json& report) {
+  std::vector<RunMetrics> out;
+  collect_runs(report, out);
+  if (out.empty()) {
+    throw std::runtime_error(
+        "document has no \"runs\" array (is this a mpiv_run JSON report?)");
+  }
+  return out;
+}
+
+std::vector<TopRow> top_rows(const RunMetrics& run, std::size_t n) {
+  std::map<std::string, TopRow> by_entity;
+  for (const auto& [name, value] : run.values) {
+    std::string entity;
+    std::string detail;
+    if (!split_entity(name, entity, detail)) continue;
+    TopRow& row = by_entity[entity];
+    row.entity = entity;
+    row.details.emplace_back(detail, value);
+  }
+  // Weight: the tail-latency instrument when the entity has one (ranks),
+  // store activity for EL shards, else the entity's largest detail.
+  for (auto& [entity, row] : by_entity) {
+    row.weight_metric.clear();
+    for (const char* pref : {"ack_us.p99", "stored_ops"}) {
+      for (const auto& [detail, value] : row.details) {
+        if (detail == pref) {
+          row.weight_metric = detail;
+          row.weight = value;
+          break;
+        }
+      }
+      if (!row.weight_metric.empty()) break;
+    }
+    if (row.weight_metric.empty()) {
+      for (const auto& [detail, value] : row.details) {
+        if (row.weight_metric.empty() || value > row.weight) {
+          row.weight_metric = detail;
+          row.weight = value;
+        }
+      }
+    }
+  }
+  std::vector<TopRow> rows;
+  rows.reserve(by_entity.size());
+  for (auto& [entity, row] : by_entity) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const TopRow& a, const TopRow& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.entity < b.entity;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+DiffResult diff_reports(const Json& a, const Json& b, double tolerance) {
+  DiffResult res;
+  std::vector<RunMetrics> ra = extract_runs(a);
+  std::vector<RunMetrics> rb = extract_runs(b);
+  std::map<std::string, const RunMetrics*> bmap;
+  for (const RunMetrics& r : rb) bmap.emplace(r.label, &r);
+  std::set<std::string> matched;
+  for (const RunMetrics& run_a : ra) {
+    const auto it = bmap.find(run_a.label);
+    if (it == bmap.end()) {
+      res.unmatched_runs.push_back(run_a.label + " (only in A)");
+      continue;
+    }
+    matched.insert(run_a.label);
+    const RunMetrics& run_b = *it->second;
+    ++res.runs_compared;
+    // Walk the union of both sorted metric lists.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < run_a.values.size() || j < run_b.values.size()) {
+      int side = 0;  // 0 both, 1 only-A, 2 only-B
+      if (i >= run_a.values.size()) {
+        side = 2;
+      } else if (j >= run_b.values.size()) {
+        side = 1;
+      } else if (run_a.values[i].first < run_b.values[j].first) {
+        side = 1;
+      } else if (run_b.values[j].first < run_a.values[i].first) {
+        side = 2;
+      }
+      DiffEntry e;
+      e.run = run_a.label;
+      if (side == 0) {
+        ++res.metrics_compared;
+        e.metric = run_a.values[i].first;
+        e.a = run_a.values[i].second;
+        e.b = run_b.values[j].second;
+        ++i;
+        ++j;
+        const double denom = std::max(std::fabs(e.a), std::fabs(e.b));
+        e.drift = denom == 0.0 ? 0.0 : std::fabs(e.a - e.b) / denom;
+        if (e.drift > tolerance) res.drifting.push_back(std::move(e));
+      } else if (side == 1) {
+        e.metric = run_a.values[i].first;
+        e.a = run_a.values[i].second;
+        e.missing_in = 2;
+        ++i;
+        res.drifting.push_back(std::move(e));
+      } else {
+        e.metric = run_b.values[j].first;
+        e.b = run_b.values[j].second;
+        e.missing_in = 1;
+        ++j;
+        res.drifting.push_back(std::move(e));
+      }
+    }
+  }
+  for (const RunMetrics& run_b : rb) {
+    if (matched.count(run_b.label) == 0) {
+      res.unmatched_runs.push_back(run_b.label + " (only in B)");
+    }
+  }
+  std::sort(res.drifting.begin(), res.drifting.end(),
+            [](const DiffEntry& x, const DiffEntry& y) {
+              if (x.drift != y.drift) return x.drift > y.drift;
+              if (x.run != y.run) return x.run < y.run;
+              return x.metric < y.metric;
+            });
+  return res;
+}
+
+}  // namespace mpiv::metrics

@@ -1,0 +1,101 @@
+// Report analysis behind the `mpiv_stat` CLI: a minimal JSON DOM for the
+// scenario reports `scenario::to_json` emits, flattening of each run's
+// numeric fields into "dotted.path -> value" rows, heavy-hitter ranking of
+// per-rank / per-EL-shard instruments, and a tolerance diff of two reports
+// — the A/B regression primitive (two identical-seed runs must diff to
+// zero drift; CI asserts exactly that).
+//
+// Lives in the library (not the tool) so tests/test_metrics.cpp can unit
+// test the parser, flattener and differ without spawning a process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpiv::metrics {
+
+/// Minimal JSON value. Object members keep file order (reports are emitted
+/// deterministically, and diffs want stable iteration anyway).
+struct Json {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<std::pair<std::string, Json>> members;  // kObject
+  std::vector<Json> items;                            // kArray
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. Throws std::runtime_error with a
+/// byte-offset diagnostic on malformed input.
+Json parse_json(const std::string& text);
+
+/// One run of a report, flattened: every numeric leaf reachable through
+/// nested objects becomes "path.to.leaf -> value" (bools as 0/1; strings
+/// and arrays are skipped). Sorted by name.
+struct RunMetrics {
+  std::string label;
+  bool skipped = false;
+  std::vector<std::pair<std::string, double>> values;
+
+  /// Value lookup; nullptr when the run has no such metric.
+  const double* find(const std::string& name) const;
+};
+
+/// Collects every run of a report — handles both a single-set report
+/// ({"runs": [...]}) and a multi-set one ({"reports": [{"runs": ...}]}).
+/// Throws std::runtime_error when the document has no runs array.
+std::vector<RunMetrics> extract_runs(const Json& report);
+
+/// One per-rank / per-EL-shard entity ("rank3", "el0") ranked by its
+/// hottest instrument (ack_us.p99 for ranks when present, stored_ops for
+/// shards), with every instrument of that entity as detail rows.
+struct TopRow {
+  std::string entity;
+  std::string weight_metric;
+  double weight = 0;
+  std::vector<std::pair<std::string, double>> details;
+};
+
+/// Heaviest `n` entities of one run, weight-descending (ties by name).
+std::vector<TopRow> top_rows(const RunMetrics& run, std::size_t n);
+
+/// One metric whose relative drift between two reports exceeds tolerance,
+/// or that exists on only one side (the other value reported as 0 with
+/// missing_in set).
+struct DiffEntry {
+  std::string run;
+  std::string metric;
+  double a = 0;
+  double b = 0;
+  double drift = 0;     // |a-b| / max(|a|,|b|), 0 when both are 0
+  int missing_in = 0;   // 0 = present in both, 1 = absent in A, 2 = absent in B
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> drifting;
+  std::vector<std::string> unmatched_runs;  // labels on one side only
+  std::size_t runs_compared = 0;
+  std::size_t metrics_compared = 0;
+
+  bool clean() const { return drifting.empty() && unmatched_runs.empty(); }
+};
+
+/// Diffs two parsed reports run-by-run (matched by label) and
+/// metric-by-metric. `tolerance` is the allowed relative drift per metric
+/// (0 = exact).
+DiffResult diff_reports(const Json& a, const Json& b, double tolerance);
+
+}  // namespace mpiv::metrics

@@ -99,6 +99,8 @@ class Daemon {
   std::uint64_t app_msgs_sent() const { return app_msgs_sent_; }
   std::uint64_t app_bytes_sent() const { return app_bytes_sent_; }
   std::uint64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+  /// Messages parked while the daemon is down (metrics backlog probe).
+  std::size_t held_depth() const { return held_.size(); }
 
  private:
   /// What to do with a parked message once its CPU charge elapses.

@@ -130,6 +130,9 @@ class Network {
   /// frames_delayed() counts per drop-window hold).
   std::uint64_t frames_partitioned() const { return frames_partitioned_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// Frames currently in flight through the fabric (serializing, crossing,
+  /// or held by a partition) — the metrics sampler's congestion probe.
+  std::size_t inflight_frames() const { return flights_.in_use(); }
   /// Earliest time the egress serializer of `node` is free (for tests).
   sim::Time egress_free(NodeId node) const { return nodes_[node].egress_free; }
 

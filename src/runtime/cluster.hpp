@@ -19,6 +19,7 @@
 #include "fault/campaign.hpp"
 #include "fault/timeline.hpp"
 #include "ftapi/stats.hpp"
+#include "metrics/metrics.hpp"
 #include "mpi/rank_runtime.hpp"
 #include "runtime/dispatcher.hpp"
 #include "trace/trace.hpp"
@@ -80,6 +81,10 @@ struct ClusterConfig {
   /// Per-rank trace lanes (trace::Config{} = disabled, zero overhead).
   trace::Config trace{};
 
+  /// Aggregate metrics + virtual-time sampler (metrics::Config{} =
+  /// disabled: no registry, no sampler armed, identical event schedule).
+  metrics::Config metrics{};
+
   /// Safety net for runaway simulations (0 = unlimited).
   sim::Time max_sim_time = 4L * 3600 * sim::kSecond;
 };
@@ -105,6 +110,10 @@ struct ClusterReport {
   /// What the fault engine actually injected.
   fault::FaultCounts fault_counts;
   sim::Time first_el_fault = 0;
+  /// Frozen metrics (default Snapshot with enabled = false when metrics
+  /// were off — consumers key off that flag, keeping metrics-off report
+  /// output byte-identical to the pre-metrics shape).
+  metrics::Snapshot metrics;
 
   ftapi::RankStats totals() const {
     ftapi::RankStats t;
@@ -139,6 +148,8 @@ class Cluster {
   const ClusterConfig& config() const { return cfg_; }
   /// Null when tracing is disabled.
   trace::TraceSink* trace_sink() { return trace_.get(); }
+  /// Null when metrics are disabled.
+  metrics::Registry* metrics_registry() { return metrics_.get(); }
 
   /// Human-readable protocol tag ("Manetho (no EL)", "MPICH-P4", ...).
   std::string protocol_label() const;
@@ -148,6 +159,8 @@ class Cluster {
 
  private:
   std::unique_ptr<ftapi::VProtocol> make_protocol() const;
+  void arm_metrics();
+  void fold_metrics(ClusterReport& rep);
 
   ClusterConfig cfg_;
   sim::Engine eng_;
@@ -158,6 +171,8 @@ class Cluster {
   elog::ElDirectory el_dir_;
   fault::RecoveryTimeline timeline_;
   std::unique_ptr<trace::TraceSink> trace_;
+  std::unique_ptr<metrics::Registry> metrics_;
+  std::unique_ptr<metrics::Sampler> sampler_;
   std::unique_ptr<fault::FaultEngine> fault_engine_;
   std::vector<std::unique_ptr<mpi::RankRuntime>> ranks_;
   std::vector<std::unique_ptr<elog::EventLogger>> els_;

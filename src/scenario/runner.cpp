@@ -68,6 +68,18 @@ std::string write_trace_file(const std::string& dir, const std::string& stem,
   return f.good() ? path : "";
 }
 
+/// Same contract for the metrics time-series CSV.
+std::string write_metrics_csv(const std::string& dir, const std::string& stem,
+                              const std::string& csv) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + stem + ".csv";
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return "";
+  f << csv;
+  return f.good() ? path : "";
+}
+
 }  // namespace
 
 std::uint64_t RunResult::checksum_digest() const {
@@ -199,6 +211,7 @@ runtime::ClusterConfig lower(const ScenarioSpec& spec) {
   cfg.ulfm_repair_cost = spec.ulfm_repair_cost;
   cfg.payload_at_sender = spec.payload_at_sender;
   cfg.trace = spec.trace;
+  cfg.metrics = spec.metrics;
   cfg.max_sim_time = spec.max_sim_time;
   return cfg;
 }
@@ -238,6 +251,18 @@ RunResult run_point(const RunPoint& point) {
       r.reference_trace_path = write_trace_file(
           point.spec.trace_dir, stem + ".reference", r.reference_trace_dump);
     }
+  };
+
+  // The measured run's metrics time series leaves the process only when
+  // the spec names metrics.dir (the summary always travels in the JSON).
+  const auto persist_metrics = [&r, &point] {
+    if (point.spec.metrics_dir.empty() || !r.report.metrics.enabled ||
+        r.report.metrics.series_rows() == 0) {
+      return;
+    }
+    r.metrics_csv_path =
+        write_metrics_csv(point.spec.metrics_dir, sanitize_label(r.label),
+                          r.report.metrics.series_csv());
   };
 
   ScenarioSpec spec = point.spec;
@@ -281,6 +306,7 @@ RunResult run_point(const RunPoint& point) {
       adopt(ref_run);
       r.recovered_exact = ref_is_measured && r.completed && !r.checksums.empty();
       persist_traces();
+      persist_metrics();
       return r;
     }
     if (spec.faults.midrun_rank >= 0) {
@@ -299,6 +325,7 @@ RunResult run_point(const RunPoint& point) {
                         r.checksums == r.reference_checksums;
   }
   persist_traces();
+  persist_metrics();
   return r;
 }
 
@@ -439,8 +466,14 @@ void write_run(std::ostringstream& out, const RunResult& r,
   key("el") << "{\"events_stored\": " << r.report.el_stats.events_stored
             << ", \"acks_sent\": " << r.report.el_stats.acks_sent
             << ", \"peak_queue\": " << r.report.el_stats.peak_queue
-            << ", \"mean_ack_us\": " << json_num(t.el_ack_latency_us.mean())
-            << "},\n";
+            << ", \"mean_ack_us\": " << json_num(t.el_ack_latency_us.mean());
+  if (r.report.metrics.enabled) {
+    // Tail percentiles ride along only when metrics are on, keeping the
+    // metrics-off report shape byte-identical to the pre-metrics goldens.
+    out << ", \"p50_ack_us\": " << json_num(t.el_ack_latency_us.p50())
+        << ", \"p99_ack_us\": " << json_num(t.el_ack_latency_us.p99());
+  }
+  out << "},\n";
   key("recovery") << "{\"events\": " << t.recovery_events
                   << ", \"collect_ms\": "
                   << json_num(sim::to_ms(t.recovery_collect_time))
@@ -644,6 +677,54 @@ void write_run(std::ostringstream& out, const RunResult& r,
       json_escape(out, r.reference_trace_path);
     }
     out << "}";
+  }
+  if (r.report.metrics.enabled) {
+    const metrics::Snapshot& ms = r.report.metrics;
+    out << ",\n";
+    key("metrics") << "{\n";
+    out << indent << "    \"sample_interval_ns\": " << ms.sample_interval
+        << ",\n";
+    out << indent << "    \"counters\": {";
+    for (std::size_t i = 0; i < ms.counters.size(); ++i) {
+      if (i) out << ", ";
+      json_escape(out, ms.counters[i].first);
+      out << ": " << ms.counters[i].second;
+    }
+    out << "},\n";
+    out << indent << "    \"gauges\": {";
+    for (std::size_t i = 0; i < ms.gauges.size(); ++i) {
+      if (i) out << ", ";
+      json_escape(out, ms.gauges[i].first);
+      out << ": " << ms.gauges[i].second;
+    }
+    out << "},\n";
+    out << indent << "    \"histograms\": {";
+    for (std::size_t i = 0; i < ms.histograms.size(); ++i) {
+      const metrics::HistogramSummary& h = ms.histograms[i];
+      out << (i ? "," : "") << "\n" << indent << "      ";
+      json_escape(out, h.name);
+      out << ": {\"count\": " << h.count
+          << ", \"mean\": " << json_num(h.mean)
+          << ", \"min\": " << json_num(h.min)
+          << ", \"max\": " << json_num(h.max)
+          << ", \"p50\": " << json_num(h.p50)
+          << ", \"p90\": " << json_num(h.p90)
+          << ", \"p99\": " << json_num(h.p99) << "}";
+    }
+    if (!ms.histograms.empty()) out << "\n" << indent << "    ";
+    out << "},\n";
+    out << indent << "    \"series\": {\"columns\": [";
+    for (std::size_t i = 0; i < ms.series_columns.size(); ++i) {
+      if (i) out << ", ";
+      json_escape(out, ms.series_columns[i]);
+    }
+    out << "], \"rows\": " << ms.series_rows()
+        << ", \"dropped\": " << ms.series_dropped;
+    if (!r.metrics_csv_path.empty()) {
+      out << ", \"csv_path\": ";
+      json_escape(out, r.metrics_csv_path);
+    }
+    out << "}\n" << indent << "  }";
   }
   if (!r.pingpong.points.empty()) {
     out << ",\n";

@@ -64,6 +64,10 @@ struct RunResult {
   // Where the dumps landed when the spec named a trace.dir ("" = in-memory).
   std::string trace_path;
   std::string reference_trace_path;
+  // Where the metrics time-series CSV landed when the spec named a
+  // metrics.dir ("" = none written). The summary itself travels inside
+  // report.metrics.
+  std::string metrics_csv_path;
 
   Outcome outcome() const {
     if (skipped) return Outcome::kSkipped;

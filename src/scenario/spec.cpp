@@ -700,6 +700,12 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.trace.capacity = static_cast<std::uint32_t>(parse_u64(key, value));
   } else if (key == "trace.dir") {
     spec.trace_dir = value;
+  } else if (key == "metrics.enabled") {
+    spec.metrics.enabled = parse_bool(key, value);
+  } else if (key == "metrics.sample_interval") {
+    spec.metrics.sample_interval = parse_time(key, value);
+  } else if (key == "metrics.dir") {
+    spec.metrics_dir = value;
   } else if (key.rfind("cost.", 0) == 0) {
     if (!apply_cost_key(spec.cost, key, value)) {
       throw SpecError("unknown cost key '" + key + "'");
@@ -728,10 +734,11 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         if (line.back() != ']') throw SpecError("unterminated section header");
         section = trim(line.substr(1, line.size() - 2));
         if (section != "scenario" && section != "cost" && section != "sweep" &&
-            section != "quick" && section != "faults" && section != "trace") {
+            section != "quick" && section != "faults" && section != "trace" &&
+            section != "metrics") {
           throw SpecError("unknown section [" + section +
                           "] (use [scenario], [cost], [faults], [trace], "
-                          "[sweep], [quick])");
+                          "[metrics], [sweep], [quick])");
         }
         continue;
       }
@@ -750,6 +757,8 @@ ScenarioSpec parse_scenario_text(const std::string& text,
         apply_key(spec, "faults." + key, value);
       } else if (section == "trace") {
         apply_key(spec, "trace." + key, value);
+      } else if (section == "metrics") {
+        apply_key(spec, "metrics." + key, value);
       } else if (section == "sweep") {
         const std::vector<std::string> values = split_list(value);
         if (values.empty()) {
@@ -844,6 +853,18 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
       out << "capacity = " << spec.trace.capacity << "\n";
     }
     if (!spec.trace_dir.empty()) out << "dir = " << spec.trace_dir << "\n";
+  }
+  // The [metrics] section, same only-when-non-default contract.
+  const metrics::Config mdef{};
+  if (spec.metrics.enabled ||
+      spec.metrics.sample_interval != mdef.sample_interval ||
+      !spec.metrics_dir.empty()) {
+    out << "\n[metrics]\n";
+    out << "enabled = " << (spec.metrics.enabled ? "true" : "false") << "\n";
+    if (spec.metrics.sample_interval != mdef.sample_interval) {
+      out << "sample_interval = " << spec.metrics.sample_interval << "ns\n";
+    }
+    if (!spec.metrics_dir.empty()) out << "dir = " << spec.metrics_dir << "\n";
   }
   // The [cost] section is emitted only when a supported knob differs from
   // the calibrated default.
@@ -1064,6 +1085,10 @@ void validate(const ScenarioSpec& spec) {
   if (spec.trace.capacity < 16 || spec.trace.capacity > (1u << 22)) {
     fail("trace.capacity must be in [16, 4194304] (got " +
          std::to_string(spec.trace.capacity) + ")");
+  }
+  if (spec.metrics.sample_interval <= 0) {
+    fail("metrics.sample_interval must be > 0 (got " +
+         std::to_string(spec.metrics.sample_interval) + "ns)");
   }
   const WorkloadEntry& wl = workload_registry().at(spec.workload.name);
   for (const auto& [param, value] : spec.workload.params) {

@@ -120,6 +120,12 @@ struct ScenarioSpec {
   /// Directory for trace stream files ("" = keep in memory / JSON only).
   std::string trace_dir;
 
+  /// Aggregate metrics + virtual-time gauge sampler (`[metrics]` section /
+  /// `metrics.*` keys). Off by default; schedule-neutral when on.
+  metrics::Config metrics{};
+  /// Directory for per-run time-series CSV files ("" = JSON summary only).
+  std::string metrics_dir;
+
   WorkloadSpec workload;
 
   /// Cartesian sweep axes in declaration order: each key is any scalar
@@ -413,6 +419,20 @@ class ScenarioBuilder {
   }
   ScenarioBuilder& trace_dir(std::string dir) {
     spec_.trace_dir = std::move(dir);
+    return *this;
+  }
+  /// Aggregate metrics: histogram summaries in the report plus the
+  /// virtual-time gauge series (CSV under metrics_dir when set).
+  ScenarioBuilder& metrics(bool on = true) {
+    spec_.metrics.enabled = on;
+    return *this;
+  }
+  ScenarioBuilder& metrics_sample_interval(sim::Time interval) {
+    spec_.metrics.sample_interval = interval;
+    return *this;
+  }
+  ScenarioBuilder& metrics_dir(std::string dir) {
+    spec_.metrics_dir = std::move(dir);
     return *this;
   }
 

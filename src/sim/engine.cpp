@@ -50,6 +50,14 @@ std::uint64_t Engine::run_until(Time t) {
   while (!queue_.empty() && !stopped_) {
     const Ev top = queue_.top();
     if (top.t > t) break;
+    // Observation ticks due at or before this event fire first, between
+    // events: the sampler sees the state every event <= its tick time left
+    // behind, and the schedule itself is untouched (no queue entry, no seq,
+    // no executed_ increment, now_ not modified by the tick).
+    while (sampler_ && sampler_next_ <= top.t) {
+      sampler_(sampler_next_);
+      sampler_next_ += sampler_interval_;
+    }
     now_ = top.t;
     queue_.pop();
     if (top.resume) {

@@ -182,6 +182,22 @@ class Engine {
   /// Total events executed so far (proxy for simulation work).
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Pending events in the heap (observability probe).
+  std::size_t queue_size() const { return queue_.size(); }
+
+  /// Arms the observation side-channel: `fn(t)` fires at t = start,
+  /// start + interval, ... *between* events in run_until, never through the
+  /// event queue — it does not consume a seq number, does not count toward
+  /// events_executed(), and must not schedule. An armed sampler therefore
+  /// leaves the event schedule byte-identical to an unarmed one. Pass a null
+  /// fn to disarm.
+  void set_sampler(Time interval, Time start, std::function<void(Time)> fn) {
+    MPIV_CHECK(!fn || interval > 0, "sampler interval must be positive");
+    sampler_interval_ = interval;
+    sampler_next_ = start;
+    sampler_ = std::move(fn);
+  }
+
  private:
   friend class Process;
   void resume_in_process(Process* p, std::coroutine_handle<> h) {
@@ -215,6 +231,11 @@ class Engine {
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
   util::Slab<std::function<void()>> callbacks_;
   std::vector<std::unique_ptr<Process>> procs_;
+  // Observation side-channel (set_sampler): drained in run_until before
+  // each popped event, outside the queue/seq/executed machinery.
+  Time sampler_next_ = 0;
+  Time sampler_interval_ = 0;
+  std::function<void(Time)> sampler_;
 };
 
 // --- Intrusive wait queue -------------------------------------------------

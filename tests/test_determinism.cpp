@@ -26,10 +26,12 @@ struct Fingerprint {
   std::uint64_t checksum = 0;         // order-sensitive app checksum
 };
 
-Fingerprint run_variant(const char* variant, bool ckpt, bool traced = false) {
+Fingerprint run_variant(const char* variant, bool ckpt, bool traced = false,
+                        bool metered = false) {
   scenario::ScenarioBuilder b("determinism");
   b.variant(variant).nranks(4).seed(7);
   if (traced) b.trace();
+  if (metered) b.metrics().metrics_sample_interval(100 * sim::kMicrosecond);
   if (ckpt) {
     // Round-robin checkpoints exercise the GC paths: sender-log pruning,
     // Event Logger pruning, and stable-clock advances on the stores.
@@ -103,6 +105,24 @@ TEST(Determinism, TraceCaptureDoesNotPerturbTheGoldens) {
     const Fingerprint fp = run_variant(g.variant, g.ckpt, /*traced=*/true);
     SCOPED_TRACE(testing::Message()
                  << g.variant << (g.ckpt ? " +ckpt" : "") << " +trace");
+    EXPECT_EQ(fp.events_executed, g.fp.events_executed);
+    EXPECT_EQ(fp.wire_bytes, g.fp.wire_bytes);
+    EXPECT_EQ(fp.pb_bytes, g.fp.pb_bytes);
+    EXPECT_EQ(fp.checksum, g.fp.checksum);
+  }
+}
+
+// Metrics capture rides the engine's observation side-channel: instruments
+// are plain accumulation and the gauge sampler fires between events without
+// scheduling anything. Every golden row must therefore be byte-identical
+// with metrics on — if arming the sampler moves any counter, the metrics
+// layer leaked into the simulation.
+TEST(Determinism, MetricsCaptureDoesNotPerturbTheGoldens) {
+  for (const Golden& g : kGolden) {
+    const Fingerprint fp =
+        run_variant(g.variant, g.ckpt, /*traced=*/false, /*metered=*/true);
+    SCOPED_TRACE(testing::Message()
+                 << g.variant << (g.ckpt ? " +ckpt" : "") << " +metrics");
     EXPECT_EQ(fp.events_executed, g.fp.events_executed);
     EXPECT_EQ(fp.wire_bytes, g.fp.wire_bytes);
     EXPECT_EQ(fp.pb_bytes, g.fp.pb_bytes);

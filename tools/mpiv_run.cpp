@@ -63,6 +63,15 @@ void list_registries() {
   for (const scenario::FaultKeyInfo& e : scenario::fault_key_table()) {
     std::printf("  %-27s %-40s %s\n", e.key, e.syntax, e.summary);
   }
+  std::printf("scenario [metrics] keys (summaries in the JSON report, "
+              "analyzed with mpiv_stat):\n");
+  std::printf("  %-27s %-40s %s\n", "metrics.enabled", "bool",
+              "aggregate metrics + gauge sampler (schedule-neutral)");
+  std::printf("  %-27s %-40s %s\n", "metrics.sample_interval",
+              "duration (default 1ms)",
+              "virtual time between gauge snapshots");
+  std::printf("  %-27s %-40s %s\n", "metrics.dir", "path",
+              "write per-run time-series CSV files here");
 }
 
 /// --set uses quick-overlay semantics: replace a same-named sweep axis,
