@@ -17,10 +17,13 @@
 #include <string>
 #include <vector>
 
+#include <queue>
+
 #include "causal/antecedence_graph.hpp"
 #include "causal/event_store.hpp"
 #include "causal/sender_log.hpp"
 #include "scenario/runner.hpp"
+#include "sim/calendar_queue.hpp"
 #include "sim/engine.hpp"
 #include "workloads/apps.hpp"
 
@@ -203,6 +206,72 @@ std::uint64_t bench_engine_callbacks(std::uint64_t events) {
   return eng.run();
 }
 
+// Event queue duel: the calendar queue that now backs the engine versus
+// the binary heap it replaced, fed the exact same hold-model stream —
+// a steady population of pending events where each pop schedules a
+// successor a short pseudo-random distance in the future (the engine's
+// actual access pattern).
+struct QEv {
+  mpiv::sim::Time t;
+  std::uint64_t seq;
+};
+
+template <class Queue, class Push, class PopTop>
+std::uint64_t bench_queue(std::uint64_t events, Queue& q, Push push,
+                          PopTop pop_top) {
+  const std::uint64_t hold = 4096;  // steady pending population
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // splitmix-style gap stream
+  std::uint64_t seq = 0;
+  auto gap = [&x]() -> mpiv::sim::Time {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<mpiv::sim::Time>((z ^ (z >> 31)) % 20'000);
+  };
+  for (std::uint64_t i = 0; i < hold; ++i) push(q, QEv{gap(), seq++});
+  std::uint64_t ops = hold;
+  for (std::uint64_t i = 0; i < events; ++i) {
+    const QEv top = pop_top(q);
+    g_sink += static_cast<std::uint64_t>(top.t) ^ top.seq;
+    push(q, QEv{top.t + gap(), seq++});  // reschedule past `now`
+    ops += 2;
+  }
+  while (q.size() > 64) {  // drain the tail through the shrink rebuilds
+    g_sink += pop_top(q).seq;
+    ++ops;
+  }
+  return ops;
+}
+
+std::uint64_t bench_queue_calendar(std::uint64_t events) {
+  mpiv::sim::CalendarQueue<QEv> q;
+  return bench_queue(
+      events, q, [](auto& qq, const QEv& e) { qq.push(e); },
+      [](auto& qq) {
+        const QEv e = qq.top();
+        qq.pop();
+        return e;
+      });
+}
+
+std::uint64_t bench_queue_binary_heap(std::uint64_t events) {
+  struct Later {
+    bool operator()(const QEv& a, const QEv& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<QEv, std::vector<QEv>, Later> q;
+  return bench_queue(
+      events, q, [](auto& qq, const QEv& e) { qq.push(e); },
+      [](auto& qq) {
+        const QEv e = qq.top();
+        qq.pop();
+        return e;
+      });
+}
+
 // End-to-end: a causal cluster running wildcard traffic — every layer of
 // the stack (engine, network, daemon, matching, strategy, EL) at once,
 // driven through the scenario API like every other experiment.
@@ -244,6 +313,10 @@ int main(int argc, char** argv) {
   run_bench("engine_resume", [&] { return bench_engine_resume(400000 * scale); });
   run_bench("engine_callbacks",
             [&] { return bench_engine_callbacks(400000 * scale); });
+  run_bench("queue_calendar",
+            [&] { return bench_queue_calendar(1000000 * scale); });
+  run_bench("queue_binary_heap",
+            [&] { return bench_queue_binary_heap(1000000 * scale); });
   run_bench("cluster_e2e",
             [&] { return bench_cluster(static_cast<int>(30 * scale)); });
 

@@ -5,9 +5,13 @@
 # way to sanity-check the whole scenario surface locally.
 #
 # Usage: scripts/run_scenarios.sh [--build-dir DIR] [--out-dir DIR] [--full]
+#                                 [--jobs N]
 #   --build-dir  build tree containing mpiv_run (default: build)
 #   --out-dir    where the per-scenario JSON reports land (default: temp dir)
 #   --full       run without --quick (the real paper sweeps; slow)
+#   --jobs       fan sweep points across N forked workers (default: 1);
+#                reports are byte-identical either way — the equivalence
+#                leg at the end pins that on every run
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +19,13 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=build
 OUT_DIR=""
 QUICK=1
+JOBS=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir) BUILD_DIR=$2; shift ;;
     --out-dir) OUT_DIR=$2; shift ;;
     --full) QUICK=0 ;;
+    --jobs) JOBS=$2; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -40,8 +46,17 @@ mkdir -p "$OUT_DIR"
 
 # ${FLAGS[@]+...} keeps the empty-array expansion safe under set -u on
 # bash < 4.4 (macOS stock 3.2).
-FLAGS=()
+FLAGS=(--jobs "$JOBS")
 [[ $QUICK -eq 1 ]] && FLAGS+=(--quick)
+
+# mpiv_run exits 0 on a clean grid and 3 on a degraded one (abandoned or
+# failed points — chaos_soak abandons some corners by design). Both leave a
+# complete, valid report; anything else is a crash.
+run_ok() {
+  local rc=0
+  "$@" || rc=$?
+  [[ $rc -eq 0 || $rc -eq 3 ]]
+}
 
 # JSON validation: python3 where available, otherwise the driver's own
 # exit status plus a non-emptiness check.
@@ -58,7 +73,7 @@ for scn in scenarios/*.scn; do
   name=$(basename "$scn" .scn)
   out="$OUT_DIR/$name.json"
   start=$(date +%s%N)
-  if "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$out" "$scn" 2> "$OUT_DIR/$name.log"; then
+  if run_ok "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$out" "$scn" 2> "$OUT_DIR/$name.log"; then
     if validate_json "$out"; then
       status=ok
     else
@@ -390,7 +405,7 @@ for marker in '"metrics":' '"p99_ack_us":' '"histograms":' '"series":'; do
   fi
 done
 SP_JSON2="$OUT_DIR/scale_probe.rerun.json"
-if ! "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$SP_JSON2" \
+if ! run_ok "$BUILD_DIR/mpiv_run" ${FLAGS[@]+"${FLAGS[@]}"} --out "$SP_JSON2" \
     scenarios/scale_probe.scn 2> "$OUT_DIR/scale_probe.rerun.log"; then
   echo "metrics smoke FAILED: scale_probe rerun crashed" >&2
   sed 's/^/  | /' "$OUT_DIR/scale_probe.rerun.log" >&2
@@ -400,6 +415,34 @@ if DIFF_OUT=$("$BUILD_DIR/mpiv_stat" --diff "$SP_JSON" "$SP_JSON2"); then
   echo "metrics smoke OK ($(echo "$DIFF_OUT" | head -1); zero drift across reruns)"
 else
   echo "metrics smoke FAILED: identical-seed reports drifted" >&2
+  echo "$DIFF_OUT" | sed 's/^/  | /' >&2
+  exit 1
+fi
+
+# Parallel-equivalence: the forked worker pool must be invisible in the
+# report. Run the chaos grid serially and under --jobs 4 and require the
+# two reports byte-identical (cmp) and drift-free (mpiv_stat --diff) —
+# point ordering, goldens, tallies and all.
+PE_SER="$OUT_DIR/chaos_soak.jobs1.json"
+PE_PAR="$OUT_DIR/chaos_soak.jobs4.json"
+for pe in "1:$PE_SER" "4:$PE_PAR"; do
+  jobs="${pe%%:*}"; out="${pe#*:}"
+  if ! run_ok "$BUILD_DIR/mpiv_run" --quick --jobs "$jobs" --out "$out" \
+      scenarios/chaos_soak.scn 2> "$out.log"; then
+    echo "parallel-equivalence FAILED: mpiv_run --jobs $jobs crashed" >&2
+    sed 's/^/  | /' "$out.log" >&2
+    exit 1
+  fi
+done
+if ! cmp -s "$PE_SER" "$PE_PAR"; then
+  echo "parallel-equivalence FAILED: --jobs 4 report differs from serial" >&2
+  diff "$PE_SER" "$PE_PAR" | head -20 >&2 || true
+  exit 1
+fi
+if DIFF_OUT=$("$BUILD_DIR/mpiv_stat" --diff "$PE_SER" "$PE_PAR"); then
+  echo "parallel-equivalence OK (serial vs --jobs 4 byte-identical, zero drift)"
+else
+  echo "parallel-equivalence FAILED: mpiv_stat --diff reported drift" >&2
   echo "$DIFF_OUT" | sed 's/^/  | /' >&2
   exit 1
 fi

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "scenario/parallel.hpp"
 #include "scenario/registry.hpp"
 
 namespace mpiv::scenario {
@@ -90,6 +91,7 @@ std::uint64_t RunResult::checksum_digest() const {
 
 const char* outcome_name(Outcome o) {
   switch (o) {
+    case Outcome::kFailed: return "failed";
     case Outcome::kSkipped: return "skipped";
     case Outcome::kAbandoned: return "abandoned";
     case Outcome::kCompletedShrunk: return "completed_shrunk";
@@ -103,6 +105,7 @@ OutcomeCounts RunSet::tally() const {
   OutcomeCounts t;
   for (const RunResult& r : runs) {
     switch (r.outcome()) {
+      case Outcome::kFailed: ++t.failed; break;
       case Outcome::kSkipped: ++t.skipped; break;
       case Outcome::kAbandoned: ++t.abandoned; break;
       case Outcome::kCompletedShrunk: ++t.completed_shrunk; break;
@@ -354,7 +357,17 @@ RunSet run(const ScenarioSpec& spec, const RunOptions& options) {
   set.scenario = resolved.name;
   set.origin = "<builder>";
   set.quick = options.quick;
-  for (const RunPoint& p : expand(resolved)) {
+  const std::vector<RunPoint> points = expand(resolved);
+  const int jobs =
+      options.jobs > 0 ? options.jobs : resolved.runner_parallelism;
+  if (jobs > 1 && points.size() > 1) {
+    // Fan the grid across forked workers; results come back in sweep order
+    // carrying prerendered JSON stanzas, so the report is byte-identical
+    // to the serial loop below.
+    set.runs = detail::run_points_parallel(points, jobs, options);
+    return set;
+  }
+  for (const RunPoint& p : points) {
     RunResult r = run_point(p);
     if (options.on_result) options.on_result(p, r);
     set.runs.push_back(std::move(r));
@@ -399,6 +412,18 @@ std::string json_num(double v) {
 
 void write_run(std::ostringstream& out, const RunResult& r,
                const std::string& indent) {
+  if (!r.prerendered_json.empty()) {
+    // A parallel worker already rendered this run at zero indent; splice it
+    // back re-indented. json_escape leaves no raw newline inside strings,
+    // so every '\n' in the fragment is structural and the splice is
+    // byte-identical to rendering in-process.
+    out << indent;
+    for (const char ch : r.prerendered_json) {
+      out << ch;
+      if (ch == '\n') out << indent;
+    }
+    return;
+  }
   auto key = [&out, &indent](const char* k) -> std::ostringstream& {
     out << indent << "  ";
     json_escape(out, k);
@@ -417,6 +442,19 @@ void write_run(std::ostringstream& out, const RunResult& r,
     json_escape(out, r.axes[i].second);
   }
   out << "},\n";
+  if (r.failed) {
+    // Worker-crash containment: the point ran in a worker that died before
+    // delivering a result. Everything known about it is why it failed.
+    key("skipped") << "false,\n";
+    key("outcome");
+    json_escape(out, outcome_name(r.outcome()));
+    out << ",\n";
+    key("failed") << "true,\n";
+    key("fail_reason");
+    json_escape(out, r.fail_reason);
+    out << "\n" << indent << "}";
+    return;
+  }
   if (r.skipped) {
     key("skipped") << "true,\n";
     key("outcome");
@@ -754,7 +792,8 @@ void write_set(std::ostringstream& out, const RunSet& set,
       << indent << "  \"outcomes\": {\"recovered_exact\": " << t.recovered_exact
       << ", \"completed\": " << t.completed
       << ", \"completed_shrunk\": " << t.completed_shrunk
-      << ", \"abandoned\": " << t.abandoned << ", \"skipped\": " << t.skipped
+      << ", \"abandoned\": " << t.abandoned << ", \"failed\": " << t.failed
+      << ", \"skipped\": " << t.skipped
       << ", \"total\": " << t.total() << "}";
   out << ",\n" << indent << "  \"runs\": [\n";
   for (std::size_t i = 0; i < set.runs.size(); ++i) {
@@ -765,6 +804,12 @@ void write_set(std::ostringstream& out, const RunSet& set,
 }
 
 }  // namespace
+
+std::string run_json_fragment(const RunResult& r) {
+  std::ostringstream out;
+  write_run(out, r, "");
+  return out.str();
+}
 
 std::string to_json(const RunSet& set) {
   std::ostringstream out;

@@ -23,6 +23,8 @@ struct RunPoint {
 /// How one run point ended — the chaos-soak classifier. Ordered from worst
 /// to best so tallies can be compared at a glance.
 enum class Outcome : std::uint8_t {
+  kFailed,           // the worker executing the point died (parallel mode:
+                     // the crash is contained, the rest of the grid runs)
   kSkipped,          // the point never ran (workload/rank mismatch, ...)
   kAbandoned,        // hit max_sim_time without finishing
   kCompletedShrunk,  // finished on a repaired, smaller communicator (ULFM:
@@ -41,6 +43,12 @@ struct RunResult {
   std::vector<std::pair<std::string, std::string>> axes;
   bool skipped = false;
   std::string skip_reason;
+
+  // Worker-crash containment (parallel mode): the process running this
+  // point died before delivering a result. The grid keeps going; the point
+  // is classified kFailed, never silently dropped.
+  bool failed = false;
+  std::string fail_reason;
 
   bool completed = false;
   std::string protocol_label;
@@ -69,7 +77,19 @@ struct RunResult {
   // report.metrics.
   std::string metrics_csv_path;
 
+  // Parallel-mode transport: a worker runs the point, renders its JSON
+  // stanza with run_json_fragment() and ships it back with the summary
+  // fields above; the parent splices the fragment verbatim (re-indented)
+  // so the report is byte-identical to the serial path. The heavyweight
+  // per-run payloads (report, checksums, traces) stay in the worker.
+  std::string prerendered_json;
+  // Outcome as classified where the point actually ran (parallel mode:
+  // the parent-side RunResult lacks the fields outcome() derives from).
+  int forced_outcome = -1;
+
   Outcome outcome() const {
+    if (failed) return Outcome::kFailed;
+    if (forced_outcome >= 0) return static_cast<Outcome>(forced_outcome);
     if (skipped) return Outcome::kSkipped;
     if (!completed) return Outcome::kAbandoned;
     // A repaired run finished on fewer ranks than the reference — it can
@@ -93,6 +113,7 @@ struct RunResult {
 /// Per-outcome counts over a RunSet (the chaos-soak tally: always sums to
 /// runs.size()).
 struct OutcomeCounts {
+  std::size_t failed = 0;
   std::size_t skipped = 0;
   std::size_t abandoned = 0;
   std::size_t completed_shrunk = 0;
@@ -100,9 +121,12 @@ struct OutcomeCounts {
   std::size_t recovered_exact = 0;
 
   std::size_t total() const {
-    return skipped + abandoned + completed_shrunk + completed +
+    return failed + skipped + abandoned + completed_shrunk + completed +
            recovered_exact;
   }
+  /// True when the grid holds a point that ran but produced no result —
+  /// mpiv_run turns this into exit status 3 so CI can't silently pass.
+  bool degraded() const { return failed + abandoned > 0; }
 };
 
 /// The report of one scenario execution.
@@ -137,12 +161,24 @@ RunResult run_spec(const ScenarioSpec& spec);
 
 struct RunOptions {
   bool quick = false;
-  /// Called after each point completes (progress reporting).
+  /// Called after each point completes (progress reporting). Serial mode
+  /// fires in sweep order; parallel mode fires in completion order (the
+  /// report itself is reassembled in sweep order either way).
   std::function<void(const RunPoint&, const RunResult&)> on_result;
+  /// Worker count: 0 = take the spec's runner.parallelism, 1 = the serial
+  /// in-process path, > 1 = fan points across that many forked workers.
+  int jobs = 0;
+  /// Test hook, parallel mode only: runs inside the worker right before a
+  /// point executes (used to induce deterministic worker crashes).
+  std::function<void(const RunPoint&)> before_point;
 };
 
 /// Expands and runs a whole scenario.
 RunSet run(const ScenarioSpec& spec, const RunOptions& options = {});
+
+/// Renders one run's JSON stanza at zero indent — the parallel workers'
+/// wire format; to_json splices these fragments back byte-identically.
+std::string run_json_fragment(const RunResult& r);
 
 /// Serializes a report as JSON (the mpiv_run output format).
 std::string to_json(const RunSet& set);

@@ -647,6 +647,8 @@ void apply_key(ScenarioSpec& spec, const std::string& raw_key,
     spec.compare_reference = parse_bool(key, value);
   } else if (key == "replica.sync_interval") {
     spec.replica_sync_interval = static_cast<int>(parse_i64(key, value));
+  } else if (key == "runner.parallelism") {
+    spec.runner_parallelism = static_cast<int>(parse_i64(key, value));
   } else if (key == "ulfm.repair_cost") {
     spec.ulfm_repair_cost = parse_time(key, value);
   } else if (key == "payload_at_sender") {
@@ -826,6 +828,9 @@ std::string to_scenario_text(const ScenarioSpec& spec) {
   }
   if (spec.ulfm_repair_cost != sdef.ulfm_repair_cost) {
     out << "ulfm.repair_cost = " << spec.ulfm_repair_cost << "ns\n";
+  }
+  if (spec.runner_parallelism != sdef.runner_parallelism) {
+    out << "runner.parallelism = " << spec.runner_parallelism << "\n";
   }
   if (spec.payload_at_sender) out << "payload_at_sender = true\n";
   if (spec.faults.faults_per_minute > 0) {
@@ -1077,6 +1082,10 @@ void validate(const ScenarioSpec& spec) {
          std::to_string(spec.replica_sync_interval) + ")");
   }
   if (spec.ulfm_repair_cost < 0) fail("ulfm.repair_cost must be >= 0");
+  if (spec.runner_parallelism < 1 || spec.runner_parallelism > 1024) {
+    fail("runner.parallelism must be in [1, 1024] (got " +
+         std::to_string(spec.runner_parallelism) + ")");
+  }
   if (spec.payload_at_sender &&
       spec.variant.protocol != runtime::ProtocolKind::kCausal) {
     fail("payload_at_sender is a causal-logging knob but variant '" +

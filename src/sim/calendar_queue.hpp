@@ -1,0 +1,165 @@
+// Bucketed calendar queue (Brown 1988) for the engine's event heap.
+//
+// The binary heap's O(log n) push/pop and cache-hostile sift paths were the
+// last allocation-bearing hot structure in the simulator; a calendar queue
+// exploits what an event-driven simulation guarantees anyway — time moves
+// forward, and most new events land a short, roughly constant distance in
+// the future. Events hash into `nbuckets` (a power of two) day buckets of
+// 2^shift nanoseconds each; push is an insertion into one short sorted
+// bucket, pop scans at most one "year" of days from a monotonic cursor.
+//
+// Contract (matches Engine exactly, and the differential test in
+// tests/test_sim.cpp pins it against std::priority_queue):
+//   - T exposes `.t` (sim::Time, >= 0) and `.seq` (monotonically assigned
+//     std::uint64_t) members.
+//   - pushes never go below the last popped timestamp (the engine CHECKs
+//     t >= now), which is what makes the day cursor a valid lower bound;
+//   - pop order is strictly (t ascending, seq ascending) — the same-time
+//     FIFO tie-break the determinism goldens depend on.
+//
+// Resizing is lazy: geometry is recomputed (bucket count from the live
+// population, bucket width from the observed inter-event spacing near the
+// head) only when the population crosses a threshold, by redistributing the
+// sorted event list — never on the pop path.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mpiv::sim {
+
+template <typename T>
+class CalendarQueue {
+ public:
+  CalendarQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(const T& ev) {
+    std::vector<T>& b = buckets_[bucket_of(ev.t)];
+    // Buckets stay sorted ascending by (t, seq). New events usually carry
+    // the largest timestamp their bucket has seen, so scan from the back —
+    // the common case is a plain append.
+    auto it = b.end();
+    while (it != b.begin() && earlier(ev, *std::prev(it))) --it;
+    b.insert(it, ev);
+    ++size_;
+    top_valid_ = false;
+    if (size_ > buckets_.size() * 2 && buckets_.size() < kMaxBuckets) {
+      rebuild();
+    }
+  }
+
+  /// Minimum event by (t, seq). Non-const: caches the located bucket so the
+  /// following pop() does not re-scan.
+  const T& top() {
+    locate();
+    return buckets_[top_bucket_].front();
+  }
+
+  void pop() {
+    locate();
+    std::vector<T>& b = buckets_[top_bucket_];
+    cur_day_ = day(b.front().t);
+    b.erase(b.begin());
+    --size_;
+    top_valid_ = false;
+    if (size_ > 0 && buckets_.size() > kMinBuckets &&
+        size_ * 4 < buckets_.size()) {
+      rebuild();
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 17;
+
+  static bool earlier(const T& a, const T& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::uint64_t day(std::int64_t t) const {
+    return static_cast<std::uint64_t>(t) >> shift_;
+  }
+  std::size_t bucket_of(std::int64_t t) const {
+    return static_cast<std::size_t>(day(t) & (buckets_.size() - 1));
+  }
+
+  /// Finds the bucket holding the (t, seq) minimum. Scans one calendar year
+  /// of days starting at the cursor (a lower bound on the minimum's day, by
+  /// the monotonic-push contract); each day maps to exactly one bucket, so
+  /// the first bucket whose head lies in the scanned day holds the global
+  /// minimum. If a whole year is empty the survivors live more than a year
+  /// out — fall back to a direct min over bucket heads and jump the cursor.
+  void locate() {
+    MPIV_CHECK(size_ > 0, "top/pop on an empty calendar queue");
+    if (top_valid_) return;
+    const std::size_t mask = buckets_.size() - 1;
+    std::uint64_t d = cur_day_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i, ++d) {
+      const std::vector<T>& b = buckets_[d & mask];
+      if (!b.empty() && day(b.front().t) == d) {
+        top_bucket_ = d & mask;
+        top_valid_ = true;
+        return;
+      }
+    }
+    std::size_t best = buckets_.size();
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i].empty()) continue;
+      if (best == buckets_.size() ||
+          earlier(buckets_[i].front(), buckets_[best].front())) {
+        best = i;
+      }
+    }
+    top_bucket_ = best;
+    top_valid_ = true;
+    cur_day_ = day(buckets_[best].front().t);
+  }
+
+  /// Recomputes geometry from the live population and redistributes.
+  /// Bucket count targets ~1 event per bucket; bucket width targets the
+  /// mean inter-event gap near the head (robust against one far-future
+  /// outlier stretching the whole span).
+  void rebuild() {
+    std::vector<T> all;
+    all.reserve(size_);
+    for (std::vector<T>& b : buckets_) {
+      all.insert(all.end(), b.begin(), b.end());
+      b.clear();
+    }
+    std::sort(all.begin(), all.end(),
+              [](const T& a, const T& b) { return earlier(a, b); });
+
+    const std::size_t nb = std::min(
+        kMaxBuckets, std::bit_ceil(std::max(size_, kMinBuckets)));
+    buckets_.assign(nb, {});
+    const std::size_t head = std::min<std::size_t>(all.size() - 1, 64);
+    if (head > 0) {
+      const std::uint64_t span =
+          static_cast<std::uint64_t>(all[head].t) -
+          static_cast<std::uint64_t>(all.front().t);
+      const std::uint64_t width = std::max<std::uint64_t>(span / head, 1);
+      shift_ = std::min(63, static_cast<int>(std::bit_width(width)));
+    }
+    cur_day_ = day(all.front().t);
+    // `all` is globally sorted, so per-bucket appends land already sorted.
+    for (const T& ev : all) buckets_[bucket_of(ev.t)].push_back(ev);
+    top_valid_ = false;
+  }
+
+  std::vector<std::vector<T>> buckets_;
+  std::size_t size_ = 0;
+  int shift_ = 13;  // 8.192 us days until the first rebuild calibrates
+  std::uint64_t cur_day_ = 0;  // day of the last pop: min's day is >= this
+  std::size_t top_bucket_ = 0;
+  bool top_valid_ = false;
+};
+
+}  // namespace mpiv::sim

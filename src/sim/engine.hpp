@@ -1,6 +1,6 @@
 // Deterministic discrete-event engine with coroutine processes.
 //
-// The engine owns a priority queue of timed events (ties broken by
+// The engine owns a calendar queue of timed events (ties broken by
 // insertion sequence, so identical inputs give byte-identical runs) and a
 // registry of `Process` objects. A Process hosts one coroutine call chain —
 // a simulated MPI rank. Killing a process destroys its coroutine frames
@@ -19,10 +19,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 #include "util/check.hpp"
@@ -182,7 +182,7 @@ class Engine {
   /// Total events executed so far (proxy for simulation work).
   std::uint64_t events_executed() const { return executed_; }
 
-  /// Pending events in the heap (observability probe).
+  /// Pending events in the queue (observability probe).
   std::size_t queue_size() const { return queue_.size(); }
 
   /// Arms the observation side-channel: `fn(t)` fires at t = start,
@@ -216,19 +216,13 @@ class Engine {
     ProcToken tok{};
     std::uint32_t slot = UINT32_MAX;
   };
-  struct EvLater {
-    bool operator()(const Ev& a, const Ev& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
 
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   Process* current_ = nullptr;
-  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  CalendarQueue<Ev> queue_;
   util::Slab<std::function<void()>> callbacks_;
   std::vector<std::unique_ptr<Process>> procs_;
   // Observation side-channel (set_sampler): drained in run_until before

@@ -5,6 +5,9 @@
 
 #include <cctype>
 #include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
 
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
@@ -308,6 +311,106 @@ TEST(ScenarioFile, FamilyKeysRoundTripAndStayOutOfDefaultText) {
                   "replica.sync_interval = -2\n"));
             }).find("replica.sync_interval"),
             std::string::npos);
+}
+
+TEST(ScenarioFile, RunnerParallelismRoundTripsAndIsBounded) {
+  const ScenarioSpec spec = scenario::parse_scenario_text(
+      "variant = vcausal:el\n"
+      "runner.parallelism = 4\n");
+  EXPECT_EQ(spec.runner_parallelism, 4);
+
+  const std::string text = scenario::to_scenario_text(spec);
+  EXPECT_NE(text.find("runner.parallelism = 4"), std::string::npos) << text;
+  EXPECT_EQ(scenario::parse_scenario_text(text).runner_parallelism, 4);
+
+  // The default (serial) stays out of emitted text.
+  EXPECT_EQ(scenario::to_scenario_text(ScenarioBuilder("plain").build())
+                .find("runner.parallelism"),
+            std::string::npos);
+
+  // validate() bounds the worker count on both sides.
+  for (const char* bad : {"runner.parallelism = 0\n",
+                          "runner.parallelism = -2\n",
+                          "runner.parallelism = 4096\n"}) {
+    EXPECT_NE(error_of([bad] {
+                scenario::validate(scenario::parse_scenario_text(bad));
+              }).find("runner.parallelism"),
+              std::string::npos)
+        << bad;
+  }
+  EXPECT_EQ(ScenarioBuilder("b").runner_parallelism(8).build()
+                .runner_parallelism,
+            8);
+}
+
+TEST(ScenarioFile, FuzzedTextParsesOrRaisesSpecErrorNeverCrashes) {
+  // Seeded mutation fuzz over the parser: every mutant must either parse
+  // into a spec whose serialization is a fixed point of the round trip, or
+  // raise SpecError — anything else (crash, UB under the sanitizer leg,
+  // non-canonical serialization) fails here.
+  std::vector<std::string> bases;
+  {
+    ScenarioBuilder b("fuzz_base");
+    b.variant("manetho:el")
+        .nranks(8)
+        .el_shards(2)
+        .seed(7)
+        .checkpoint(ckpt::Policy::kRoundRobin, 30 * sim::kMillisecond)
+        .compare_reference()
+        .runner_parallelism(4)
+        .sweep("nranks", {"4", "8"})
+        .sweep("seed", {"1", "2", "3"});
+    bases.push_back(scenario::to_scenario_text(b.build()));
+  }
+  {
+    std::ifstream f(std::string(MPIV_SOURCE_DIR) +
+                    "/scenarios/chaos_soak.scn");
+    ASSERT_TRUE(f.good());
+    std::ostringstream text;
+    text << f.rdbuf();
+    bases.push_back(text.str());
+  }
+
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789=.,:[]#|+- \t\n";
+  std::mt19937_64 rng(0xf022);
+  std::size_t parsed_ok = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = bases[iter % bases.size()];
+    const int edits = 1 + static_cast<int>(rng() % 3);
+    for (int e = 0; e < edits && !text.empty(); ++e) {
+      const std::size_t at = rng() % text.size();
+      switch (rng() % 4) {
+        case 0: text[at] = charset[rng() % charset.size()]; break;
+        case 1: text.erase(at, 1); break;
+        case 2:
+          text.insert(at, 1, charset[rng() % charset.size()]);
+          break;
+        case 3: {  // duplicate the line containing `at`
+          std::size_t begin = text.rfind('\n', at);
+          begin = begin == std::string::npos ? 0 : begin + 1;
+          std::size_t end = text.find('\n', at);
+          end = end == std::string::npos ? text.size() : end + 1;
+          text.insert(begin, text.substr(begin, end - begin));
+          break;
+        }
+      }
+    }
+    try {
+      const ScenarioSpec spec = scenario::parse_scenario_text(text, "fuzz");
+      const std::string t1 = scenario::to_scenario_text(spec);
+      const ScenarioSpec reparsed = scenario::parse_scenario_text(t1, "fuzz2");
+      ASSERT_EQ(scenario::to_scenario_text(reparsed), t1)
+          << "round trip is not a fixed point for mutant " << iter << ":\n"
+          << text;
+      ++parsed_ok;
+    } catch (const SpecError&) {
+      // Rejecting a mutant is fine; crashing on one is not.
+    }
+  }
+  // The mutation distribution must exercise the accept path too, or the
+  // round-trip half of this test silently tests nothing.
+  EXPECT_GT(parsed_ok, 20u);
 }
 
 TEST(ScenarioFile, PayloadAtSenderIsCausalOnly) {
@@ -617,6 +720,51 @@ TEST(Runner, PingpongResultsLandInTheReport) {
       scenario::to_json(scenario::RunSet{"pp", "t", false, {r}});
   EXPECT_NE(json.find("\"points\":"), std::string::npos);
   EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(Report, DegradedTallyDrivesTheDistinctExitCode) {
+  // An abandoned point (max_sim_time hit) makes the grid degraded — the
+  // contract behind mpiv_run's exit status 3.
+  ScenarioBuilder b("starved");
+  b.variant("vcausal:el")
+      .nranks(4)
+      .ring(/*laps=*/200, /*token_bytes=*/4096)
+      .max_sim_time(1 * sim::kMicrosecond);
+  const scenario::RunResult r = scenario::run_spec(b.build());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.outcome(), scenario::Outcome::kAbandoned);
+
+  scenario::RunSet set{"starved", "t", false, {r}};
+  scenario::OutcomeCounts t = set.tally();
+  EXPECT_EQ(t.abandoned, 1u);
+  EXPECT_TRUE(t.degraded());
+
+  // A failed point (lost worker) degrades the grid the same way, and the
+  // report names it in the always-present outcomes tally.
+  scenario::RunResult lost;
+  lost.label = "casualty";
+  lost.failed = true;
+  lost.fail_reason = "worker killed by signal 9 before delivering a result";
+  set.runs.push_back(lost);
+  t = set.tally();
+  EXPECT_EQ(t.failed, 1u);
+  EXPECT_EQ(t.total(), 2u);
+  EXPECT_TRUE(t.degraded());
+  const std::string json = scenario::to_json(set);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"outcome\": \"failed\""), std::string::npos);
+  EXPECT_NE(json.find("\"fail_reason\""), std::string::npos);
+  EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+
+  // A clean grid is not degraded, and still carries the failed counter
+  // (always emitted, so serial and parallel reports stay byte-identical).
+  ScenarioBuilder ok("ok");
+  ok.variant("vcausal:el").nranks(2).ring(3, 128);
+  const scenario::RunSet clean =
+      scenario::RunSet{"ok", "t", false, {scenario::run_spec(ok.build())}};
+  EXPECT_FALSE(clean.tally().degraded());
+  EXPECT_NE(scenario::to_json(clean).find("\"failed\": 0"),
+            std::string::npos);
 }
 
 TEST(Runner, MidrunFaultProducesReferenceAndExactRecovery) {

@@ -8,8 +8,12 @@
 //   $ mpiv_run --print scenarios/fig9.scn          # expanded matrix only
 //
 // Progress goes to stderr so stdout stays valid JSON. Exit status: 0 on
-// success, 2 on usage/parse/validation errors.
+// success, 2 on usage/parse/validation errors, 3 when the report is
+// degraded — some point ran but produced no result (`abandoned` hit
+// max_sim_time, `failed` lost its worker) — so CI grids can't silently
+// pass on a report full of holes.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -25,6 +29,9 @@ void usage(std::FILE* out, const char* argv0) {
   std::fprintf(out,
                "usage: %s [options] <scenario.scn> [more.scn ...]\n"
                "  --quick          apply the scenario's [quick] overrides\n"
+               "  --jobs N         fan sweep points across N forked workers\n"
+               "                   (default: the scenario's runner.parallelism;\n"
+               "                   the report is byte-identical to --jobs 1)\n"
                "  --out FILE       write the JSON report to FILE (default: stdout)\n"
                "  --set key=value  override a scenario key (repeatable)\n"
                "  --seed N         override the seed (replaces a seed sweep axis)\n"
@@ -99,6 +106,7 @@ void print_matrix(const scenario::ScenarioSpec& spec) {
 int main(int argc, char** argv) {
   bool quick = false;
   bool print_only = false;
+  int jobs = 0;  // 0 = take runner.parallelism from each scenario
   const char* out_path = nullptr;
   std::vector<std::string> overrides;
   std::vector<std::string> files;
@@ -112,6 +120,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(a, "--list") == 0) {
       list_registries();
       return 0;
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "--jobs expects a positive worker count\n");
+        return 2;
+      }
     } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
     } else if (std::strcmp(a, "--set") == 0 && i + 1 < argc) {
@@ -153,6 +167,7 @@ int main(int argc, char** argv) {
                    path.c_str(), quick ? ", quick" : "");
       scenario::RunOptions opt;
       opt.quick = quick;
+      opt.jobs = jobs;
       std::size_t done = 0;
       const std::size_t total = scenario::expand(spec).size();
       opt.on_result = [&done, total](const scenario::RunPoint& p,
@@ -191,6 +206,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "wrote %s\n", out_path);
   } else {
     std::fwrite(json.data(), 1, json.size(), stdout);
+  }
+  // Degraded grids (a point abandoned its time budget or lost its worker)
+  // exit 3: the report is complete and valid, but CI must look at it.
+  for (const scenario::RunSet& set : reports) {
+    if (set.tally().degraded()) {
+      std::fprintf(stderr, "warning: %s has abandoned/failed points\n",
+                   set.scenario.c_str());
+      return 3;
+    }
   }
   return 0;
 }
