@@ -171,11 +171,16 @@ bool spawn_worker(const std::vector<RunPoint>& points,
   return true;
 }
 
-RunResult make_failed(const RunPoint& p, int wstatus) {
+RunResult make_failed(const RunPoint& p, std::string why) {
   RunResult r;
   r.label = p.label;
   r.axes = p.axes;
   r.failed = true;
+  r.fail_reason = std::move(why);
+  return r;
+}
+
+RunResult make_failed(const RunPoint& p, int wstatus) {
   char why[80];
   if (WIFSIGNALED(wstatus)) {
     std::snprintf(why, sizeof why,
@@ -186,8 +191,7 @@ RunResult make_failed(const RunPoint& p, int wstatus) {
                   "worker exited with status %d before delivering a result",
                   WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1);
   }
-  r.fail_reason = why;
-  return r;
+  return make_failed(p, std::string(why));
 }
 
 void retire(Worker& w) {
@@ -281,29 +285,49 @@ std::vector<RunResult> run_points_parallel(const std::vector<RunPoint>& points,
       Worker& w = workers[i];
       char chunk[65536];
       const ssize_t k = ::read(w.res_rd, chunk, sizeof chunk);
+      bool malformed = false;
       if (k > 0) {
         w.buf.append(chunk, static_cast<std::size_t>(k));
         while (w.buf.size() >= 4) {
+          // Validate the frame before trusting any of its fields: the
+          // payload is 18 fixed bytes plus the fragment, and it must answer
+          // the one point this worker has outstanding. Anything else is a
+          // protocol violation from a misbehaving worker — contain it like
+          // a crash instead of indexing results[] on the worker's say-so.
           const std::uint32_t len = get_u32(w.buf, 0);
-          if (w.buf.size() < 4 + len) break;
+          if (len < 18 || len > (std::uint32_t{1} << 30)) {
+            malformed = true;
+            break;
+          }
+          if (w.buf.size() < 4 + static_cast<std::size_t>(len)) break;
           const std::size_t idx = get_u32(w.buf, 4);
+          const std::uint32_t frag_len = get_u32(w.buf, 18);
+          if (static_cast<std::uint64_t>(len) !=
+                  18 + static_cast<std::uint64_t>(frag_len) ||
+              idx >= points.size() ||
+              static_cast<std::int64_t>(idx) != w.outstanding) {
+            malformed = true;
+            break;
+          }
           RunResult r;
           r.label = points[idx].label;
           r.axes = points[idx].axes;
           r.forced_outcome = static_cast<unsigned char>(w.buf[8]);
           r.completed = w.buf[9] != 0;
           r.report.completion_time = get_i64(w.buf, 10);
-          const std::uint32_t frag_len = get_u32(w.buf, 18);
           r.prerendered_json = w.buf.substr(22, frag_len);
           w.buf.erase(0, 4 + len);
           w.outstanding = -1;
           record(idx, std::move(r));
           feed(w);
         }
-        continue;
+        if (!malformed) continue;
       }
-      if (k < 0 && (errno == EINTR || errno == EAGAIN)) continue;
-      // EOF: clean exit after the sentinel, or a crash mid-point.
+      if (!malformed && k < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      // EOF (clean exit after the sentinel, or a crash mid-point) — or a
+      // protocol violation, in which case the worker is still alive and
+      // must be killed before waitpid can reap it.
+      if (malformed) ::kill(w.pid, SIGKILL);
       int wstatus = 0;
       ::waitpid(w.pid, &wstatus, 0);
       retire(w);
@@ -311,8 +335,11 @@ std::vector<RunResult> run_points_parallel(const std::vector<RunPoint>& points,
       const bool crashed = !w.draining;
       workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(i));
       if (lost >= 0) {
+        const RunPoint& p = points[static_cast<std::size_t>(lost)];
         record(static_cast<std::size_t>(lost),
-               make_failed(points[static_cast<std::size_t>(lost)], wstatus));
+               malformed
+                   ? make_failed(p, "worker sent a malformed result frame")
+                   : make_failed(p, wstatus));
       }
       if (crashed && done < work.size() && respawns < respawn_cap) {
         ++respawns;

@@ -13,7 +13,9 @@
 //   - T exposes `.t` (sim::Time, >= 0) and `.seq` (monotonically assigned
 //     std::uint64_t) members.
 //   - pushes never go below the last popped timestamp (the engine CHECKs
-//     t >= now), which is what makes the day cursor a valid lower bound;
+//     t >= now) — but the queue does not rely on that: push() clamps the
+//     day cursor down, so even a peek-then-push below the current minimum
+//     (legal whenever the minimum sits above the last pop) stays ordered;
 //   - pop order is strictly (t ascending, seq ascending) — the same-time
 //     FIFO tie-break the determinism goldens depend on.
 //
@@ -41,6 +43,14 @@ class CalendarQueue {
   std::size_t size() const { return size_; }
 
   void push(const T& ev) {
+    // Keep the pop cursor a true lower bound on every event's day. pop(),
+    // rebuild(), and locate()'s empty-year fallback all advance cur_day_ to
+    // the day of the *current* minimum — which can sit far above the last
+    // popped timestamp that future pushes are measured against. Clamping
+    // here is what keeps the year scan in locate() from skipping a new
+    // near event and popping out of (t, seq) order.
+    const std::uint64_t d = day(ev.t);
+    if (d < cur_day_) cur_day_ = d;
     std::vector<T>& b = buckets_[bucket_of(ev.t)];
     // Buckets stay sorted ascending by (t, seq). New events usually carry
     // the largest timestamp their bucket has seen, so scan from the back —
@@ -92,8 +102,9 @@ class CalendarQueue {
   }
 
   /// Finds the bucket holding the (t, seq) minimum. Scans one calendar year
-  /// of days starting at the cursor (a lower bound on the minimum's day, by
-  /// the monotonic-push contract); each day maps to exactly one bucket, so
+  /// of days starting at the cursor (a lower bound on the minimum's day —
+  /// pop/rebuild set it from a popped or surviving minimum and push() clamps
+  /// it back down); each day maps to exactly one bucket, so
   /// the first bucket whose head lies in the scanned day holds the global
   /// minimum. If a whole year is empty the survivors live more than a year
   /// out — fall back to a direct min over bucket heads and jump the cursor.
@@ -157,7 +168,7 @@ class CalendarQueue {
   std::vector<std::vector<T>> buckets_;
   std::size_t size_ = 0;
   int shift_ = 13;  // 8.192 us days until the first rebuild calibrates
-  std::uint64_t cur_day_ = 0;  // day of the last pop: min's day is >= this
+  std::uint64_t cur_day_ = 0;  // lower bound on every event's day (push clamps)
   std::size_t top_bucket_ = 0;
   bool top_valid_ = false;
 };

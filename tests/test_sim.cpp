@@ -349,6 +349,66 @@ TEST(CalendarQueue, MatchesReferenceHeapOnRandomizedStreams) {
   }
 }
 
+TEST(CalendarQueue, NearPushAfterShrinkRebuildWithFarFutureSurvivors) {
+  // Regression: the shrink rebuild used to jump the day cursor to the day
+  // of the surviving minimum. With only far-future events left, a later
+  // push just above the last popped timestamp (perfectly legal under the
+  // engine contract) landed below the cursor, locate()'s year scan skipped
+  // it, and the far-future event popped first — out of (t, seq) order.
+  CalendarQueue<QItem> q;
+  RefHeap ref;
+  std::uint64_t seq = 0;
+  const auto push_both = [&](Time t) {
+    const QItem it{t, seq++};
+    q.push(it);
+    ref.push(it);
+  };
+  // Grow past the first geometry rebuild: a dense near block plus a
+  // far-future block that will be the only survivors of the drain.
+  for (Time t = 100; t < 237; ++t) push_both(t);
+  for (int i = 0; i < 63; ++i) push_both(1'000'000'000);
+  // Drain the near block; the shrink rebuild fires mid-drain (population
+  // falls 4x below the grown bucket count) with only t=1e9 remaining.
+  Time now = 0;
+  for (int i = 0; i < 137; ++i) {
+    ASSERT_EQ(q.top().t, ref.top().t) << "i=" << i;
+    ASSERT_EQ(q.top().seq, ref.top().seq) << "i=" << i;
+    now = ref.top().t;
+    q.pop();
+    ref.pop();
+  }
+  // Schedule just above the last pop: it must become the new top.
+  push_both(now + 64);
+  ASSERT_EQ(q.top().t, now + 64);
+  while (!ref.empty()) {
+    ASSERT_EQ(q.top().t, ref.top().t);
+    ASSERT_EQ(q.top().seq, ref.top().seq);
+    q.pop();
+    ref.pop();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, NearPushAfterEmptyYearFallbackPeek) {
+  // Regression, same invariant via the other path: a top() peek whose year
+  // scan comes up empty falls back to a direct min and jumps the cursor to
+  // that minimum's day. run_until() peeks without popping, so the caller
+  // may still schedule below that minimum (but at/above the last pop) —
+  // the push must pull the cursor back down or it gets skipped.
+  CalendarQueue<QItem> q;
+  q.push(QItem{100, 0});
+  q.push(QItem{1'000'000'000'000, 1});  // more than a calendar year out
+  ASSERT_EQ(q.top().t, 100);
+  q.pop();
+  ASSERT_EQ(q.top().t, 1'000'000'000'000);  // fallback peek jumps the cursor
+  q.push(QItem{150, 2});
+  ASSERT_EQ(q.top().t, 150);
+  q.pop();
+  EXPECT_EQ(q.top().t, 1'000'000'000'000);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(CalendarQueue, ShrinksBackAfterADrain) {
   // Grow past several rebuilds, drain to a trickle, then verify ordering
   // still holds through the shrink rebuilds on the way down.
